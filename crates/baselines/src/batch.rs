@@ -1,0 +1,552 @@
+//! BATCH — the state-of-the-art OTP (on-top-of-platform) baseline
+//! (Ali et al., SC'20), re-hosted on our substrate as the paper does
+//! ("we redevelop it atop OpenFaaS and extend its memory-only function
+//! profiles with CPU and GPU allocations").
+//!
+//! What makes it *OTP* rather than native:
+//!
+//! * **Uniform configuration** — one `(batchsize, resources)` pair per
+//!   function, chosen offline from its profile (BATCH "always prefers a
+//!   larger batch", Fig. 13b); every instance of the function is
+//!   identical and scaling is uniform (instance count only).
+//! * **Buffer latency** — the external buffer adds a dispatch delay to
+//!   every request before the platform sees it.
+//! * **Scheduling blindness** — the buffer cannot see queueing inside
+//!   the platform nor steer placement; instances land first-fit. The
+//!   **BATCH+RS** variant of Fig. 17b routes the same uniform configs
+//!   through a fragmentation-aware best-fit placement instead.
+//! * **Fixed keep-alive** — no pre-warming, constant keep-alive window.
+
+use infless_cluster::{ClusterSpec, InstanceConfig, InstanceId, ServerId};
+use infless_models::{profile::ConfigGrid, HardwareModel, ModelSpec, ProfileDatabase};
+use infless_sim::{EventQueue, SimDuration, SimTime};
+use infless_workload::Workload;
+use std::collections::VecDeque;
+
+use infless_core::batching::RpsWindow;
+use infless_core::engine::{Engine, EngineEvent, FunctionInfo};
+use infless_core::metrics::{RunReport, StartupKind};
+use infless_core::predictor::CopPredictor;
+
+/// How BATCH places new instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPlacement {
+    /// Stock BATCH: the underlying platform's Kubernetes-style
+    /// least-allocated spreading — the OTP layer cannot steer placement
+    /// (this is what fragments the cluster, Fig. 17b).
+    Spread,
+    /// BATCH+RS (Fig. 17b): the same uniform configs handed to a
+    /// fragmentation-aware best-fit placement.
+    BestFit,
+}
+
+/// BATCH knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Extra per-request latency added by the OTP buffer layer.
+    pub otp_delay: SimDuration,
+    /// Fixed keep-alive window.
+    pub keep_alive: SimDuration,
+    /// Scaling/reap tick period.
+    pub tick: SimDuration,
+    /// RPS monitor window.
+    pub monitor_window: SimDuration,
+    /// Placement strategy (FirstFit = BATCH, BestFit = BATCH+RS).
+    pub placement: BatchPlacement,
+    /// Cap on the uniform batchsize BATCH may choose (the paper's
+    /// Fig. 3a experiment fixes b = 4).
+    pub max_batch: u32,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            otp_delay: SimDuration::from_millis(8),
+            keep_alive: SimDuration::from_secs(300),
+            tick: SimDuration::from_secs(1),
+            monitor_window: SimDuration::from_secs(10),
+            placement: BatchPlacement::Spread,
+            max_batch: u32::MAX,
+        }
+    }
+}
+
+/// The uniform per-function plan BATCH derives offline.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformPlan {
+    /// The single `(b, c, g)` every instance of the function uses.
+    pub config: InstanceConfig,
+    /// The feasible window under BATCH's own (conservative) profile.
+    pub window: RpsWindow,
+    /// The batch queueing budget.
+    pub wait_budget: SimDuration,
+}
+
+#[derive(Debug)]
+struct FnState {
+    plan: Option<UniformPlan>,
+    recent_arrivals: VecDeque<SimTime>,
+    /// The OTP buffer: requests wait here centrally until a platform
+    /// instance has queue space. BATCH's buffer is SLO-aware: it admits
+    /// only as much backlog as the current fleet can drain in a couple
+    /// of batch rounds — holding more would guarantee timeouts.
+    buffer: VecDeque<infless_cluster::Request>,
+}
+
+/// The BATCH platform.
+///
+/// # Example
+///
+/// ```
+/// use infless_baselines::BatchPlatform;
+/// use infless_cluster::ClusterSpec;
+/// use infless_core::apps::Application;
+/// use infless_sim::SimDuration;
+/// use infless_workload::{FunctionLoad, Workload};
+///
+/// let app = Application::osvt();
+/// let loads: Vec<_> = app.functions().iter()
+///     .map(|_| FunctionLoad::constant(20.0, SimDuration::from_secs(10)))
+///     .collect();
+/// let workload = Workload::build(&loads, 2);
+/// let report = BatchPlatform::new(ClusterSpec::testbed(), app.functions().to_vec(), 2)
+///     .run(&workload);
+/// assert!(report.total_completed() > 0);
+/// ```
+#[derive(Debug)]
+pub struct BatchPlatform {
+    engine: Engine,
+    config: BatchConfig,
+    fns: Vec<FnState>,
+}
+
+impl BatchPlatform {
+    /// Builds the platform with default settings.
+    pub fn new(cluster: ClusterSpec, functions: Vec<FunctionInfo>, seed: u64) -> Self {
+        Self::with_config(cluster, functions, BatchConfig::default(), seed)
+    }
+
+    /// Builds the platform with custom settings (e.g. BATCH+RS).
+    pub fn with_config(
+        cluster: ClusterSpec,
+        functions: Vec<FunctionInfo>,
+        config: BatchConfig,
+        seed: u64,
+    ) -> Self {
+        let hardware = HardwareModel::default();
+        let specs: Vec<ModelSpec> = functions.iter().map(|f| f.spec().clone()).collect();
+        let db = ProfileDatabase::profile(&hardware, &specs, &ConfigGrid::standard(), seed);
+        let predictor = CopPredictor::new(db, hardware.clone());
+        let name = match config.placement {
+            BatchPlacement::Spread => "BATCH",
+            BatchPlacement::BestFit => "BATCH+RS",
+        };
+        // Offline uniform profiling: largest feasible batch, then the
+        // configuration with the highest absolute throughput.
+        let fns: Vec<FnState> = functions
+            .iter()
+            .map(|f| FnState {
+                plan: uniform_plan(&predictor, f, config.otp_delay, config.max_batch),
+                recent_arrivals: VecDeque::new(),
+                buffer: VecDeque::new(),
+            })
+            .collect();
+        let engine = Engine::new(name, cluster, hardware, functions, seed);
+        BatchPlatform {
+            engine,
+            config,
+            fns,
+        }
+    }
+
+    /// The uniform batchsize chosen for function `f` (None if no
+    /// feasible configuration exists).
+    pub fn uniform_batch(&self, f: usize) -> Option<u32> {
+        self.fns[f].plan.map(|p| p.config.batch())
+    }
+
+    /// Runs the workload to completion.
+    pub fn run(mut self, workload: &Workload) -> RunReport {
+        let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+        // The OTP buffer forwards each request after its dispatch delay.
+        for &(t, f) in workload.arrivals() {
+            queue.schedule(t + self.config.otp_delay, EngineEvent::Arrival(f));
+        }
+        let tick_horizon = workload.end_time() + SimDuration::from_secs(5);
+        if !workload.is_empty() {
+            queue.schedule(SimTime::ZERO + self.config.tick, EngineEvent::ScalerTick);
+        }
+        while let Some((t, ev)) = queue.pop() {
+            self.engine.advance(t);
+            match ev {
+                EngineEvent::Arrival(f) => self.on_arrival(f, &mut queue),
+                EngineEvent::InstanceReady(id) => {
+                    let function = self
+                        .engine
+                        .is_live(id)
+                        .then(|| self.engine.instance(id).function().raw());
+                    self.engine.on_instance_ready(id, &mut queue);
+                    if let Some(f) = function {
+                        self.pump(f, &mut queue);
+                    }
+                }
+                EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
+                EngineEvent::BatchComplete(id) => {
+                    let done = self.engine.on_batch_complete(id, &mut queue);
+                    self.pump(done.function, &mut queue);
+                }
+                EngineEvent::ScalerTick => {
+                    self.tick(t, &mut queue);
+                    if t < tick_horizon {
+                        queue.schedule(t + self.config.tick, EngineEvent::ScalerTick);
+                    }
+                }
+            }
+        }
+        self.engine.finish()
+    }
+
+    fn on_arrival(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
+        let now = self.engine.now();
+        // True gateway arrival precedes the buffer delay.
+        let arrival = now.saturating_sub(self.config.otp_delay);
+        let req = self.engine.mint_request_arrived(f, arrival);
+        self.fns[f].recent_arrivals.push_back(now);
+        let cap = self.buffer_cap(f);
+        if self.fns[f].plan.is_none() || self.fns[f].buffer.len() >= cap {
+            self.engine.drop_request(&req);
+            return;
+        }
+        self.fns[f].buffer.push_back(req);
+        self.pump(f, queue);
+    }
+
+    /// The SLO-aware admission cap: roughly two batch rounds of backlog
+    /// per live instance (plus slack for the cold-start ramp while no
+    /// instance exists yet).
+    fn buffer_cap(&self, f: usize) -> usize {
+        let Some(plan) = self.fns[f].plan else { return 0 };
+        let live = self.engine.instances_of(f).len();
+        let b = plan.config.batch() as usize;
+        (2 * b * live).max(4 * b)
+    }
+
+    /// Moves buffered requests into platform instances with queue
+    /// space, least-loaded first. Scaling itself is tick-driven; the
+    /// buffer only absorbs what the current fleet cannot.
+    fn pump(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
+        // Sort once per pump (least-loaded first) and rotate through the
+        // fleet; re-sorting per buffered request would cost
+        // O(backlog · n log n) for no better balance.
+        let mut ids: Vec<InstanceId> = self.engine.instances_of(f).to_vec();
+        if ids.is_empty() {
+            return;
+        }
+        ids.sort_by_key(|id| self.engine.instance(*id).queue_len());
+        let mut cursor = 0usize;
+        while let Some(&req) = self.fns[f].buffer.front() {
+            let mut placed = false;
+            for _ in 0..ids.len() {
+                let id = ids[cursor % ids.len()];
+                cursor += 1;
+                if self.engine.enqueue(id, req, queue) {
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                self.fns[f].buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn tick(&mut self, now: SimTime, queue: &mut EventQueue<EngineEvent>) {
+        for f in 0..self.fns.len() {
+            // Monitor.
+            let horizon = now.saturating_sub(self.config.monitor_window);
+            while let Some(&t) = self.fns[f].recent_arrivals.front() {
+                if t < horizon {
+                    self.fns[f].recent_arrivals.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let window = self
+                .config
+                .monitor_window
+                .min(now.saturating_since(SimTime::ZERO))
+                .as_secs_f64()
+                .max(1.0);
+            let rps = self.fns[f].recent_arrivals.len() as f64 / window;
+
+            let Some(plan) = self.fns[f].plan else { continue };
+            // Uniform scaling: n = ceil(R / r_up), plus one catch-up
+            // instance per tick while the buffer holds a backlog.
+            let mut desired = (rps / plan.window.r_up()).ceil() as usize;
+            if self.fns[f].buffer.len() > plan.config.batch() as usize {
+                desired += 1;
+            }
+            let live = self.engine.instances_of(f).len();
+            for _ in live..desired {
+                if self.launch(f, plan, queue).is_none() {
+                    break;
+                }
+            }
+            self.pump(f, queue);
+            // Fixed keep-alive reaping (no proactive scale-in).
+            let dead: Vec<InstanceId> = self
+                .engine
+                .instances_of(f)
+                .iter()
+                .copied()
+                .filter(|id| self.engine.instance(*id).idle_for(now) > self.config.keep_alive)
+                .collect();
+            for id in dead {
+                self.engine.retire(id);
+            }
+        }
+        let beta = self.engine.beta();
+        let frag = self.engine.cluster().fragment_ratio(beta);
+        self.engine.collector.fragment_sample(frag);
+        let used = self.engine.cluster().weighted_in_use(beta);
+        self.engine.collector.provision_point(now, used);
+    }
+
+    fn launch(
+        &mut self,
+        f: usize,
+        plan: UniformPlan,
+        queue: &mut EventQueue<EngineEvent>,
+    ) -> Option<InstanceId> {
+        // The OTP buffer cannot pre-warm inside the platform: every
+        // launch pays the full cold start.
+        let startup = StartupKind::Cold;
+        let server = match self.config.placement {
+            BatchPlacement::Spread => self.spread_server(plan.config)?,
+            BatchPlacement::BestFit => self.best_fit_server(plan.config)?,
+        };
+        self.engine
+            .launch_on(f, server, plan.config, startup, plan.wait_budget, queue)
+            .ok()
+    }
+
+    /// Stock placement: the fitting server with the *most* free
+    /// capacity (Kubernetes least-allocated spreading).
+    fn spread_server(&self, config: InstanceConfig) -> Option<ServerId> {
+        let beta = self.engine.beta();
+        self.engine
+            .cluster()
+            .servers()
+            .iter()
+            .filter(|s| s.fits(config.resources()))
+            .max_by(|a, b| {
+                let fa = beta * f64::from(a.cpu_free()) + f64::from(a.gpu_free_total());
+                let fb = beta * f64::from(b.cpu_free()) + f64::from(b.gpu_free_total());
+                fa.partial_cmp(&fb).expect("finite")
+            })
+            .map(|s| s.id())
+    }
+
+    /// BATCH+RS placement: the fitting server with the least weighted
+    /// free capacity (tightest fit → fewest stranded fragments).
+    fn best_fit_server(&self, config: InstanceConfig) -> Option<ServerId> {
+        let beta = self.engine.beta();
+        self.engine
+            .cluster()
+            .servers()
+            .iter()
+            .filter(|s| s.fits(config.resources()))
+            .min_by(|a, b| {
+                let fa = beta * f64::from(a.cpu_free()) + f64::from(a.gpu_free_total());
+                let fb = beta * f64::from(b.cpu_free()) + f64::from(b.gpu_free_total());
+                fa.partial_cmp(&fb).expect("finite")
+            })
+            .map(|s| s.id())
+    }
+}
+
+/// The relative uncertainty of BATCH's whole-function profiles.
+///
+/// BATCH profiles *functions* end-to-end (originally memory-only
+/// profiles on Lambda, extended here with CPU/GPU dimensions). Those
+/// coarse black-box profiles carry substantially more uncertainty than
+/// INFless's combined-operator predictions, so BATCH plans against an
+/// inflated latency estimate — the same mechanism the paper's OP
+/// ablation (Fig. 11) applies to INFless.
+pub const BATCH_PROFILE_MARGIN: f64 = 1.3;
+
+/// Chooses BATCH's uniform `(b, c, g)` for a function: the largest
+/// batchsize with any SLO-feasible configuration, then the highest
+/// absolute throughput configuration at that batchsize.
+///
+/// The search runs over a *coarse* configuration menu (whole instance
+/// sizes, GPU shares in steps of 10 up to 40 %) — an OTP system selects
+/// from the platform's preconfigured instance types, it cannot tune
+/// arbitrary slices (Fig. 13c shows BATCH using only three ResNet-50
+/// configurations) — and against profile estimates inflated by
+/// [`BATCH_PROFILE_MARGIN`].
+pub fn uniform_plan(
+    predictor: &CopPredictor,
+    function: &FunctionInfo,
+    otp_delay: SimDuration,
+    max_batch: u32,
+) -> Option<UniformPlan> {
+    let slo = function.slo();
+    // The buffer delay eats into the latency budget but BATCH cannot
+    // see platform internals, so it plans against the reduced budget.
+    let effective_slo = slo - otp_delay;
+    let cap = max_batch.min(function.max_batch());
+    let mut batches: Vec<u32> = predictor
+        .grid()
+        .batches()
+        .iter()
+        .copied()
+        .filter(|b| *b <= cap)
+        .collect();
+    batches.sort_unstable();
+    let coarse = |cfg: infless_models::ResourceConfig| {
+        (cfg.cpu_cores() == 2 || cfg.cpu_cores() == 4)
+            && cfg.gpu_pct().is_multiple_of(10)
+            && cfg.gpu_pct() <= 40
+    };
+    for &b in batches.iter().rev() {
+        let mut best: Option<(f64, UniformPlan)> = None;
+        for &cfg in predictor.grid().configs() {
+            if !coarse(cfg) {
+                continue;
+            }
+            let Some(t_raw) = predictor.predict(function.spec(), b, cfg) else {
+                continue;
+            };
+            let t_exec = t_raw.mul_f64(BATCH_PROFILE_MARGIN);
+            let Some(window) = RpsWindow::for_instance(t_exec, effective_slo, b) else {
+                continue;
+            };
+            let wait_budget = (effective_slo - t_exec).max(SimDuration::from_millis(1));
+            let plan = UniformPlan {
+                config: InstanceConfig::new(b, cfg),
+                window,
+                wait_budget,
+            };
+            if best.as_ref().is_none_or(|(r, _)| window.r_up() > *r) {
+                best = Some((window.r_up(), plan));
+            }
+        }
+        if let Some((_, plan)) = best {
+            return Some(plan);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infless_core::apps::Application;
+    use infless_workload::FunctionLoad;
+
+    fn platform(app: &Application) -> BatchPlatform {
+        BatchPlatform::new(ClusterSpec::testbed(), app.functions().to_vec(), 9)
+    }
+
+    fn run(app: Application, rps: f64, secs: u64) -> RunReport {
+        let loads: Vec<FunctionLoad> = app
+            .functions()
+            .iter()
+            .map(|_| FunctionLoad::constant(rps, SimDuration::from_secs(secs)))
+            .collect();
+        let workload = Workload::build(&loads, 9);
+        platform(&app).run(&workload)
+    }
+
+    #[test]
+    fn prefers_large_uniform_batches() {
+        // Fig. 13b: BATCH mainly uses large batchsizes regardless of
+        // the actual arrival rate.
+        let app = Application::osvt();
+        let p = platform(&app);
+        for f in 0..app.functions().len() {
+            let b = p.uniform_batch(f).expect("feasible");
+            assert!(b >= 8, "function {f}: uniform batch {b} too small");
+        }
+    }
+
+    #[test]
+    fn every_function_uses_one_batchsize() {
+        let report = run(Application::osvt(), 60.0, 30);
+        for f in &report.functions {
+            assert!(
+                f.per_batch_completed.len() <= 1,
+                "{}: BATCH must be uniform, got {:?}",
+                f.name,
+                f.per_batch_completed
+            );
+        }
+    }
+
+    #[test]
+    fn otp_delay_inflates_latency() {
+        let report = run(Application::osvt(), 60.0, 30);
+        for f in &report.functions {
+            if f.completed == 0 {
+                continue;
+            }
+            let lat = &f.latency_ms;
+            let min = lat.quantile(0.0).unwrap();
+            assert!(
+                min >= 8.0,
+                "{}: minimum latency {min}ms below the OTP delay",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn serves_most_requests_under_moderate_load() {
+        let report = run(Application::osvt(), 60.0, 40);
+        let total = report.total_completed() + report.total_dropped();
+        assert!(report.total_completed() as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn best_fit_reduces_fragments() {
+        let app = Application::combined();
+        let loads: Vec<FunctionLoad> = app
+            .functions()
+            .iter()
+            .map(|_| FunctionLoad::constant(80.0, SimDuration::from_secs(30)))
+            .collect();
+        let workload = Workload::build(&loads, 4);
+        let frag = |placement: BatchPlacement| {
+            let cfg = BatchConfig {
+                placement,
+                ..BatchConfig::default()
+            };
+            let report = BatchPlatform::with_config(
+                ClusterSpec::testbed(),
+                app.functions().to_vec(),
+                cfg,
+                4,
+            )
+            .run(&workload);
+            let s = &report.fragment_samples;
+            s.quantile(0.5).unwrap_or(0.0)
+        };
+        let first_fit = frag(BatchPlacement::Spread);
+        let best_fit = frag(BatchPlacement::BestFit);
+        assert!(
+            best_fit <= first_fit + 0.05,
+            "BATCH+RS should not fragment more: {best_fit} vs {first_fit}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(Application::qa_robot(), 40.0, 20);
+        let b = run(Application::qa_robot(), 40.0, 20);
+        assert_eq!(a.total_completed(), b.total_completed());
+        assert_eq!(a.launches, b.launches);
+    }
+}

@@ -1,0 +1,199 @@
+//! An AWS-Lambda-like platform model for the §2 motivation study.
+//!
+//! Commercial serverless platforms allocate CPU power in proportion to
+//! the configured memory (AWS Lambda: ~1 vCPU per 1769 MB, capped
+//! around 3 GB at the time of the paper) and offer no accelerators.
+//! This module reproduces the three motivation figures:
+//!
+//! * Fig. 2(a) — invocation latency per model × memory size, no
+//!   batching;
+//! * Fig. 2(b) — the same with OTP batching (b = 4/8), where batching
+//!   multiplies the CPU work;
+//! * Fig. 2(c) — the memory over-provisioning needed to reach the
+//!   200 ms SLO versus the memory actually consumed.
+
+use infless_models::{HardwareModel, ModelSpec};
+use infless_sim::SimDuration;
+
+/// The Lambda memory ladder the paper sweeps (MB).
+pub const LAMBDA_MEMORY_STEPS_MB: [u32; 6] = [128, 256, 512, 1024, 1792, 3072];
+
+/// MB of memory per vCPU in the proportional allocation.
+const MB_PER_VCPU: f64 = 1769.0;
+
+/// Multiplicative slowdown of Lambda's virtualized runtime relative to
+/// bare-metal cores (Firecracker + managed-runtime overheads; Wang et
+/// al., ATC'18 measure comparable gaps).
+const VIRTUALIZATION_OVERHEAD: f64 = 1.15;
+
+/// The Lambda-like platform model.
+///
+/// # Example
+///
+/// ```
+/// use infless_baselines::LambdaModel;
+/// use infless_models::ModelId;
+///
+/// let lambda = LambdaModel::new();
+/// let mnist = ModelId::Mnist.spec();
+/// let t = lambda.invoke_latency(&mnist, 1, 512).expect("fits in 512MB");
+/// assert!(t.as_millis_f64() < 50.0);
+/// // Bert-v1 cannot even load in 128 MB.
+/// assert!(lambda.invoke_latency(&ModelId::BertV1.spec(), 1, 128).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LambdaModel {
+    hardware: HardwareModel,
+}
+
+impl LambdaModel {
+    /// Creates the model with default hardware calibration.
+    pub fn new() -> Self {
+        LambdaModel {
+            hardware: HardwareModel::default(),
+        }
+    }
+
+    /// The memory footprint a function needs to load `spec` (model
+    /// artifact + serving runtime).
+    pub fn required_memory_mb(&self, spec: &ModelSpec) -> f64 {
+        self.hardware.instance_memory_mb(spec)
+    }
+
+    /// The vCPU share a memory configuration buys.
+    pub fn vcpus(&self, memory_mb: u32) -> f64 {
+        f64::from(memory_mb) / MB_PER_VCPU
+    }
+
+    /// Warm invocation latency of `spec` at batchsize `batch` under a
+    /// `memory_mb` configuration, or `None` when the model does not fit
+    /// in memory (the × cells of Fig. 2a/b).
+    pub fn invoke_latency(
+        &self,
+        spec: &ModelSpec,
+        batch: u32,
+        memory_mb: u32,
+    ) -> Option<SimDuration> {
+        if f64::from(memory_mb) < self.required_memory_mb(spec) {
+            return None;
+        }
+        let secs = self
+            .hardware
+            .model_latency_cpu_fractional(spec, batch, self.vcpus(memory_mb));
+        Some(SimDuration::from_secs_f64(secs * VIRTUALIZATION_OVERHEAD))
+    }
+
+    /// The smallest ladder memory size meeting `slo` at `batch`, if any
+    /// (Fig. 2c, left bar).
+    pub fn min_memory_for_slo(&self, spec: &ModelSpec, batch: u32, slo: SimDuration) -> Option<u32> {
+        LAMBDA_MEMORY_STEPS_MB
+            .iter()
+            .copied()
+            .find(|&mb| self.invoke_latency(spec, batch, mb).is_some_and(|t| t <= slo))
+    }
+
+    /// Fraction of the SLO-satisfying memory configuration that is
+    /// over-provisioned beyond the actual footprint (Fig. 2c). `None`
+    /// when no ladder step meets the SLO.
+    pub fn overprovision_fraction(
+        &self,
+        spec: &ModelSpec,
+        batch: u32,
+        slo: SimDuration,
+    ) -> Option<f64> {
+        let configured = f64::from(self.min_memory_for_slo(spec, batch, slo)?);
+        let used = self.required_memory_mb(spec);
+        Some(((configured - used) / configured).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infless_models::ModelId;
+
+    fn lambda() -> LambdaModel {
+        LambdaModel::new()
+    }
+
+    #[test]
+    fn proportional_cpu_allocation() {
+        let l = lambda();
+        assert!((l.vcpus(1769) - 1.0).abs() < 1e-9);
+        assert!(l.vcpus(128) < 0.1);
+    }
+
+    #[test]
+    fn small_models_fast_everywhere_they_fit() {
+        // Fig. 2a: MNIST/TextCNN respond within 50 ms at every memory
+        // size that can load them.
+        let l = lambda();
+        for id in [ModelId::Mnist, ModelId::TextCnn69] {
+            let spec = id.spec();
+            for mb in LAMBDA_MEMORY_STEPS_MB {
+                if let Some(t) = l.invoke_latency(&spec, 1, mb) {
+                    if l.vcpus(mb) >= 0.5 {
+                        assert!(
+                            t.as_millis_f64() < 50.0,
+                            "{id} at {mb}MB: {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_models_miss_200ms_even_at_max_memory() {
+        // Observation #1: Bert-v1, ResNet-50, VGGNet exceed 200 ms even
+        // at the largest configuration.
+        let l = lambda();
+        for id in [ModelId::BertV1, ModelId::ResNet50, ModelId::VggNet] {
+            let spec = id.spec();
+            let t = l.invoke_latency(&spec, 1, 3072).expect("loads at 3GB");
+            assert!(
+                t.as_millis_f64() > 200.0,
+                "{id} at 3GB: {t} unexpectedly meets the SLO"
+            );
+            assert!(l.min_memory_for_slo(&spec, 1, SimDuration::from_millis(200)).is_none());
+        }
+    }
+
+    #[test]
+    fn batching_pushes_medium_models_past_the_slo() {
+        // Observation #2: with OTP batching (b=4/8) several models that
+        // met 200 ms at b=1 no longer do.
+        let l = lambda();
+        let slo = SimDuration::from_millis(200);
+        let mut flipped = 0;
+        for id in ModelId::all() {
+            let spec = id.spec();
+            let ok_b1 = l.min_memory_for_slo(&spec, 1, slo).is_some();
+            let ok_b8 = l.min_memory_for_slo(&spec, 8, slo).is_some();
+            if ok_b1 && !ok_b8 {
+                flipped += 1;
+            }
+        }
+        assert!(flipped >= 2, "batching should break the SLO for some models, flipped={flipped}");
+    }
+
+    #[test]
+    fn memory_is_overprovisioned_for_compute() {
+        // Observation #3: the memory bought to obtain CPU far exceeds
+        // the memory actually consumed.
+        let l = lambda();
+        let slo = SimDuration::from_millis(200);
+        let ssd = ModelId::Ssd.spec();
+        let frac = l
+            .overprovision_fraction(&ssd, 1, slo)
+            .expect("SSD meets 200 ms at some memory size");
+        assert!(frac > 0.3, "SSD over-provisioning only {frac}");
+    }
+
+    #[test]
+    fn tiny_memory_cannot_load_big_models() {
+        let l = lambda();
+        assert!(l.invoke_latency(&ModelId::ResNet50.spec(), 1, 128).is_none());
+        assert!(l.invoke_latency(&ModelId::Mnist.spec(), 1, 256).is_some());
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline systems the paper compares INFless against (§5.1, Table 3).
+//!
+//! * [`OpenFaasPlus`] — the enhanced OpenFaaS baseline: GPU support
+//!   added for fairness, but one-to-one request→instance mapping (no
+//!   batching), a uniform fixed instance configuration (2 CPU cores +
+//!   10 % GPU SMs) and a fixed 300 s keep-alive window.
+//! * [`BatchPlatform`] — the BATCH system (Ali et al., SC'20),
+//!   re-hosted on the same substrate as in the paper: on-top-of-platform
+//!   adaptive batching with a *uniform* per-function batch/resource
+//!   configuration, uniform scaling, a fixed keep-alive window and the
+//!   OTP buffer's extra dispatch latency. A best-fit placement variant
+//!   gives the paper's **BATCH+RS** system (Fig. 17b).
+//! * [`lambda`] — an AWS-Lambda-like platform model (proportional
+//!   CPU-memory allocation, CPU only) for the §2 motivation study
+//!   (Fig. 2, Fig. 3).
+//! * [`cost`] — the Table 4 cost model (CPU $0.034/h, 2080Ti $2.5/h)
+//!   plus the statically-provisioned EC2 reference point.
+//!
+//! All platforms run on `infless-core`'s [`Engine`](infless_core::Engine)
+//! so that differences in results come from policy, not plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cost;
+pub mod lambda;
+pub mod openfaas;
+
+pub use batch::{uniform_plan, BatchConfig, BatchPlacement, BatchPlatform, UniformPlan, BATCH_PROFILE_MARGIN};
+pub use cost::{CostModel, CostSummary};
+pub use lambda::{LambdaModel, LAMBDA_MEMORY_STEPS_MB};
+pub use openfaas::{OpenFaasConfig, OpenFaasPlus};

@@ -1,0 +1,275 @@
+//! OpenFaaS+ — the enhanced-OpenFaaS baseline of §5.1.
+//!
+//! The paper grants the stock platform GPU access for a fair
+//! comparison, but keeps its serverless semantics: every request maps
+//! one-to-one onto an instance (batchsize 1), every instance gets the
+//! same fixed allocation (2 CPU cores + 10 % GPU SMs), scaling is
+//! purely reactive (a request with no free instance triggers a launch),
+//! and idle instances die after a fixed 300-second keep-alive.
+
+use infless_cluster::{ClusterSpec, InstanceConfig, InstanceId, InstanceState};
+use infless_models::{HardwareModel, ResourceConfig};
+use infless_sim::{EventQueue, SimDuration, SimTime};
+use infless_workload::Workload;
+
+use infless_core::engine::{Engine, EngineEvent, FunctionInfo};
+use infless_core::metrics::{RunReport, StartupKind};
+
+/// OpenFaaS+ knobs (§5.1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFaasConfig {
+    /// The uniform per-instance allocation ("2 CPU cores and 10% GPU
+    /// SMs").
+    pub instance_resources: ResourceConfig,
+    /// The fixed keep-alive window (300 s).
+    pub keep_alive: SimDuration,
+    /// Idle-reap check period.
+    pub reap_period: SimDuration,
+    /// Maximum concurrently cold-starting pods per function — real
+    /// OpenFaaS/Kubernetes scale in rate-limited steps rather than one
+    /// pod per queued request.
+    pub max_concurrent_starts: usize,
+}
+
+impl Default for OpenFaasConfig {
+    fn default() -> Self {
+        OpenFaasConfig {
+            instance_resources: ResourceConfig::new(2, 10),
+            keep_alive: SimDuration::from_secs(300),
+            reap_period: SimDuration::from_secs(1),
+            max_concurrent_starts: 8,
+        }
+    }
+}
+
+/// The OpenFaaS+ platform.
+///
+/// # Example
+///
+/// ```
+/// use infless_baselines::OpenFaasPlus;
+/// use infless_cluster::ClusterSpec;
+/// use infless_core::apps::Application;
+/// use infless_sim::SimDuration;
+/// use infless_workload::{FunctionLoad, Workload};
+///
+/// let app = Application::qa_robot();
+/// let loads: Vec<_> = app.functions().iter()
+///     .map(|_| FunctionLoad::constant(10.0, SimDuration::from_secs(10)))
+///     .collect();
+/// let workload = Workload::build(&loads, 1);
+/// let report = OpenFaasPlus::new(ClusterSpec::testbed(), app.functions().to_vec(), 1)
+///     .run(&workload);
+/// assert!(report.total_completed() > 0);
+/// ```
+#[derive(Debug)]
+pub struct OpenFaasPlus {
+    engine: Engine,
+    config: OpenFaasConfig,
+}
+
+impl OpenFaasPlus {
+    /// Builds the platform with default §5.1 settings.
+    pub fn new(cluster: ClusterSpec, functions: Vec<FunctionInfo>, seed: u64) -> Self {
+        Self::with_config(cluster, functions, OpenFaasConfig::default(), seed)
+    }
+
+    /// Builds the platform with custom settings.
+    pub fn with_config(
+        cluster: ClusterSpec,
+        functions: Vec<FunctionInfo>,
+        config: OpenFaasConfig,
+        seed: u64,
+    ) -> Self {
+        let engine = Engine::new(
+            "OpenFaaS+",
+            cluster,
+            HardwareModel::default(),
+            functions,
+            seed,
+        );
+        OpenFaasPlus { engine, config }
+    }
+
+    /// Runs the workload to completion.
+    pub fn run(mut self, workload: &Workload) -> RunReport {
+        let mut queue: EventQueue<EngineEvent> = EventQueue::new();
+        for &(t, f) in workload.arrivals() {
+            queue.schedule(t, EngineEvent::Arrival(f));
+        }
+        let tick_horizon = workload.end_time() + SimDuration::from_secs(5);
+        if !workload.is_empty() {
+            queue.schedule(
+                SimTime::ZERO + self.config.reap_period,
+                EngineEvent::ScalerTick,
+            );
+        }
+        while let Some((t, ev)) = queue.pop() {
+            self.engine.advance(t);
+            match ev {
+                EngineEvent::Arrival(f) => self.on_arrival(f, &mut queue),
+                EngineEvent::InstanceReady(id) => self.engine.on_instance_ready(id, &mut queue),
+                EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
+                EngineEvent::BatchComplete(id) => {
+                    self.engine.on_batch_complete(id, &mut queue);
+                }
+                EngineEvent::ScalerTick => {
+                    self.reap(t);
+                    self.sample(t);
+                    if t < tick_horizon {
+                        queue.schedule(t + self.config.reap_period, EngineEvent::ScalerTick);
+                    }
+                }
+            }
+        }
+        self.engine.finish()
+    }
+
+    /// One-to-one dispatch: a free (idle, empty-queue) instance takes
+    /// the request; otherwise a new pod is launched for it — subject to
+    /// the platform's scaling rate limit, beyond which the request
+    /// queues one-deep behind a busy/starting pod or is rejected.
+    fn on_arrival(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
+        let now = self.engine.now();
+        let req = self.engine.mint_request(f);
+        if let Some(id) = self.free_instance(f, now) {
+            let accepted = self.engine.enqueue(id, req, queue);
+            debug_assert!(accepted, "a free instance always accepts one request");
+            return;
+        }
+        // Reactive scale-out: one instance per unserved request. The
+        // stock platform has no pre-warming: every pod pays the full
+        // container boot + model load. Scaling is rate-limited, as
+        // Kubernetes' is.
+        let starting = self
+            .engine
+            .instances_of(f)
+            .iter()
+            .filter(|id| self.engine.instance(**id).is_starting(now))
+            .count();
+        if starting < self.config.max_concurrent_starts {
+            let cfg = InstanceConfig::new(1, self.config.instance_resources);
+            if let Ok(id) =
+                self.engine
+                    .launch_anywhere(f, cfg, StartupKind::Cold, SimDuration::MAX, queue)
+            {
+                let accepted = self.engine.enqueue(id, req, queue);
+                debug_assert!(accepted);
+                return;
+            }
+        }
+        // Rate-limited (or cluster full): queue one-deep behind any pod
+        // with space, else reject.
+        let mut ids: Vec<InstanceId> = self.engine.instances_of(f).to_vec();
+        ids.sort_by_key(|id| self.engine.instance(*id).queue_len());
+        for id in ids {
+            if self.engine.enqueue(id, req, queue) {
+                return;
+            }
+        }
+        self.engine.drop_request(&req);
+    }
+
+    fn free_instance(&self, f: usize, now: SimTime) -> Option<InstanceId> {
+        self.engine.instances_of(f).iter().copied().find(|id| {
+            let inst = self.engine.instance(*id);
+            inst.queue_len() == 0
+                && !inst.is_starting(now)
+                && !matches!(inst.state(), InstanceState::Busy { .. })
+        })
+    }
+
+    fn reap(&mut self, now: SimTime) {
+        let dead: Vec<InstanceId> = (0..self.engine.functions().len())
+            .flat_map(|f| self.engine.instances_of(f).to_vec())
+            .filter(|id| self.engine.instance(*id).idle_for(now) > self.config.keep_alive)
+            .collect();
+        for id in dead {
+            self.engine.retire(id);
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let beta = self.engine.beta();
+        let frag = self.engine.cluster().fragment_ratio(beta);
+        self.engine.collector.fragment_sample(frag);
+        let used = self.engine.cluster().weighted_in_use(beta);
+        self.engine.collector.provision_point(now, used);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infless_core::apps::Application;
+    use infless_workload::FunctionLoad;
+
+    fn run(rps: f64, secs: u64) -> RunReport {
+        let app = Application::qa_robot();
+        let loads: Vec<FunctionLoad> = app
+            .functions()
+            .iter()
+            .map(|_| FunctionLoad::constant(rps, SimDuration::from_secs(secs)))
+            .collect();
+        let workload = Workload::build(&loads, 5);
+        OpenFaasPlus::new(ClusterSpec::testbed(), app.functions().to_vec(), 5).run(&workload)
+    }
+
+    #[test]
+    fn serves_requests_one_to_one() {
+        let report = run(20.0, 30);
+        assert!(report.total_completed() > 0);
+        // Everything executes at batchsize 1.
+        for f in &report.functions {
+            assert!(f.per_batch_completed.keys().all(|b| *b == 1));
+        }
+    }
+
+    #[test]
+    fn spawns_many_instances() {
+        // One-to-one mapping creates far more instances than requests
+        // strictly need (Observation #4).
+        let report = run(50.0, 30);
+        assert!(
+            report.launches > 20,
+            "expected instance sprawl, got {} launches",
+            report.launches
+        );
+    }
+
+    #[test]
+    fn fixed_keepalive_retires_nothing_in_short_runs() {
+        let report = run(20.0, 30);
+        assert_eq!(
+            report.retirements, 0,
+            "300s keep-alive cannot expire within a 30s run"
+        );
+    }
+
+    #[test]
+    fn drops_when_cluster_exhausted() {
+        let app = Application::qa_robot();
+        let loads: Vec<FunctionLoad> = app
+            .functions()
+            .iter()
+            .map(|_| FunctionLoad::constant(500.0, SimDuration::from_secs(10)))
+            .collect();
+        let workload = Workload::build(&loads, 5);
+        let tiny = ClusterSpec {
+            servers: 1,
+            cores_per_server: 4,
+            gpus_per_server: 1,
+            mem_per_server_mb: 128.0 * 1024.0,
+        };
+        let report = OpenFaasPlus::new(tiny, app.functions().to_vec(), 5).run(&workload);
+        assert!(report.total_dropped() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(15.0, 20);
+        let b = run(15.0, 20);
+        assert_eq!(a.total_completed(), b.total_completed());
+        assert_eq!(a.launches, b.launches);
+    }
+}

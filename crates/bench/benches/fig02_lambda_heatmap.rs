@@ -1,0 +1,121 @@
+//! Fig. 2(a–c): the AWS-Lambda motivation study.
+//!
+//! (a) warm invocation latency of every Table-1 model across the Lambda
+//!     memory ladder, no batching; × marks "does not fit in memory";
+//! (b) the same with OTP batching (b = 4 and b = 8);
+//! (c) the memory over-provisioning needed to reach the 200 ms SLO.
+
+use infless_bench::{header, record};
+use infless_baselines::{LambdaModel, LAMBDA_MEMORY_STEPS_MB};
+use infless_models::ModelId;
+use infless_sim::SimDuration;
+
+fn heat_table(lambda: &LambdaModel, batch: u32) -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    print!("{:<12}", "model");
+    for mb in LAMBDA_MEMORY_STEPS_MB {
+        print!("{:>9}", format!("{mb}MB"));
+    }
+    println!();
+    for id in ModelId::all() {
+        let spec = id.spec();
+        print!("{:<12}", id.name());
+        let mut cells = Vec::new();
+        for mb in LAMBDA_MEMORY_STEPS_MB {
+            match lambda.invoke_latency(&spec, batch, mb) {
+                Some(t) => {
+                    print!("{:>9}", format!("{:.0}ms", t.as_millis_f64()));
+                    cells.push(serde_json::json!(t.as_millis_f64()));
+                }
+                None => {
+                    print!("{:>9}", "x");
+                    cells.push(serde_json::Value::Null);
+                }
+            }
+        }
+        println!();
+        rows.push(serde_json::json!({ "model": id.name(), "latency_ms": cells }));
+    }
+    rows
+}
+
+fn main() {
+    let lambda = LambdaModel::new();
+    let slo = SimDuration::from_millis(200);
+
+    header(
+        "fig02_lambda_heatmap",
+        "Fig. 2(a)",
+        "Warm invocation latency on a Lambda-like platform, batchsize 1",
+    );
+    let a = heat_table(&lambda, 1);
+
+    let mut b_tables = Vec::new();
+    for batch in [4u32, 8] {
+        header(
+            "fig02_lambda_heatmap",
+            "Fig. 2(b)",
+            &format!("With OTP batching, batchsize {batch}"),
+        );
+        b_tables.push(serde_json::json!({
+            "batch": batch,
+            "rows": heat_table(&lambda, batch),
+        }));
+    }
+
+    header(
+        "fig02_lambda_heatmap",
+        "Fig. 2(c)",
+        "Memory over-provisioning to meet the 200 ms SLO (batchsize 1)",
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>16}",
+        "model", "configured", "consumed", "over-provision"
+    );
+    let mut c_rows = Vec::new();
+    for id in ModelId::all() {
+        let spec = id.spec();
+        let used = lambda.required_memory_mb(&spec);
+        match lambda.min_memory_for_slo(&spec, 1, slo) {
+            Some(mb) => {
+                let frac = lambda.overprovision_fraction(&spec, 1, slo).unwrap_or(0.0);
+                println!(
+                    "{:<12} {:>10}MB {:>10.0}MB {:>15.1}%",
+                    id.name(),
+                    mb,
+                    used,
+                    frac * 100.0
+                );
+                c_rows.push(serde_json::json!({
+                    "model": id.name(),
+                    "configured_mb": mb,
+                    "consumed_mb": used,
+                    "overprovision_frac": frac,
+                }));
+            }
+            None => {
+                println!(
+                    "{:<12} {:>12} {:>10.0}MB {:>16}",
+                    id.name(),
+                    "SLO unmet",
+                    used,
+                    "-"
+                );
+                c_rows.push(serde_json::json!({
+                    "model": id.name(),
+                    "configured_mb": serde_json::Value::Null,
+                    "consumed_mb": used,
+                }));
+            }
+        }
+    }
+
+    record(
+        "fig02_lambda_heatmap",
+        serde_json::json!({
+            "fig2a": a,
+            "fig2b": b_tables,
+            "fig2c": c_rows,
+        }),
+    );
+}

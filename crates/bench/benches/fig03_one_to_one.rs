@@ -1,0 +1,110 @@
+//! Fig. 3: the one-to-one-mapping motivation.
+//!
+//! (a) instances launched and batch invocations for a ResNet-20-class
+//!     workload with and without batching (Observation #4: batching at
+//!     b = 4 cuts invocations by ~72 % and launched instances by ~35 %);
+//! (b) throughput of a Lambda-like platform, OTP batching, and the
+//!     native INFless design on the same stress load (Observation #5).
+
+use infless_bench::{constant_workload, header, maybe_quick, record, summarize_line, System};
+use infless_cluster::ClusterSpec;
+use infless_core::engine::FunctionInfo;
+use infless_models::ModelId;
+use infless_sim::SimDuration;
+use infless_workload::{FunctionLoad, TracePattern, Workload};
+
+fn main() {
+    let cluster = ClusterSpec::testbed();
+    let functions = vec![FunctionInfo::new(
+        ModelId::ResNet20.spec(),
+        SimDuration::from_millis(200),
+    )];
+    let duration = maybe_quick(SimDuration::from_mins(10));
+    let workload = Workload::build(
+        &[FunctionLoad::trace(TracePattern::Bursty, 120.0, duration, 33)],
+        33,
+    );
+
+    header(
+        "fig03_one_to_one",
+        "Fig. 3(a)",
+        "Instances and invocations: one-to-one vs batching (ResNet-20, bursty load)",
+    );
+    let one_to_one = System::OpenFaasPlus.run(cluster, &functions, &workload, 33);
+    // The paper's Fig. 3a fixes the OTP batchsize at 4.
+    let batched = infless_baselines::BatchPlatform::with_config(
+        cluster,
+        functions.clone(),
+        infless_baselines::BatchConfig {
+            max_batch: 4,
+            ..infless_baselines::BatchConfig::default()
+        },
+        33,
+    )
+    .run(&workload);
+
+    // Batch invocations approximated from the per-batchsize completion mix.
+    let invocations = |r: &infless_core::metrics::RunReport| -> f64 {
+        r.functions
+            .iter()
+            .flat_map(|f| f.per_batch_completed.iter())
+            .map(|(b, n)| *n as f64 / f64::from(*b))
+            .sum()
+    };
+    println!(
+        "{:<14} {:>12} {:>14} {:>18}",
+        "policy", "launches", "invocations", "resource u*s"
+    );
+    for (name, r) in [("one-to-one", &one_to_one), ("batching b=4", &batched)] {
+        println!(
+            "{:<14} {:>12} {:>14.0} {:>18.0}",
+            name,
+            r.launches,
+            invocations(r),
+            r.weighted_resource_seconds
+        );
+    }
+    let inv_drop = 1.0 - invocations(&batched) / invocations(&one_to_one);
+    let launch_drop = 1.0 - batched.launches as f64 / one_to_one.launches as f64;
+    println!(
+        "\nbatching cuts invocations by {:.0}% and launched instances by {:.0}%",
+        inv_drop * 100.0,
+        launch_drop * 100.0
+    );
+    println!("(paper: 72% fewer invocations, 35% fewer instances)\n");
+
+    header(
+        "fig03_one_to_one",
+        "Fig. 3(b)",
+        "Throughput: OTP batching vs the native design, stress load",
+    );
+    let stress = constant_workload(1, 400.0, maybe_quick(SimDuration::from_secs(90)), 34);
+    let mut thpts = Vec::new();
+    for sys in System::trio() {
+        let r = sys.run(cluster, &functions, &stress, 34);
+        println!("{:<10} {}", sys.name(), summarize_line(&r));
+        thpts.push((sys.name(), r.goodput_rps(), r.throughput_per_resource()));
+    }
+    let otp = thpts.iter().find(|(n, _, _)| *n == "BATCH").unwrap();
+    let native = thpts.iter().find(|(n, _, _)| *n == "INFless").unwrap();
+    println!(
+        "\nnative design improves throughput/resource {:.1}x over OTP batching (paper: ~3x)",
+        native.2 / otp.2
+    );
+
+    record(
+        "fig03_one_to_one",
+        serde_json::json!({
+            "fig3a": {
+                "one_to_one_launches": one_to_one.launches,
+                "batching_launches": batched.launches,
+                "invocation_reduction": inv_drop,
+                "launch_reduction": launch_drop,
+            },
+            "fig3b": thpts
+                .iter()
+                .map(|(n, g, t)| serde_json::json!({"system": n, "goodput_rps": g, "thpt_per_resource": t}))
+                .collect::<Vec<_>>(),
+        }),
+    );
+}

@@ -1,0 +1,125 @@
+//! Fig. 12: normalized throughput per unit of resource.
+//!
+//! (a) under the sporadic / periodic / bursty production traces
+//!     (paper: INFless 4.3×/3.4×/3.6× over OpenFaaS+ and
+//!     2.6×/1.8×/2.2× over BATCH);
+//! (b) under latency SLOs from 150 ms to 350 ms on OSVT
+//!     (paper: 1.6×–3.5× over BATCH, improving as the SLO relaxes).
+
+use infless_bench::{header, maybe_quick, pattern_workload, record, run_parallel, System};
+use infless_cluster::ClusterSpec;
+use infless_core::apps::Application;
+use infless_sim::SimDuration;
+use infless_workload::TracePattern;
+
+fn main() {
+    let cluster = ClusterSpec::testbed();
+    let app = Application::osvt();
+    let duration = maybe_quick(SimDuration::from_mins(12));
+
+    header(
+        "fig12_traces_slos",
+        "Fig. 12(a)",
+        "Throughput per unit of resource under the three trace patterns (OSVT)",
+    );
+    let mut trace_rows = Vec::new();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "system", "sporadic", "periodic", "bursty"
+    );
+    let mut per_sys: Vec<(String, Vec<f64>)> = System::trio()
+        .iter()
+        .map(|s| (s.name().to_string(), Vec::new()))
+        .collect();
+    let workloads: Vec<_> = TracePattern::evaluation_set()
+        .iter()
+        .enumerate()
+        .map(|(pi, pattern)| {
+            pattern_workload(app.functions().len(), *pattern, 150.0, duration, 12 + pi as u64)
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    for workload in &workloads {
+        for sys in System::trio() {
+            let functions = app.functions().to_vec();
+            jobs.push(move || sys.run(cluster, &functions, workload, 12).throughput_per_resource());
+        }
+    }
+    let results = run_parallel(jobs);
+    for (i, v) in results.into_iter().enumerate() {
+        per_sys[i % 3].1.push(v);
+    }
+    for (name, vals) in &per_sys {
+        print!("{:<10}", name);
+        for v in vals {
+            print!("{:>12.3}", v);
+        }
+        println!();
+        trace_rows.push(serde_json::json!({ "system": name, "thpt_per_resource": vals }));
+    }
+    let inf = &per_sys[2].1;
+    let of = &per_sys[0].1;
+    let ba = &per_sys[1].1;
+    print!("\nINFless vs OpenFaaS+: ");
+    for (a, b) in inf.iter().zip(of) {
+        print!("{:.1}x ", a / b);
+    }
+    print!("\nINFless vs BATCH:     ");
+    for (a, b) in inf.iter().zip(ba) {
+        print!("{:.1}x ", a / b);
+    }
+    println!("\n");
+
+    header(
+        "fig12_traces_slos",
+        "Fig. 12(b)",
+        "Throughput per unit of resource across latency SLOs (OSVT, bursty)",
+    );
+    let slos = [150u64, 200, 250, 300, 350];
+    println!("{:<10} {:>10} {:>10} {:>10}", "SLO", "INFless", "BATCH", "ratio");
+    let mut slo_rows = Vec::new();
+    let slo_inputs: Vec<_> = slos
+        .iter()
+        .enumerate()
+        .map(|(i, slo_ms)| {
+            let app = Application::osvt_with_slo(SimDuration::from_millis(*slo_ms));
+            let workload = pattern_workload(
+                app.functions().len(),
+                TracePattern::Bursty,
+                150.0,
+                duration,
+                40 + i as u64,
+            );
+            (app, workload)
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    for (app, workload) in &slo_inputs {
+        for sys in [System::Infless, System::Batch] {
+            jobs.push(move || {
+                sys.run(cluster, app.functions(), workload, 13)
+                    .throughput_per_resource()
+            });
+        }
+    }
+    let results = run_parallel(jobs);
+    for (i, slo_ms) in slos.iter().enumerate() {
+        let inf = results[2 * i];
+        let bat = results[2 * i + 1];
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>9.1}x",
+            format!("{slo_ms}ms"),
+            inf,
+            bat,
+            inf / bat
+        );
+        slo_rows.push(serde_json::json!({
+            "slo_ms": slo_ms, "infless": inf, "batch": bat, "ratio": inf / bat,
+        }));
+    }
+
+    record(
+        "fig12_traces_slos",
+        serde_json::json!({ "fig12a": trace_rows, "fig12b": slo_rows }),
+    );
+}

@@ -1,0 +1,79 @@
+//! Fig. 14: resource provisioning over time — BATCH (top) vs INFless
+//! (bottom) following a rising-then-falling request load (ResNet-50).
+//!
+//! Paper shape: BATCH over-provisions on the rise (it always prefers a
+//! large batch) and holds resources after the decline (fixed
+//! keep-alive); INFless tracks the load both ways and provisions ~60 %
+//! less in total.
+
+use infless_bench::{header, maybe_quick, record, System};
+use infless_cluster::ClusterSpec;
+use infless_core::engine::FunctionInfo;
+use infless_models::ModelId;
+use infless_sim::{SimDuration, SimTime};
+use infless_workload::{FunctionLoad, RateSeries, Workload};
+
+fn main() {
+    header(
+        "fig14_provisioning",
+        "Fig. 14",
+        "Provisioned resources over a rise-and-fall load (ResNet-50)",
+    );
+    let cluster = ClusterSpec::testbed();
+    let functions = vec![FunctionInfo::new(
+        ModelId::ResNet50.spec(),
+        SimDuration::from_millis(200),
+    )];
+    // A single pulse: ramp 0→peak→0 over the run, like the paper's window.
+    let duration = maybe_quick(SimDuration::from_mins(30));
+    let mins = (duration.as_secs_f64() / 60.0) as usize;
+    let peak = 900.0;
+    let rates: Vec<f64> = (0..mins)
+        .map(|i| {
+            let x = i as f64 / mins as f64;
+            (peak * (std::f64::consts::PI * x).sin()).max(0.0)
+        })
+        .collect();
+    let series = RateSeries::new(SimDuration::from_mins(1), rates);
+    let workload = Workload::build(&[FunctionLoad::poisson(series.clone())], 14);
+
+    let mut json = serde_json::Map::new();
+    let mut totals = Vec::new();
+    for sys in [System::Batch, System::Infless] {
+        let r = sys.run(cluster, &functions, &workload, 14);
+        println!("--- {} ---", sys.name());
+        println!("{:>6} {:>10} {:>13}", "min", "load RPS", "provisioned");
+        let mut points = Vec::new();
+        let step = 120.0;
+        let mut next = 0.0;
+        for (t, used) in &r.provisioning {
+            if *t + 1e-9 < next {
+                continue;
+            }
+            next = t + step;
+            let rps = series.rate_at(SimTime::from_secs(*t as u64));
+            let bar = "#".repeat((used / 8.0).round() as usize);
+            println!("{:>6.1} {:>10.0} {:>13.1}  {bar}", t / 60.0, rps, used);
+            points.push(serde_json::json!({"t_s": t, "load_rps": rps, "provisioned": used}));
+        }
+        println!(
+            "total provisioning: {:.0} resource-seconds\n",
+            r.weighted_resource_seconds
+        );
+        totals.push((sys.name(), r.weighted_resource_seconds));
+        json.insert(
+            sys.name().to_string(),
+            serde_json::json!({
+                "timeline": points,
+                "resource_seconds": r.weighted_resource_seconds,
+            }),
+        );
+    }
+    let reduction = 1.0 - totals[1].1 / totals[0].1;
+    println!(
+        "INFless provisions {:.0}% less than BATCH in total (paper: ~60%)",
+        reduction * 100.0
+    );
+    json.insert("reduction".into(), serde_json::json!(reduction));
+    record("fig14_provisioning", serde_json::Value::Object(json));
+}

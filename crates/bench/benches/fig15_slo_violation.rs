@@ -1,0 +1,105 @@
+//! Fig. 15: SLO violations and latency breakdown.
+//!
+//! (a) SLO violation rates of the three systems across the trace
+//!     patterns (paper: INFless ≤ 3.1 % on average, OpenFaaS+ up to 8 %
+//!     under sporadic load from cold starts, BATCH similar from batch
+//!     queueing timeouts);
+//! (b/c) INFless's per-request latency decomposition (cold / queue /
+//!     exec) at SLO = 150 ms and 350 ms — queueing is regulated to
+//!     roughly the execution-time scale.
+
+use infless_bench::{header, maybe_quick, pattern_workload, record, run_parallel, System};
+use infless_cluster::ClusterSpec;
+use infless_core::apps::Application;
+use infless_sim::SimDuration;
+use infless_workload::TracePattern;
+
+fn main() {
+    let cluster = ClusterSpec::testbed();
+    let duration = maybe_quick(SimDuration::from_mins(12));
+
+    header(
+        "fig15_slo_violation",
+        "Fig. 15(a)",
+        "SLO violation rate by system and trace pattern (OSVT)",
+    );
+    let app = Application::osvt();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "system", "sporadic", "periodic", "bursty"
+    );
+    let mut viol_rows = Vec::new();
+    let workloads: Vec<_> = TracePattern::evaluation_set()
+        .iter()
+        .enumerate()
+        .map(|(pi, pattern)| {
+            pattern_workload(app.functions().len(), *pattern, 120.0, duration, 150 + pi as u64)
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    for sys in System::trio() {
+        for workload in &workloads {
+            let functions = app.functions().to_vec();
+            jobs.push(move || sys.run(cluster, &functions, workload, 15).violation_rate());
+        }
+    }
+    let results = run_parallel(jobs);
+    for (si, sys) in System::trio().iter().enumerate() {
+        print!("{:<10}", sys.name());
+        let vals: Vec<f64> = (0..workloads.len())
+            .map(|pi| results[si * workloads.len() + pi])
+            .collect();
+        for v in &vals {
+            print!("{:>9.2}%", v * 100.0);
+        }
+        println!();
+        viol_rows.push(serde_json::json!({ "system": sys.name(), "violation_rates": vals }));
+    }
+    println!();
+
+    let mut breakdown_rows = Vec::new();
+    for slo_ms in [150u64, 350] {
+        header(
+            "fig15_slo_violation",
+            if slo_ms == 150 { "Fig. 15(b)" } else { "Fig. 15(c)" },
+            &format!("INFless latency breakdown at SLO = {slo_ms} ms (OSVT, bursty)"),
+        );
+        let app = Application::osvt_with_slo(SimDuration::from_millis(slo_ms));
+        let workload = pattern_workload(
+            app.functions().len(),
+            TracePattern::Bursty,
+            150.0,
+            duration,
+            160 + slo_ms,
+        );
+        let r = System::Infless.run(cluster, app.functions(), &workload, 15);
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}",
+            "model", "cold ms", "queue ms", "exec ms", "p99 ms"
+        );
+        for f in &r.functions {
+            let lat = &f.latency_ms;
+            println!(
+                "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>10.1}",
+                f.name,
+                f.cold_ms.mean(),
+                f.queue_ms.mean(),
+                f.exec_ms.mean(),
+                lat.quantile(0.99).unwrap_or(0.0)
+            );
+            breakdown_rows.push(serde_json::json!({
+                "slo_ms": slo_ms,
+                "model": f.name,
+                "cold_ms": f.cold_ms.mean(),
+                "queue_ms": f.queue_ms.mean(),
+                "exec_ms": f.exec_ms.mean(),
+            }));
+        }
+        println!();
+    }
+
+    record(
+        "fig15_slo_violation",
+        serde_json::json!({ "fig15a": viol_rows, "fig15bc": breakdown_rows }),
+    );
+}

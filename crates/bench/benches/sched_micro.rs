@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the hot control-plane paths: the COP
+//! predictor, one `Schedule()` round, and the event queue — the
+//! operations behind the Fig. 17(a) overhead numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use infless_cluster::ClusterSpec;
+use infless_core::predictor::CopPredictor;
+use infless_core::scheduler::{Scheduler, SchedulerConfig};
+use infless_models::{
+    profile::ConfigGrid, HardwareModel, ModelId, ModelSpec, ProfileDatabase, ResourceConfig,
+};
+use infless_sim::{EventQueue, SimDuration, SimTime};
+
+fn predictor() -> (CopPredictor, ModelSpec) {
+    let hw = HardwareModel::default();
+    let specs: Vec<ModelSpec> = ModelId::all().iter().map(|id| id.spec()).collect();
+    let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 99);
+    (CopPredictor::new(db, hw), ModelId::ResNet50.spec())
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let (p, spec) = predictor();
+    let cfg = ResourceConfig::new(2, 20);
+    c.bench_function("cop_predict_cold_cache", |b| {
+        b.iter_batched(
+            || {
+                let hw = HardwareModel::default();
+                let db = ProfileDatabase::profile(
+                    &hw,
+                    &[spec.clone()],
+                    &ConfigGrid::standard(),
+                    99,
+                );
+                CopPredictor::new(db, hw)
+            },
+            |fresh| fresh.predict(&spec, 8, cfg),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("cop_predict_cached", |b| {
+        let _ = p.predict(&spec, 8, cfg);
+        b.iter(|| p.predict(&spec, 8, cfg))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let (p, spec) = predictor();
+    let scheduler = Scheduler::new(SchedulerConfig::default());
+    c.bench_function("schedule_one_round_testbed", |b| {
+        b.iter_batched(
+            || ClusterSpec::testbed().build(),
+            |mut cluster| {
+                scheduler.schedule(
+                    &p,
+                    &infless_core::engine::FunctionInfo::new(spec.clone(), SimDuration::from_millis(200)),
+                    500.0,
+                    &mut cluster,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("schedule_one_round_500_servers", |b| {
+        b.iter_batched(
+            || ClusterSpec::large(500).build(),
+            |mut cluster| {
+                scheduler.schedule(
+                    &p,
+                    &infless_core::engine::FunctionInfo::new(spec.clone(), SimDuration::from_millis(200)),
+                    500.0,
+                    &mut cluster,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_predictor, bench_scheduler, bench_event_queue
+}
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Shared harness for the figure/table reproduction benches.
+//!
+//! Every bench target in `benches/` regenerates one figure or table of
+//! the paper's evaluation: it prints the same rows/series the paper
+//! reports and appends a machine-readable copy to
+//! `target/infless-results/<experiment>.json` (consumed when updating
+//! EXPERIMENTS.md).
+//!
+//! Conventions:
+//!
+//! * `INFLESS_QUICK=1` shrinks sweeps for smoke runs.
+//! * All workloads and platforms are seeded; re-running a bench
+//!   reproduces its numbers exactly (up to wall-clock overhead
+//!   measurements).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use infless_cluster::ClusterSpec;
+use infless_core::engine::FunctionInfo;
+use infless_core::metrics::RunReport;
+use infless_core::platform::{InflessConfig, InflessPlatform};
+use infless_baselines::{BatchConfig, BatchPlacement, BatchPlatform, OpenFaasPlus};
+use infless_sim::SimDuration;
+use infless_workload::{FunctionLoad, TracePattern, Workload};
+
+/// `true` when `INFLESS_QUICK=1`: benches shrink their sweeps.
+pub fn quick() -> bool {
+    std::env::var("INFLESS_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Scales a duration down 4x in quick mode.
+pub fn maybe_quick(d: SimDuration) -> SimDuration {
+    if quick() {
+        d / 4
+    } else {
+        d
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn header(experiment: &str, paper_ref: &str, what: &str) {
+    println!("==============================================================");
+    println!("{experiment}  ({paper_ref})");
+    println!("{what}");
+    println!("==============================================================");
+}
+
+/// Appends a JSON record for this experiment under
+/// `target/infless-results/`.
+pub fn record(experiment: &str, value: serde_json::Value) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    let _ = fs::write(path, serde_json::to_string_pretty(&value).unwrap_or_default());
+}
+
+fn results_dir() -> PathBuf {
+    // target/ relative to the workspace root, regardless of cwd.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.join("target").join("infless-results")
+}
+
+/// The three platforms under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// The one-to-one baseline.
+    OpenFaasPlus,
+    /// The OTP batching baseline.
+    Batch,
+    /// BATCH with best-fit placement (Fig. 17b).
+    BatchRs,
+    /// The paper's system.
+    Infless,
+}
+
+impl System {
+    /// The Figs. 11/12/15 comparison trio.
+    pub fn trio() -> [System; 3] {
+        [System::OpenFaasPlus, System::Batch, System::Infless]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::OpenFaasPlus => "OpenFaaS+",
+            System::Batch => "BATCH",
+            System::BatchRs => "BATCH+RS",
+            System::Infless => "INFless",
+        }
+    }
+
+    /// Runs this system on the given deployment and workload.
+    pub fn run(
+        self,
+        cluster: ClusterSpec,
+        functions: &[FunctionInfo],
+        workload: &Workload,
+        seed: u64,
+    ) -> RunReport {
+        match self {
+            System::OpenFaasPlus => {
+                OpenFaasPlus::new(cluster, functions.to_vec(), seed).run(workload)
+            }
+            System::Batch => BatchPlatform::new(cluster, functions.to_vec(), seed).run(workload),
+            System::BatchRs => BatchPlatform::with_config(
+                cluster,
+                functions.to_vec(),
+                BatchConfig {
+                    placement: BatchPlacement::BestFit,
+                    ..BatchConfig::default()
+                },
+                seed,
+            )
+            .run(workload),
+            System::Infless => self.run_infless(cluster, functions, workload, seed),
+        }
+    }
+
+    fn run_infless(
+        self,
+        cluster: ClusterSpec,
+        functions: &[FunctionInfo],
+        workload: &Workload,
+        seed: u64,
+    ) -> RunReport {
+        InflessPlatform::new(cluster, functions.to_vec(), InflessConfig::default(), seed)
+            .run(workload)
+    }
+}
+
+/// Builds per-function loads of the same trace pattern (independent
+/// streams) over `duration` at `mean_rps` each.
+pub fn pattern_workload(
+    functions: usize,
+    pattern: TracePattern,
+    mean_rps: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> Workload {
+    let loads: Vec<FunctionLoad> = (0..functions)
+        .map(|i| FunctionLoad::trace(pattern, mean_rps, duration, seed + 1000 + i as u64))
+        .collect();
+    Workload::build(&loads, seed)
+}
+
+/// Builds constant stress loads.
+pub fn constant_workload(
+    functions: usize,
+    rps: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> Workload {
+    let loads: Vec<FunctionLoad> = (0..functions)
+        .map(|_| FunctionLoad::constant(rps, duration))
+        .collect();
+    Workload::build(&loads, seed)
+}
+
+/// Runs independent experiment closures on worker threads and returns
+/// their results in input order. Every experiment is seeded, so
+/// parallel execution cannot change any number — only the wall-clock
+/// time of `cargo bench`.
+pub fn run_parallel<F, R>(jobs: Vec<F>) -> Vec<R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move |_| job()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+    .expect("experiment scope panicked")
+}
+
+/// A compact one-line summary used by several benches.
+pub fn summarize_line(report: &RunReport) -> String {
+    format!(
+        "completed={} dropped={} viol={:.2}% goodput={:.1}rps thpt/res={:.3} cold={:.2}%",
+        report.total_completed(),
+        report.total_dropped(),
+        report.violation_rate() * 100.0,
+        report.goodput_rps(),
+        report.throughput_per_resource(),
+        report.cold_request_rate() * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_flag_reads_env() {
+        // Not set in the test environment by default.
+        assert!(!quick() || std::env::var("INFLESS_QUICK").is_ok());
+    }
+
+    #[test]
+    fn systems_have_names() {
+        assert_eq!(System::Infless.name(), "INFless");
+        assert_eq!(System::trio().len(), 3);
+    }
+
+    #[test]
+    fn workload_builders_produce_load() {
+        let w = constant_workload(2, 10.0, SimDuration::from_secs(5), 1);
+        assert_eq!(w.len(), 100);
+        let w = pattern_workload(2, TracePattern::Periodic, 10.0, SimDuration::from_mins(2), 1);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! A single server: CPU cores plus one or more physical GPUs whose SMs
+//! are partitioned by percentage (CUDA MPS style).
+
+use infless_models::ResourceConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ServerId;
+
+/// Where an allocation landed on a server: which GPU device (if any)
+/// supplied the SM share. Needed to release the share to the right
+/// device later.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    server: ServerId,
+    gpu_index: Option<usize>,
+    mem_mb: f64,
+}
+
+impl Placement {
+    /// The server the allocation lives on.
+    pub fn server(self) -> ServerId {
+        self.server
+    }
+
+    /// The GPU device index supplying the SM share, if any.
+    pub fn gpu_index(self) -> Option<usize> {
+        self.gpu_index
+    }
+
+    /// The memory reserved by the allocation, in MB.
+    pub fn mem_mb(self) -> f64 {
+        self.mem_mb
+    }
+}
+
+/// One server's capacity and free-resource accounting.
+///
+/// GPU shares must fit within a single physical device — a 60 % slice
+/// cannot be satisfied by two devices with 30 % free each. That is why
+/// free GPU capacity is tracked per device rather than pooled.
+///
+/// # Example
+///
+/// ```
+/// use infless_cluster::{Server, ServerId};
+/// use infless_models::ResourceConfig;
+///
+/// let mut s = Server::new(ServerId::new(0), 32, &[100, 100]);
+/// let p = s.allocate(ResourceConfig::new(4, 60)).expect("fits");
+/// assert_eq!(s.cpu_free(), 28);
+/// s.release(ResourceConfig::new(4, 60), p);
+/// assert_eq!(s.cpu_free(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Server {
+    id: ServerId,
+    cpu_capacity: u32,
+    cpu_free: u32,
+    gpu_capacity: Vec<u32>,
+    gpu_free: Vec<u32>,
+    mem_capacity_mb: f64,
+    mem_free_mb: f64,
+    instances: usize,
+}
+
+impl Server {
+    /// Creates a server with `cpu_capacity` cores, one entry in `gpus`
+    /// per physical device giving its SM capacity in percent (normally
+    /// 100), and the Table 2 default of 128 GB of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_capacity` is zero.
+    pub fn new(id: ServerId, cpu_capacity: u32, gpus: &[u32]) -> Self {
+        Self::with_memory(id, cpu_capacity, gpus, 128.0 * 1024.0)
+    }
+
+    /// Creates a server with an explicit memory capacity in MB.
+    ///
+    /// The paper's scheduler omits the memory constraint because model
+    /// footprints are far below server capacity (§3.4), but notes the
+    /// formulation "can be easily extended to cover more resource
+    /// dimensions" — this is that extension, and it matters on
+    /// memory-constrained clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_capacity` is zero or `mem_capacity_mb` is not
+    /// positive.
+    pub fn with_memory(id: ServerId, cpu_capacity: u32, gpus: &[u32], mem_capacity_mb: f64) -> Self {
+        assert!(cpu_capacity > 0, "a server needs CPU capacity");
+        assert!(
+            mem_capacity_mb > 0.0 && mem_capacity_mb.is_finite(),
+            "a server needs memory capacity"
+        );
+        Server {
+            id,
+            cpu_capacity,
+            cpu_free: cpu_capacity,
+            gpu_capacity: gpus.to_vec(),
+            gpu_free: gpus.to_vec(),
+            mem_capacity_mb,
+            mem_free_mb: mem_capacity_mb,
+            instances: 0,
+        }
+    }
+
+    /// The server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Total CPU cores.
+    pub fn cpu_capacity(&self) -> u32 {
+        self.cpu_capacity
+    }
+
+    /// Currently unallocated CPU cores.
+    pub fn cpu_free(&self) -> u32 {
+        self.cpu_free
+    }
+
+    /// Total GPU SM percentage across all devices.
+    pub fn gpu_capacity_total(&self) -> u32 {
+        self.gpu_capacity.iter().sum()
+    }
+
+    /// Currently unallocated GPU SM percentage across all devices.
+    pub fn gpu_free_total(&self) -> u32 {
+        self.gpu_free.iter().sum()
+    }
+
+    /// Total memory in MB.
+    pub fn mem_capacity_mb(&self) -> f64 {
+        self.mem_capacity_mb
+    }
+
+    /// Currently unallocated memory in MB.
+    pub fn mem_free_mb(&self) -> f64 {
+        self.mem_free_mb
+    }
+
+    /// Number of instances currently placed on this server.
+    pub fn instance_count(&self) -> usize {
+        self.instances
+    }
+
+    /// `true` if at least one instance is placed here (an *active*
+    /// server in the fragmentation metric of Fig. 17b).
+    pub fn is_active(&self) -> bool {
+        self.instances > 0
+    }
+
+    /// Checks whether `cfg` fits without allocating. A GPU share must
+    /// fit within a single device.
+    pub fn fits(&self, cfg: ResourceConfig) -> bool {
+        self.fits_with_memory(cfg, 0.0)
+    }
+
+    /// [`Self::fits`] with an additional memory demand in MB.
+    pub fn fits_with_memory(&self, cfg: ResourceConfig, mem_mb: f64) -> bool {
+        if cfg.cpu_cores() > self.cpu_free || mem_mb > self.mem_free_mb {
+            return false;
+        }
+        cfg.gpu_pct() == 0 || self.gpu_free.iter().any(|&f| f >= cfg.gpu_pct())
+    }
+
+    /// Allocates `cfg` with no memory demand; see
+    /// [`Self::allocate_with_memory`].
+    pub fn allocate(&mut self, cfg: ResourceConfig) -> Option<Placement> {
+        self.allocate_with_memory(cfg, 0.0)
+    }
+
+    /// Allocates `cfg` plus `mem_mb` MB of memory, preferring the GPU
+    /// device with the *least* sufficient free share (best-fit, to keep
+    /// large contiguous shares available). Returns `None` if the config
+    /// does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_mb` is negative or non-finite.
+    pub fn allocate_with_memory(&mut self, cfg: ResourceConfig, mem_mb: f64) -> Option<Placement> {
+        assert!(mem_mb >= 0.0 && mem_mb.is_finite(), "bad memory demand");
+        if cfg.cpu_cores() > self.cpu_free || mem_mb > self.mem_free_mb {
+            return None;
+        }
+        let gpu_index = if cfg.gpu_pct() == 0 {
+            None
+        } else {
+            let best = self
+                .gpu_free
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| f >= cfg.gpu_pct())
+                .min_by_key(|(_, &f)| f)
+                .map(|(i, _)| i)?;
+            Some(best)
+        };
+        self.cpu_free -= cfg.cpu_cores();
+        self.mem_free_mb -= mem_mb;
+        if let Some(i) = gpu_index {
+            self.gpu_free[i] -= cfg.gpu_pct();
+        }
+        self.instances += 1;
+        Some(Placement {
+            server: self.id,
+            gpu_index,
+            mem_mb,
+        })
+    }
+
+    /// Releases an allocation made by [`Self::allocate`] /
+    /// [`Self::allocate_with_memory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the release does not match an outstanding allocation
+    /// (double free, wrong server, or capacity overflow) — these are
+    /// accounting bugs that must never be ignored.
+    pub fn release(&mut self, cfg: ResourceConfig, placement: Placement) {
+        assert_eq!(placement.server, self.id, "release on the wrong server");
+        assert!(self.instances > 0, "release with no instances placed");
+        self.cpu_free += cfg.cpu_cores();
+        self.mem_free_mb = (self.mem_free_mb + placement.mem_mb).min(self.mem_capacity_mb);
+        assert!(
+            self.cpu_free <= self.cpu_capacity,
+            "CPU release exceeds capacity"
+        );
+        match (placement.gpu_index, cfg.gpu_pct()) {
+            (None, 0) => {}
+            (Some(i), pct) if pct > 0 => {
+                self.gpu_free[i] += pct;
+                assert!(
+                    self.gpu_free[i] <= self.gpu_capacity[i],
+                    "GPU release exceeds device capacity"
+                );
+            }
+            _ => panic!("placement/config GPU mismatch"),
+        }
+        self.instances -= 1;
+    }
+
+    /// Weighted free fraction `((β·cpu_free + gpu_free) / (β·C + G))`
+    /// used by the fragmentation metric; `beta` converts cores to GPU
+    /// percentage points.
+    pub fn free_fraction(&self, beta: f64) -> f64 {
+        let free = beta * f64::from(self.cpu_free) + f64::from(self.gpu_free_total());
+        let cap = beta * f64::from(self.cpu_capacity) + f64::from(self.gpu_capacity_total());
+        free / cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn server() -> Server {
+        Server::new(ServerId::new(0), 32, &[100, 100])
+    }
+
+    #[test]
+    fn allocate_and_release_restore_state() {
+        let mut s = server();
+        let cfg = ResourceConfig::new(8, 40);
+        let p = s.allocate(cfg).unwrap();
+        assert_eq!(s.cpu_free(), 24);
+        assert_eq!(s.gpu_free_total(), 160);
+        assert!(s.is_active());
+        s.release(cfg, p);
+        assert_eq!(s.cpu_free(), 32);
+        assert_eq!(s.gpu_free_total(), 200);
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn gpu_share_cannot_span_devices() {
+        let mut s = server();
+        // Fragment both GPUs down to 40% free each.
+        let a = s.allocate(ResourceConfig::new(1, 60)).unwrap();
+        let b = s.allocate(ResourceConfig::new(1, 60)).unwrap();
+        assert_eq!(s.gpu_free_total(), 80);
+        // 80% is free in total but no single device has it.
+        assert!(!s.fits(ResourceConfig::new(1, 70)));
+        assert!(s.allocate(ResourceConfig::new(1, 70)).is_none());
+        // 40% fits on either device.
+        assert!(s.fits(ResourceConfig::new(1, 40)));
+        s.release(ResourceConfig::new(1, 60), a);
+        s.release(ResourceConfig::new(1, 60), b);
+    }
+
+    #[test]
+    fn best_fit_prefers_tighter_device() {
+        let mut s = server();
+        let _a = s.allocate(ResourceConfig::new(1, 70)).unwrap(); // dev0: 30 free
+        // A 25% request should land on dev0 (30 free), not dev1 (100 free).
+        let p = s.allocate(ResourceConfig::new(1, 25)).unwrap();
+        assert_eq!(p.gpu_index(), Some(0));
+    }
+
+    #[test]
+    fn cpu_exhaustion_blocks_allocation() {
+        let mut s = server();
+        assert!(s.allocate(ResourceConfig::cpu(32)).is_some());
+        assert!(s.allocate(ResourceConfig::cpu(1)).is_none());
+        assert!(!s.fits(ResourceConfig::cpu(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong server")]
+    fn release_on_wrong_server_panics() {
+        let mut a = Server::new(ServerId::new(0), 4, &[]);
+        let mut b = Server::new(ServerId::new(1), 4, &[]);
+        let p = a.allocate(ResourceConfig::cpu(2)).unwrap();
+        b.release(ResourceConfig::cpu(2), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn double_release_panics() {
+        let mut s = Server::new(ServerId::new(0), 4, &[]);
+        let p = s.allocate(ResourceConfig::cpu(2)).unwrap();
+        s.release(ResourceConfig::cpu(2), p);
+        // Fake instance count so we hit the capacity assertion.
+        let p2 = s.allocate(ResourceConfig::cpu(1)).unwrap();
+        s.release(ResourceConfig::cpu(2), p2);
+    }
+
+    #[test]
+    fn free_fraction_spans_zero_to_one() {
+        let mut s = server();
+        assert_eq!(s.free_fraction(0.13), 1.0);
+        let cfgs = [ResourceConfig::new(16, 100), ResourceConfig::new(16, 100)];
+        for c in cfgs {
+            s.allocate(c).unwrap();
+        }
+        assert_eq!(s.free_fraction(0.13), 0.0);
+    }
+
+    #[test]
+    fn memory_constrains_allocation() {
+        let mut s = Server::with_memory(ServerId::new(0), 32, &[100], 1000.0);
+        assert!(s.fits_with_memory(ResourceConfig::cpu(1), 600.0));
+        let p = s.allocate_with_memory(ResourceConfig::cpu(1), 600.0).unwrap();
+        assert_eq!(s.mem_free_mb(), 400.0);
+        // Plenty of cores left, but not enough memory.
+        assert!(!s.fits_with_memory(ResourceConfig::cpu(1), 500.0));
+        assert!(s.allocate_with_memory(ResourceConfig::cpu(1), 500.0).is_none());
+        s.release(ResourceConfig::cpu(1), p);
+        assert_eq!(s.mem_free_mb(), 1000.0);
+        assert_eq!(p.mem_mb(), 600.0);
+    }
+
+    #[test]
+    fn default_memory_matches_table2() {
+        let s = Server::new(ServerId::new(0), 32, &[100, 100]);
+        assert_eq!(s.mem_capacity_mb(), 128.0 * 1024.0);
+        assert_eq!(s.mem_free_mb(), s.mem_capacity_mb());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory capacity")]
+    fn zero_memory_rejected() {
+        Server::with_memory(ServerId::new(0), 1, &[], 0.0);
+    }
+
+    proptest! {
+        /// Alloc/release sequences never corrupt the books: free never
+        /// exceeds capacity and everything released returns.
+        #[test]
+        fn prop_accounting_conserved(ops in prop::collection::vec((1u32..8, 0u32..60), 1..50)) {
+            let mut s = server();
+            let mut live: Vec<(ResourceConfig, Placement)> = Vec::new();
+            for (cpu, gpu) in ops {
+                let cfg = ResourceConfig::new(cpu, gpu);
+                if let Some(p) = s.allocate(cfg) {
+                    live.push((cfg, p));
+                }
+                prop_assert!(s.cpu_free() <= s.cpu_capacity());
+                prop_assert!(s.gpu_free_total() <= s.gpu_capacity_total());
+            }
+            for (cfg, p) in live.drain(..) {
+                s.release(cfg, p);
+            }
+            prop_assert_eq!(s.cpu_free(), s.cpu_capacity());
+            prop_assert_eq!(s.gpu_free_total(), s.gpu_capacity_total());
+            prop_assert_eq!(s.instance_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Whole-cluster state: a set of servers plus aggregate accounting.
+
+use infless_models::ResourceConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ids::ServerId;
+use crate::server::{Placement, Server};
+
+/// Shape of a cluster to build.
+///
+/// # Example
+///
+/// ```
+/// use infless_cluster::ClusterSpec;
+///
+/// let testbed = ClusterSpec::testbed();
+/// assert_eq!(testbed.servers, 8);
+/// let big = ClusterSpec::large(2000);
+/// assert_eq!(big.servers, 2000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of servers.
+    pub servers: usize,
+    /// CPU threads per server.
+    pub cores_per_server: u32,
+    /// Physical GPUs per server.
+    pub gpus_per_server: usize,
+    /// Memory per server, MB (Table 2: 128 GB).
+    pub mem_per_server_mb: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's Table 2 testbed: 8 machines × 32 threads × 2 GPUs ×
+    /// 128 GB.
+    pub fn testbed() -> Self {
+        ClusterSpec {
+            servers: 8,
+            cores_per_server: 32,
+            gpus_per_server: 2,
+            mem_per_server_mb: 128.0 * 1024.0,
+        }
+    }
+
+    /// The §5.3 large-scale simulation cluster with `servers` machines
+    /// of testbed shape.
+    pub fn large(servers: usize) -> Self {
+        ClusterSpec {
+            servers,
+            ..ClusterSpec::testbed()
+        }
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> ClusterState {
+        ClusterState::new(self)
+    }
+}
+
+/// Why a placement request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementError {
+    /// No server has enough free resources for the requested config.
+    InsufficientResources,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::InsufficientResources => {
+                f.write_str("no server can satisfy the requested resource configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The cluster: servers plus aggregate capacity/usage views.
+///
+/// # Example
+///
+/// ```
+/// use infless_cluster::ClusterSpec;
+/// use infless_models::ResourceConfig;
+///
+/// let mut cluster = ClusterSpec::testbed().build();
+/// let placement = cluster.allocate_anywhere(ResourceConfig::new(4, 50))?;
+/// cluster.release(ResourceConfig::new(4, 50), placement);
+/// # Ok::<(), infless_cluster::PlacementError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    servers: Vec<Server>,
+    spec: ClusterSpec,
+}
+
+impl ClusterState {
+    /// Builds a cluster from a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let gpus = vec![100u32; spec.gpus_per_server];
+        let servers = (0..spec.servers)
+            .map(|i| {
+                Server::with_memory(
+                    ServerId::new(i),
+                    spec.cores_per_server,
+                    &gpus,
+                    spec.mem_per_server_mb,
+                )
+            })
+            .collect();
+        ClusterState { servers, spec }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    /// The servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// A server by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids come from this cluster, so
+    /// an out-of-range id is a logic error).
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.raw()]
+    }
+
+    /// Mutable access to a server by id.
+    pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        &mut self.servers[id.raw()]
+    }
+
+    /// Tries to allocate `cfg` on a specific server.
+    pub fn allocate_on(
+        &mut self,
+        server: ServerId,
+        cfg: ResourceConfig,
+    ) -> Result<Placement, PlacementError> {
+        self.allocate_on_with_memory(server, cfg, 0.0)
+    }
+
+    /// [`Self::allocate_on`] with an additional memory demand in MB.
+    pub fn allocate_on_with_memory(
+        &mut self,
+        server: ServerId,
+        cfg: ResourceConfig,
+        mem_mb: f64,
+    ) -> Result<Placement, PlacementError> {
+        self.servers[server.raw()]
+            .allocate_with_memory(cfg, mem_mb)
+            .ok_or(PlacementError::InsufficientResources)
+    }
+
+    /// Allocates `cfg` on the first server that fits (first-fit). The
+    /// INFless scheduler makes its own placement choices via
+    /// [`Self::allocate_on`]; first-fit is what the simpler baselines
+    /// use.
+    pub fn allocate_anywhere(&mut self, cfg: ResourceConfig) -> Result<Placement, PlacementError> {
+        self.allocate_anywhere_with_memory(cfg, 0.0)
+    }
+
+    /// [`Self::allocate_anywhere`] with an additional memory demand.
+    pub fn allocate_anywhere_with_memory(
+        &mut self,
+        cfg: ResourceConfig,
+        mem_mb: f64,
+    ) -> Result<Placement, PlacementError> {
+        for server in &mut self.servers {
+            if let Some(p) = server.allocate_with_memory(cfg, mem_mb) {
+                return Ok(p);
+            }
+        }
+        Err(PlacementError::InsufficientResources)
+    }
+
+    /// Releases an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on accounting mismatches (see [`Server::release`]).
+    pub fn release(&mut self, cfg: ResourceConfig, placement: Placement) {
+        self.servers[placement.server().raw()].release(cfg, placement);
+    }
+
+    /// Total CPU cores in the cluster.
+    pub fn cpu_capacity(&self) -> u64 {
+        self.servers.iter().map(|s| u64::from(s.cpu_capacity())).sum()
+    }
+
+    /// CPU cores currently allocated.
+    pub fn cpu_in_use(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| u64::from(s.cpu_capacity() - s.cpu_free()))
+            .sum()
+    }
+
+    /// Total GPU SM percentage points in the cluster (100 per device).
+    pub fn gpu_capacity(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| u64::from(s.gpu_capacity_total()))
+            .sum()
+    }
+
+    /// GPU SM percentage points currently allocated.
+    pub fn gpu_in_use(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|s| u64::from(s.gpu_capacity_total() - s.gpu_free_total()))
+            .sum()
+    }
+
+    /// Weighted resources in use, `β·cpu + gpu` (the unit of the
+    /// scheduling objective, Eq. 2).
+    pub fn weighted_in_use(&self, beta: f64) -> f64 {
+        beta * self.cpu_in_use() as f64 + self.gpu_in_use() as f64
+    }
+
+    /// Total memory capacity across the cluster, MB.
+    pub fn mem_capacity_mb(&self) -> f64 {
+        self.servers.iter().map(|s| s.mem_capacity_mb()).sum()
+    }
+
+    /// Memory currently reserved across the cluster, MB.
+    pub fn mem_in_use_mb(&self) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| s.mem_capacity_mb() - s.mem_free_mb())
+            .sum()
+    }
+
+    /// Number of servers hosting at least one instance.
+    pub fn active_servers(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_active()).count()
+    }
+
+    /// The resource-fragment ratio of Fig. 17b: the mean weighted free
+    /// fraction across *active* servers (idle servers are not
+    /// fragments — they are simply off). Returns 0.0 when no server is
+    /// active.
+    pub fn fragment_ratio(&self, beta: f64) -> f64 {
+        let active: Vec<&Server> = self.servers.iter().filter(|s| s.is_active()).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().map(|s| s.free_fraction(beta)).sum::<f64>() / active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn testbed_matches_table2() {
+        let c = ClusterSpec::testbed().build();
+        assert_eq!(c.servers().len(), 8);
+        assert_eq!(c.cpu_capacity(), 8 * 32);
+        assert_eq!(c.gpu_capacity(), 8 * 2 * 100);
+        assert_eq!(c.active_servers(), 0);
+    }
+
+    #[test]
+    fn first_fit_packs_early_servers() {
+        let mut c = ClusterSpec::testbed().build();
+        let cfg = ResourceConfig::new(8, 0);
+        for _ in 0..4 {
+            let p = c.allocate_anywhere(cfg).unwrap();
+            assert_eq!(p.server(), ServerId::new(0));
+        }
+        // Server 0 is now CPU-full; next goes to server 1.
+        let p = c.allocate_anywhere(cfg).unwrap();
+        assert_eq!(p.server(), ServerId::new(1));
+        assert_eq!(c.active_servers(), 2);
+        assert_eq!(c.cpu_in_use(), 40);
+    }
+
+    #[test]
+    fn allocate_on_specific_server() {
+        let mut c = ClusterSpec::testbed().build();
+        let cfg = ResourceConfig::new(1, 30);
+        let p = c.allocate_on(ServerId::new(5), cfg).unwrap();
+        assert_eq!(p.server(), ServerId::new(5));
+        assert_eq!(c.gpu_in_use(), 30);
+        c.release(cfg, p);
+        assert_eq!(c.gpu_in_use(), 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_error() {
+        let mut c = ClusterSpec {
+            servers: 1,
+            cores_per_server: 2,
+            gpus_per_server: 0,
+            mem_per_server_mb: 1024.0,
+        }
+        .build();
+        assert!(c.allocate_anywhere(ResourceConfig::cpu(2)).is_ok());
+        let err = c.allocate_anywhere(ResourceConfig::cpu(1)).unwrap_err();
+        assert_eq!(err, PlacementError::InsufficientResources);
+        assert!(err.to_string().contains("no server"));
+    }
+
+    #[test]
+    fn fragment_ratio_counts_only_active_servers() {
+        let mut c = ClusterSpec::testbed().build();
+        assert_eq!(c.fragment_ratio(0.13), 0.0);
+        // Fill half of server 0.
+        let cfg = ResourceConfig::new(16, 100);
+        c.allocate_anywhere(cfg).unwrap();
+        let ratio = c.fragment_ratio(0.13);
+        assert!(ratio > 0.3 && ratio < 0.7, "half-full server: {ratio}");
+    }
+
+    #[test]
+    fn weighted_usage_combines_cpu_and_gpu() {
+        let mut c = ClusterSpec::testbed().build();
+        c.allocate_anywhere(ResourceConfig::new(10, 50)).unwrap();
+        let beta = 0.2;
+        assert!((c.weighted_in_use(beta) - (0.2 * 10.0 + 50.0)).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Cluster-level conservation: allocations plus frees equal capacity.
+        #[test]
+        fn prop_cluster_conservation(ops in prop::collection::vec((1u32..6, 0u32..80), 1..80)) {
+            let mut c = ClusterSpec::large(3).build();
+            let mut live = Vec::new();
+            for (cpu, gpu) in ops {
+                let cfg = ResourceConfig::new(cpu, gpu);
+                if let Ok(p) = c.allocate_anywhere(cfg) {
+                    live.push((cfg, p));
+                }
+                prop_assert!(c.cpu_in_use() <= c.cpu_capacity());
+                prop_assert!(c.gpu_in_use() <= c.gpu_capacity());
+            }
+            let expected_cpu: u64 = live.iter().map(|(c, _)| u64::from(c.cpu_cores())).sum();
+            prop_assert_eq!(c.cpu_in_use(), expected_cpu);
+            for (cfg, p) in live.drain(..) {
+                c.release(cfg, p);
+            }
+            prop_assert_eq!(c.cpu_in_use(), 0);
+            prop_assert_eq!(c.gpu_in_use(), 0);
+            prop_assert_eq!(c.active_servers(), 0);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The two evaluation applications of §5.1.
+//!
+//! * **OSVT** — online second-hand vehicle trading: SSD (object
+//!   detection), MobileNet (license recognition) and ResNet-50 (vehicle
+//!   classification), SLO 200 ms.
+//! * **Q&A robot** — TextCNN-69, LSTM-2365 and DSSM-2389 for question
+//!   understanding and answer matching, SLO 50 ms.
+
+use infless_models::ModelId;
+use infless_sim::SimDuration;
+
+use crate::engine::FunctionInfo;
+
+/// A named bundle of deployed inference functions.
+#[derive(Debug, Clone)]
+pub struct Application {
+    name: &'static str,
+    functions: Vec<FunctionInfo>,
+}
+
+impl Application {
+    /// The OSVT application (SLO 200 ms).
+    pub fn osvt() -> Self {
+        let slo = SimDuration::from_millis(200);
+        Application {
+            name: "OSVT",
+            functions: vec![
+                FunctionInfo::new(ModelId::Ssd.spec(), slo),
+                FunctionInfo::new(ModelId::MobileNet.spec(), slo),
+                FunctionInfo::new(ModelId::ResNet50.spec(), slo),
+            ],
+        }
+    }
+
+    /// The OSVT application with a custom SLO (the Fig. 12b / Fig. 18b
+    /// SLO sweeps).
+    pub fn osvt_with_slo(slo: SimDuration) -> Self {
+        let mut app = Self::osvt();
+        app.functions = app
+            .functions
+            .iter()
+            .map(|f| FunctionInfo::new(f.spec().clone(), slo))
+            .collect();
+        app
+    }
+
+    /// The Q&A robot application (SLO 50 ms).
+    pub fn qa_robot() -> Self {
+        let slo = SimDuration::from_millis(50);
+        Application {
+            name: "Q&A robot",
+            functions: vec![
+                FunctionInfo::new(ModelId::TextCnn69.spec(), slo),
+                FunctionInfo::new(ModelId::Lstm2365.spec(), slo),
+                FunctionInfo::new(ModelId::Dssm2389.spec(), slo),
+            ],
+        }
+    }
+
+    /// Both applications deployed side by side.
+    pub fn combined() -> Self {
+        let mut functions = Self::osvt().functions;
+        functions.extend(Self::qa_robot().functions);
+        Application {
+            name: "OSVT + Q&A robot",
+            functions,
+        }
+    }
+
+    /// A synthetic many-function deployment for the large-scale
+    /// simulation (Fig. 18a): `n` functions cycling through the zoo
+    /// with SLOs spread over 150–350 ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn synthetic(n: usize) -> Self {
+        assert!(n > 0, "need at least one function");
+        let zoo = ModelId::all();
+        let slos = [150u64, 200, 250, 300, 350];
+        let functions = (0..n)
+            .map(|i| {
+                FunctionInfo::new(
+                    zoo[i % zoo.len()].spec(),
+                    SimDuration::from_millis(slos[i % slos.len()]),
+                )
+            })
+            .collect();
+        Application {
+            name: "synthetic",
+            functions,
+        }
+    }
+
+    /// The application's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The deployed functions.
+    pub fn functions(&self) -> &[FunctionInfo] {
+        &self.functions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn osvt_matches_section_5_1() {
+        let app = Application::osvt();
+        let names: Vec<&str> = app.functions().iter().map(|f| f.spec().name()).collect();
+        assert_eq!(names, ["SSD", "MobileNet", "ResNet-50"]);
+        assert!(app
+            .functions()
+            .iter()
+            .all(|f| f.slo() == SimDuration::from_millis(200)));
+    }
+
+    #[test]
+    fn qa_robot_matches_section_5_1() {
+        let app = Application::qa_robot();
+        let names: Vec<&str> = app.functions().iter().map(|f| f.spec().name()).collect();
+        assert_eq!(names, ["TextCNN-69", "LSTM-2365", "DSSM-2389"]);
+        assert!(app
+            .functions()
+            .iter()
+            .all(|f| f.slo() == SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    fn combined_has_six_functions() {
+        assert_eq!(Application::combined().functions().len(), 6);
+    }
+
+    #[test]
+    fn slo_override_applies_everywhere() {
+        let app = Application::osvt_with_slo(SimDuration::from_millis(350));
+        assert!(app
+            .functions()
+            .iter()
+            .all(|f| f.slo() == SimDuration::from_millis(350)));
+    }
+
+    #[test]
+    fn synthetic_cycles_models_and_slos() {
+        let app = Application::synthetic(40);
+        assert_eq!(app.functions().len(), 40);
+        let slos: std::collections::HashSet<_> =
+            app.functions().iter().map(|f| f.slo()).collect();
+        assert!(slos.len() >= 4, "SLOs should vary");
+    }
+}

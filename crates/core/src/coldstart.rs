@@ -1,0 +1,460 @@
+//! Cold-start management: the Long-Short Term Histogram policy (§3.5)
+//! and the baselines it is evaluated against (Fig. 16).
+//!
+//! All policies observe a function's *idle times* (gaps between
+//! activity) and derive two windows:
+//!
+//! * **pre-warm window** — how long to wait after the last execution
+//!   before loading the function image in anticipation of the next
+//!   invocation;
+//! * **keep-alive window** — how long to keep the loaded image (and the
+//!   idle instances) alive.
+//!
+//! The hybrid histogram policy (HHP, Shahrad et al.) builds one
+//! histogram over a fixed tracking duration; the paper shows this is
+//! either too conservative (long duration → waste when the rate drops)
+//! or unrepresentative (short duration → misses periodicity). LSTH
+//! tracks **two** histograms — long-term (1 day) and short-term
+//! (1 hour) — and blends their heads/tails with weight `γ`.
+
+use std::collections::VecDeque;
+
+use infless_sim::stats::BinnedHistogram;
+use infless_sim::{SimDuration, SimTime};
+
+/// The head percentile used for the pre-warming window (5th).
+pub const HEAD_PERCENTILE: f64 = 0.05;
+/// The tail percentile used for the keep-alive window (99th).
+pub const TAIL_PERCENTILE: f64 = 0.99;
+/// Default LSTH blend weight (§3.5: "by default, we set γ = 0.5").
+pub const DEFAULT_GAMMA: f64 = 0.5;
+/// Minimum samples before a histogram is considered representative.
+const MIN_SAMPLES: u64 = 4;
+
+/// Pre-warm / keep-alive window pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Windows {
+    /// Wait after the last execution before re-loading the image.
+    pub pre_warm: SimDuration,
+    /// Keep the image (and idle instances) alive this long.
+    pub keep_alive: SimDuration,
+}
+
+/// A cold-start policy: observes idle times, emits windows.
+///
+/// `Send` so whole platforms can be driven from worker threads (the
+/// benchmark harness runs independent experiments in parallel).
+pub trait ColdStartPolicy: std::fmt::Debug + Send {
+    /// Records that the function was idle for `idle` ending at `now`.
+    fn record_idle(&mut self, now: SimTime, idle: SimDuration);
+
+    /// The windows to apply at `now`.
+    fn windows(&mut self, now: SimTime) -> Windows;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A time-windowed idle-time sample store that can render itself as a
+/// fixed-bin histogram (1-minute bins up to 4 hours, as in HHP).
+#[derive(Debug, Clone)]
+struct IdleTracker {
+    retention: SimDuration,
+    samples: VecDeque<(SimTime, f64)>,
+}
+
+impl IdleTracker {
+    fn new(retention: SimDuration) -> Self {
+        IdleTracker {
+            retention,
+            samples: VecDeque::new(),
+        }
+    }
+
+    fn record(&mut self, now: SimTime, idle: SimDuration) {
+        self.samples.push_back((now, idle.as_secs_f64()));
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let horizon = now.saturating_sub(self.retention);
+        while let Some(&(t, _)) = self.samples.front() {
+            if t < horizon {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn histogram(&mut self, now: SimTime) -> BinnedHistogram {
+        self.prune(now);
+        // One-minute bins spanning the tracker's own retention (HHP's
+        // 4-hour tracker gets the classic 240-bin histogram; LSTH's
+        // long-term tracker can represent day-scale idle periods).
+        let bins = ((self.retention.as_secs_f64() / 60.0).ceil() as usize).clamp(60, 1440);
+        let mut h = BinnedHistogram::new(60.0, bins);
+        for &(_, idle) in &self.samples {
+            h.add(idle);
+        }
+        h
+    }
+}
+
+/// Windows from one histogram, or `None` if it is not representative
+/// (too few samples or dominated by out-of-range idle times).
+fn histogram_windows(h: &BinnedHistogram) -> Option<Windows> {
+    if h.count() < MIN_SAMPLES || h.overflow_fraction() > 0.5 {
+        return None;
+    }
+    let head = h.quantile_lower_edge(HEAD_PERCENTILE)?;
+    let tail = h.quantile_upper_edge(TAIL_PERCENTILE)?;
+    Some(Windows {
+        pre_warm: SimDuration::from_secs_f64(head),
+        keep_alive: SimDuration::from_secs_f64(tail),
+    })
+}
+
+/// The conservative fallback: never unload within HHP's classic
+/// histogram range.
+fn conservative() -> Windows {
+    Windows {
+        pre_warm: SimDuration::ZERO,
+        keep_alive: SimDuration::from_hours(4),
+    }
+}
+
+/// The hybrid histogram policy of Shahrad et al. — the paper's baseline.
+///
+/// One histogram over a configurable tracking duration (4 hours by
+/// default); head → pre-warm, tail → keep-alive; falls back to a
+/// conservative always-warm window when the histogram is not
+/// representative.
+#[derive(Debug, Clone)]
+pub struct HybridHistogram {
+    tracker: IdleTracker,
+}
+
+impl HybridHistogram {
+    /// Creates HHP with the standard 4-hour tracking duration.
+    pub fn new() -> Self {
+        Self::with_duration(SimDuration::from_hours(4))
+    }
+
+    /// Creates HHP with a custom tracking duration.
+    pub fn with_duration(duration: SimDuration) -> Self {
+        HybridHistogram {
+            tracker: IdleTracker::new(duration),
+        }
+    }
+}
+
+impl Default for HybridHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColdStartPolicy for HybridHistogram {
+    fn record_idle(&mut self, now: SimTime, idle: SimDuration) {
+        self.tracker.record(now, idle);
+    }
+
+    fn windows(&mut self, now: SimTime) -> Windows {
+        histogram_windows(&self.tracker.histogram(now)).unwrap_or_else(conservative)
+    }
+
+    fn name(&self) -> &'static str {
+        "HHP"
+    }
+}
+
+/// The Long-Short Term Histogram policy (§3.5, Fig. 9b).
+///
+/// Tracks a long-term (default 24 h) and a short-term (default 1 h)
+/// histogram and blends their windows:
+/// `pre_warm = γ·L_head + (1−γ)·S_head`,
+/// `keep_alive = γ·L_tail + (1−γ)·S_tail`.
+///
+/// # Example
+///
+/// ```
+/// use infless_core::{ColdStartPolicy, Lsth};
+/// use infless_sim::{SimDuration, SimTime};
+///
+/// let mut lsth = Lsth::new(0.5);
+/// let mut t = SimTime::ZERO;
+/// for _ in 0..50 {
+///     t += SimDuration::from_mins(10);
+///     lsth.record_idle(t, SimDuration::from_mins(10));
+/// }
+/// let w = lsth.windows(t);
+/// // Idle gaps are consistently ~10 min: pre-warm just before, keep
+/// // alive just past.
+/// assert!(w.pre_warm <= SimDuration::from_mins(10));
+/// assert!(w.keep_alive >= SimDuration::from_mins(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lsth {
+    long: IdleTracker,
+    short: IdleTracker,
+    gamma: f64,
+}
+
+impl Lsth {
+    /// Creates LSTH with the paper's default durations (24 h long-term,
+    /// 1 h short-term — the Fig. 16 settings) and blend weight `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn new(gamma: f64) -> Self {
+        Self::with_durations(gamma, SimDuration::from_hours(24), SimDuration::from_hours(1))
+    }
+
+    /// Creates LSTH with custom tracking durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]` or `long <= short`.
+    pub fn with_durations(gamma: f64, long: SimDuration, short: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        assert!(long > short, "the long-term window must exceed the short-term one");
+        Lsth {
+            long: IdleTracker::new(long),
+            short: IdleTracker::new(short),
+            gamma,
+        }
+    }
+
+    /// The blend weight γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl ColdStartPolicy for Lsth {
+    fn record_idle(&mut self, now: SimTime, idle: SimDuration) {
+        self.long.record(now, idle);
+        self.short.record(now, idle);
+    }
+
+    fn windows(&mut self, now: SimTime) -> Windows {
+        let long = histogram_windows(&self.long.histogram(now));
+        let short = histogram_windows(&self.short.histogram(now));
+        match (long, short) {
+            (Some(l), Some(s)) => Windows {
+                pre_warm: l.pre_warm.mul_f64(self.gamma) + s.pre_warm.mul_f64(1.0 - self.gamma),
+                keep_alive: l.keep_alive.mul_f64(self.gamma)
+                    + s.keep_alive.mul_f64(1.0 - self.gamma),
+            },
+            // Only one representative histogram: trust it alone.
+            (Some(l), None) => l,
+            (None, Some(s)) => s,
+            (None, None) => conservative(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "LSTH"
+    }
+}
+
+/// The fixed keep-alive policy of OpenFaaS / commercial platforms: no
+/// pre-warming, constant keep-alive window.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedKeepAlive {
+    keep_alive: SimDuration,
+}
+
+impl FixedKeepAlive {
+    /// OpenFaaS+'s 300-second fixed window (§5.1).
+    pub fn openfaas() -> Self {
+        FixedKeepAlive {
+            keep_alive: SimDuration::from_secs(300),
+        }
+    }
+
+    /// A custom fixed window.
+    pub fn new(keep_alive: SimDuration) -> Self {
+        FixedKeepAlive { keep_alive }
+    }
+}
+
+impl ColdStartPolicy for FixedKeepAlive {
+    fn record_idle(&mut self, _now: SimTime, _idle: SimDuration) {}
+
+    fn windows(&mut self, _now: SimTime) -> Windows {
+        Windows {
+            pre_warm: SimDuration::ZERO,
+            keep_alive: self.keep_alive,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_regular(policy: &mut dyn ColdStartPolicy, gap: SimDuration, n: usize) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            t += gap;
+            policy.record_idle(t, gap);
+        }
+        t
+    }
+
+    #[test]
+    fn hhp_windows_bracket_regular_gaps() {
+        let mut hhp = HybridHistogram::new();
+        let t = feed_regular(&mut hhp, SimDuration::from_mins(20), 10);
+        let w = hhp.windows(t);
+        assert!(w.pre_warm <= SimDuration::from_mins(20));
+        assert!(w.pre_warm >= SimDuration::from_mins(15));
+        assert!(w.keep_alive >= SimDuration::from_mins(20));
+        assert!(w.keep_alive <= SimDuration::from_mins(25));
+    }
+
+    #[test]
+    fn hhp_is_conservative_without_data() {
+        let mut hhp = HybridHistogram::new();
+        let w = hhp.windows(SimTime::from_secs(10));
+        assert_eq!(w.pre_warm, SimDuration::ZERO);
+        assert_eq!(w.keep_alive, SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn hhp_is_conservative_when_gaps_exceed_range() {
+        // The histogram range is capped at 24 h even for very long
+        // retentions; gaps beyond it all land in the overflow bucket
+        // and the policy falls back to the conservative windows.
+        let mut hhp = HybridHistogram::with_duration(SimDuration::from_hours(400));
+        let t = feed_regular(&mut hhp, SimDuration::from_hours(25), 8);
+        let w = hhp.windows(t);
+        assert_eq!(w.pre_warm, SimDuration::ZERO);
+        assert_eq!(w.keep_alive, SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn long_retention_represents_day_scale_gaps() {
+        // A 24h-retention tracker (LSTH's long histogram) can express
+        // multi-hour idle periods that HHP's 4-hour range cannot.
+        let mut lsth = Lsth::with_durations(1.0, SimDuration::from_hours(48), SimDuration::from_hours(1));
+        let t = feed_regular(&mut lsth, SimDuration::from_hours(8), 6);
+        let w = lsth.windows(t);
+        assert!(w.pre_warm >= SimDuration::from_hours(7));
+        assert!(w.keep_alive >= SimDuration::from_hours(8));
+
+        let mut hhp = HybridHistogram::new();
+        let t = feed_regular(&mut hhp, SimDuration::from_hours(8), 6);
+        let w = hhp.windows(t);
+        assert_eq!(w.keep_alive, SimDuration::from_hours(4), "HHP cannot");
+    }
+
+    #[test]
+    fn hhp_forgets_old_samples() {
+        let mut hhp = HybridHistogram::new(); // 4h retention
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::from_mins(5);
+            hhp.record_idle(t, SimDuration::from_mins(5));
+        }
+        // 5 hours later, all samples aged out → conservative again.
+        let much_later = t + SimDuration::from_hours(5);
+        let w = hhp.windows(much_later);
+        assert_eq!(w.keep_alive, SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn lsth_blends_long_and_short_patterns() {
+        // Long-term history: 60-min gaps. Recent >1 hour: 4-min gaps, so
+        // the short-term (1 h) histogram holds only the 4-min pattern.
+        let mut lsth = Lsth::new(0.5);
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            t += SimDuration::from_mins(60);
+            lsth.record_idle(t, SimDuration::from_mins(60));
+        }
+        for _ in 0..16 {
+            t += SimDuration::from_mins(4);
+            lsth.record_idle(t, SimDuration::from_mins(4));
+        }
+        let w = lsth.windows(t);
+        // The pure-long keep-alive would be ~61 min; the pure-short
+        // ~5 min. The blend sits strictly between.
+        assert!(w.keep_alive > SimDuration::from_mins(10));
+        assert!(w.keep_alive < SimDuration::from_mins(55));
+    }
+
+    #[test]
+    fn lsth_gamma_extremes_follow_one_histogram() {
+        let build = |gamma: f64| {
+            let mut lsth = Lsth::new(gamma);
+            let mut t = SimTime::ZERO;
+            for _ in 0..20 {
+                t += SimDuration::from_mins(30);
+                lsth.record_idle(t, SimDuration::from_mins(30));
+            }
+            // >1 hour of 2-min gaps so the short-term histogram no
+            // longer remembers the 30-min pattern.
+            for _ in 0..35 {
+                t += SimDuration::from_mins(2);
+                lsth.record_idle(t, SimDuration::from_mins(2));
+            }
+            lsth.windows(t)
+        };
+        let long_only = build(1.0);
+        let short_only = build(0.0);
+        assert!(
+            long_only.keep_alive > short_only.keep_alive,
+            "γ=1 follows the long-term pattern, γ=0 the recent one"
+        );
+    }
+
+    #[test]
+    fn lsth_falls_back_to_long_when_short_is_empty() {
+        let mut lsth = Lsth::new(0.5);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::from_mins(30);
+            lsth.record_idle(t, SimDuration::from_mins(30));
+        }
+        // Two hours of silence: short-term histogram empties out.
+        let later = t + SimDuration::from_hours(2);
+        let w = lsth.windows(later);
+        assert!(w.keep_alive >= SimDuration::from_mins(30));
+        assert!(w.keep_alive < SimDuration::from_hours(4), "not conservative");
+    }
+
+    #[test]
+    fn fixed_policy_ignores_observations() {
+        let mut fixed = FixedKeepAlive::openfaas();
+        let t = feed_regular(&mut fixed, SimDuration::from_mins(1), 50);
+        let w = fixed.windows(t);
+        assert_eq!(w.pre_warm, SimDuration::ZERO);
+        assert_eq!(w.keep_alive, SimDuration::from_secs(300));
+        assert_eq!(fixed.name(), "fixed");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn lsth_rejects_bad_gamma() {
+        Lsth::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "long-term")]
+    fn lsth_rejects_inverted_durations() {
+        Lsth::with_durations(0.5, SimDuration::from_mins(10), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Lsth::new(0.5).name(), "LSTH");
+        assert_eq!(HybridHistogram::new().name(), "HHP");
+    }
+}

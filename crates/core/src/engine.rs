@@ -1,0 +1,794 @@
+//! Shared platform mechanics.
+//!
+//! Every platform in the reproduction — INFless and the baselines —
+//! runs on this engine so that comparisons measure *policy*, not
+//! simulation plumbing. The engine owns the cluster, the instance map
+//! and the metrics collector, and implements the mechanical parts of
+//! serving: minting requests, launching/retiring instances, filling
+//! batch queues, starting batches when they are full or timed out, and
+//! recording the latency breakdown of every completed request.
+//!
+//! Platforms drive the engine from their own event loop over
+//! [`EngineEvent`]s: arrivals go through the platform's dispatcher
+//! (that is where systems differ), everything else is handled by the
+//! engine's `on_*` methods.
+
+use std::collections::HashMap;
+
+use infless_cluster::{
+    ClusterSpec, ClusterState, FunctionId, Instance, InstanceConfig, InstanceId, PlacementError,
+    Request, RequestId, ServerId,
+};
+use infless_models::{HardwareModel, ModelSpec};
+use infless_sim::{EventQueue, SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::metrics::{Collector, StartupKind};
+
+/// A deployed inference function: its model and latency SLO (the two
+/// fields of the paper's Fig. 5 template that matter to scheduling).
+#[derive(Debug, Clone)]
+pub struct FunctionInfo {
+    spec: ModelSpec,
+    slo: SimDuration,
+    max_batch: u32,
+}
+
+impl FunctionInfo {
+    /// Creates a function deployment with no per-function batch cap
+    /// beyond the platform grid's (≤ 32).
+    pub fn new(spec: ModelSpec, slo: SimDuration) -> Self {
+        Self::with_max_batch(spec, slo, u32::MAX)
+    }
+
+    /// Creates a function deployment with a per-function batchsize cap —
+    /// the `maxBatchsize` field of the paper's Fig. 5 template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn with_max_batch(spec: ModelSpec, slo: SimDuration, max_batch: u32) -> Self {
+        assert!(max_batch >= 1, "the batch cap must be at least 1");
+        FunctionInfo {
+            spec,
+            slo,
+            max_batch,
+        }
+    }
+
+    /// The model.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The latency SLO.
+    pub fn slo(&self) -> SimDuration {
+        self.slo
+    }
+
+    /// The per-function batchsize cap.
+    pub fn max_batch(&self) -> u32 {
+        self.max_batch
+    }
+}
+
+/// A finished batch, as reported by [`Engine::on_batch_complete`].
+#[derive(Debug, Clone)]
+pub struct CompletedBatch {
+    /// The function the batch served.
+    pub function: usize,
+    /// The requests that completed.
+    pub requests: Vec<Request>,
+}
+
+/// The event vocabulary platforms schedule and consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A request for function index `usize` arrives at the gateway.
+    Arrival(usize),
+    /// A cold/pre-warmed start finished.
+    InstanceReady(InstanceId),
+    /// A batch queue's wait budget may have expired.
+    BatchTimeout(InstanceId),
+    /// A running batch finished.
+    BatchComplete(InstanceId),
+    /// Periodic auto-scaler invocation.
+    ScalerTick,
+}
+
+/// Shared serving mechanics. See the [module docs](self).
+#[derive(Debug)]
+pub struct Engine {
+    hardware: HardwareModel,
+    cluster: ClusterState,
+    functions: Vec<FunctionInfo>,
+    instances: HashMap<InstanceId, Instance>,
+    live_by_function: Vec<Vec<InstanceId>>,
+    meta: HashMap<InstanceId, InstanceMeta>,
+    in_flight: HashMap<InstanceId, InFlight>,
+    /// Active (executing) SM share per physical GPU device, for the MPS
+    /// interference model.
+    gpu_busy_pct: HashMap<(ServerId, usize), u32>,
+    next_instance: u64,
+    next_request: u64,
+    rng: StdRng,
+    beta: f64,
+    /// The metrics recorder (public so platforms can add their own
+    /// samples, e.g. fragment ratios at scaler ticks).
+    pub collector: Collector,
+    now: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InstanceMeta {
+    wait_budget: SimDuration,
+    cold: bool,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    started: SimTime,
+    exec: SimDuration,
+    batch: Vec<Request>,
+}
+
+impl Engine {
+    /// Builds an engine: cluster from `spec`, given hardware model and
+    /// function table; `seed` drives execution-time noise.
+    pub fn new(
+        platform_name: &str,
+        cluster: ClusterSpec,
+        hardware: HardwareModel,
+        functions: Vec<FunctionInfo>,
+        seed: u64,
+    ) -> Self {
+        let beta = hardware.beta();
+        let collector = Collector::new(
+            platform_name,
+            &functions
+                .iter()
+                .map(|f| (f.spec().name().to_string(), f.slo()))
+                .collect::<Vec<_>>(),
+        );
+        let n = functions.len();
+        Engine {
+            hardware,
+            cluster: cluster.build(),
+            functions,
+            instances: HashMap::new(),
+            live_by_function: vec![Vec::new(); n],
+            meta: HashMap::new(),
+            in_flight: HashMap::new(),
+            gpu_busy_pct: HashMap::new(),
+            next_instance: 0,
+            next_request: 0,
+            rng: infless_sim::rng::stream(seed, &format!("engine/{platform_name}")),
+            beta,
+            collector,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock to a popped event's timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the current instant.
+    pub fn advance(&mut self, t: SimTime) {
+        assert!(t >= self.now, "time went backwards");
+        self.now = t;
+    }
+
+    /// The hardware model.
+    pub fn hardware(&self) -> &HardwareModel {
+        &self.hardware
+    }
+
+    /// The CPU↔GPU conversion factor β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The cluster (read access; mutation goes through launch/retire or
+    /// [`Self::cluster_mut`] for schedulers that pre-allocate).
+    pub fn cluster(&self) -> &ClusterState {
+        &self.cluster
+    }
+
+    /// Mutable cluster access for schedulers that allocate during their
+    /// search (Algorithm 1 does).
+    pub fn cluster_mut(&mut self) -> &mut ClusterState {
+        &mut self.cluster
+    }
+
+    /// The function table.
+    pub fn functions(&self) -> &[FunctionInfo] {
+        &self.functions
+    }
+
+    /// Live instance ids of one function.
+    pub fn instances_of(&self, function: usize) -> &[InstanceId] {
+        &self.live_by_function[function]
+    }
+
+    /// A live instance by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance does not exist (retired or never created).
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[&id]
+    }
+
+    /// `true` if the instance is still live.
+    pub fn is_live(&self, id: InstanceId) -> bool {
+        self.instances.contains_key(&id)
+    }
+
+    /// Mints a new request for `function` arriving now.
+    pub fn mint_request(&mut self, function: usize) -> Request {
+        self.mint_request_arrived(function, self.now)
+    }
+
+    /// Mints a request whose gateway arrival predates "now" — used by
+    /// the BATCH baseline, whose on-top-of-platform buffer adds a
+    /// dispatch delay between true arrival and platform delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` lies in the future.
+    pub fn mint_request_arrived(&mut self, function: usize, arrival: SimTime) -> Request {
+        assert!(arrival <= self.now, "requests cannot arrive in the future");
+        let id = RequestId::new(self.next_request);
+        self.next_request += 1;
+        Request {
+            id,
+            function: FunctionId::new(function),
+            arrival,
+        }
+    }
+
+    /// Launches an instance whose resources were already allocated on
+    /// the cluster (the Algorithm 1 path). `wait_budget` is the batch
+    /// queueing budget (use `SimDuration::MAX` for "no timeout").
+    pub fn launch_preallocated(
+        &mut self,
+        function: usize,
+        config: InstanceConfig,
+        placement: infless_cluster::Placement,
+        startup: StartupKind,
+        wait_budget: SimDuration,
+        queue: &mut EventQueue<EngineEvent>,
+    ) -> InstanceId {
+        let delay = self.startup_delay(function, startup);
+        let id = InstanceId::new(self.next_instance);
+        self.next_instance += 1;
+        let ready_at = self.now + delay;
+        let inst = Instance::new(
+            id,
+            FunctionId::new(function),
+            config,
+            placement,
+            self.now,
+            ready_at,
+        );
+        self.instances.insert(id, inst);
+        self.live_by_function[function].push(id);
+        self.meta.insert(
+            id,
+            InstanceMeta {
+                wait_budget,
+                cold: matches!(startup, StartupKind::Cold),
+            },
+        );
+        self.collector.launch(function, config, startup);
+        let (w, c, g) = self.weights(config);
+        self.collector.usage_delta(self.now, w, c, g);
+        if ready_at > self.now {
+            queue.schedule(ready_at, EngineEvent::InstanceReady(id));
+        }
+        id
+    }
+
+    /// Allocates anywhere (first-fit) and launches — the baseline path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] when no server fits the configuration.
+    pub fn launch_anywhere(
+        &mut self,
+        function: usize,
+        config: InstanceConfig,
+        startup: StartupKind,
+        wait_budget: SimDuration,
+        queue: &mut EventQueue<EngineEvent>,
+    ) -> Result<InstanceId, PlacementError> {
+        let mem = self.hardware.instance_memory_mb(self.functions[function].spec());
+        let placement = self
+            .cluster
+            .allocate_anywhere_with_memory(config.resources(), mem)?;
+        Ok(self.launch_preallocated(function, config, placement, startup, wait_budget, queue))
+    }
+
+    /// Allocates on a specific server and launches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] when the server cannot fit the
+    /// configuration.
+    pub fn launch_on(
+        &mut self,
+        function: usize,
+        server: ServerId,
+        config: InstanceConfig,
+        startup: StartupKind,
+        wait_budget: SimDuration,
+        queue: &mut EventQueue<EngineEvent>,
+    ) -> Result<InstanceId, PlacementError> {
+        let mem = self.hardware.instance_memory_mb(self.functions[function].spec());
+        let placement = self
+            .cluster
+            .allocate_on_with_memory(server, config.resources(), mem)?;
+        Ok(self.launch_preallocated(function, config, placement, startup, wait_budget, queue))
+    }
+
+    /// Retires an idle instance, releasing its resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is busy or has queued requests — the
+    /// platform must drain before retiring.
+    pub fn retire(&mut self, id: InstanceId) {
+        let inst = self.instances.remove(&id).expect("retire of unknown instance");
+        assert!(
+            inst.queue_len() == 0 && !matches!(inst.state(), infless_cluster::InstanceState::Busy { .. }),
+            "retired an instance with work pending"
+        );
+        let function = inst.function().raw();
+        self.live_by_function[function].retain(|x| *x != id);
+        self.meta.remove(&id);
+        self.cluster.release(inst.config().resources(), inst.placement());
+        let (w, c, g) = self.weights(inst.config());
+        self.collector.usage_delta(self.now, -w, -c, -g);
+        self.collector.retire();
+    }
+
+    /// Tries to enqueue `request` on `id`; returns `false` (request not
+    /// consumed) if the pending batch is already full. On success, may
+    /// start a batch and/or schedule a timeout.
+    pub fn enqueue(
+        &mut self,
+        id: InstanceId,
+        request: Request,
+        queue: &mut EventQueue<EngineEvent>,
+    ) -> bool {
+        let now = self.now;
+        let budget = self.meta.get(&id).expect("unknown instance").wait_budget;
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        let was_empty = inst.queue_len() == 0;
+        if !inst.enqueue(request, now) {
+            return false;
+        }
+        if was_empty && budget < SimDuration::MAX {
+            queue.schedule(now + budget, EngineEvent::BatchTimeout(id));
+        }
+        if inst.batch_full() {
+            self.try_start(id, queue);
+        }
+        true
+    }
+
+    /// Handles [`EngineEvent::InstanceReady`].
+    pub fn on_instance_ready(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
+        if !self.is_live(id) {
+            return;
+        }
+        // Start immediately if a full batch (or an expired partial one)
+        // accumulated during the cold start.
+        self.try_start(id, queue);
+    }
+
+    /// Handles [`EngineEvent::BatchTimeout`].
+    pub fn on_batch_timeout(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
+        if !self.is_live(id) {
+            return;
+        }
+        self.try_start(id, queue);
+    }
+
+    /// Handles [`EngineEvent::BatchComplete`]: records the latency
+    /// breakdown of every request in the finished batch and starts the
+    /// next batch if one is waiting. Returns the served function index
+    /// and the completed requests (function-chain platforms relay them
+    /// to the next stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is in flight on `id`.
+    pub fn on_batch_complete(
+        &mut self,
+        id: InstanceId,
+        queue: &mut EventQueue<EngineEvent>,
+    ) -> CompletedBatch {
+        let fl = self.in_flight.remove(&id).expect("no batch in flight");
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        inst.complete_batch(self.now, fl.batch.len());
+        let function = inst.function().raw();
+        let config = inst.config();
+        let placement = inst.placement();
+        let batch_setting = config.batch();
+        let ready_at = inst.ready_at();
+        let was_cold = self.meta.get(&id).expect("unknown instance").cold;
+        let (w, _, _) = self.weights(config);
+        self.collector.busy_delta(self.now, -w);
+        if let Some(gpu) = placement.gpu_index() {
+            let busy = self
+                .gpu_busy_pct
+                .get_mut(&(placement.server(), gpu))
+                .expect("device was marked busy at batch start");
+            *busy -= config.resources().gpu_pct();
+        }
+        for req in &fl.batch {
+            let wait = fl.started - req.arrival;
+            let cold = if was_cold && ready_at > req.arrival {
+                (ready_at - req.arrival).min(wait)
+            } else {
+                SimDuration::ZERO
+            };
+            self.collector
+                .complete(function, wait, fl.exec, cold, batch_setting);
+        }
+        // Leftover requests may already form a startable batch.
+        self.try_start(id, queue);
+        // If a partial batch remains, re-arm its timeout.
+        let budget = self.meta.get(&id).expect("unknown instance").wait_budget;
+        let inst = &self.instances[&id];
+        if inst.queue_len() > 0 && budget < SimDuration::MAX {
+            if let Some(opened) = inst.queue_opened_at() {
+                queue.schedule(opened + budget, EngineEvent::BatchTimeout(id));
+            }
+        }
+        CompletedBatch {
+            function,
+            requests: fl.batch,
+        }
+    }
+
+    /// Records a dropped request.
+    pub fn drop_request(&mut self, request: &Request) {
+        self.collector.drop_request(request.function.raw());
+    }
+
+    /// Weighted resource cost `β·c + g` of a configuration.
+    pub fn weighted_cost(&self, config: InstanceConfig) -> f64 {
+        self.weights(config).0
+    }
+
+    /// Ends the run: freezes metrics at the current instant.
+    pub fn finish(self) -> crate::metrics::RunReport {
+        self.collector.finish(self.now)
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn weights(&self, config: InstanceConfig) -> (f64, f64, f64) {
+        let c = f64::from(config.resources().cpu_cores());
+        let g = f64::from(config.resources().gpu_pct());
+        (self.beta * c + g, c, g)
+    }
+
+    fn startup_delay(&self, function: usize, startup: StartupKind) -> SimDuration {
+        match startup {
+            StartupKind::Cold => self.hardware.cold_start(self.functions[function].spec()),
+            // Image resident: container attach + runtime init only.
+            StartupKind::PreWarmed => SimDuration::from_millis(200),
+        }
+    }
+
+    /// Starts a batch on `id` if the instance is ready and the batch is
+    /// full or past its wait budget.
+    fn try_start(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
+        let now = self.now;
+        let budget = self.meta.get(&id).expect("unknown instance").wait_budget;
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        if !inst.can_execute(now) {
+            return;
+        }
+        let deadline_passed = inst
+            .queue_opened_at()
+            .map(|t| now >= t + budget)
+            .unwrap_or(false);
+        if !(inst.batch_full() || deadline_passed) {
+            return;
+        }
+        let config = inst.config();
+        let function = inst.function().raw();
+        let len = (inst.queue_len()).min(config.batch() as usize) as u32;
+        debug_assert!(len >= 1);
+        let spec = self.functions[function].spec().clone();
+        let mut exec = self
+            .hardware
+            .model_latency_noisy(&spec, len, config.resources(), &mut self.rng);
+        // MPS interference: co-resident *active* SM share on the same
+        // physical device slows this batch down (shared memory
+        // bandwidth / L2 behind the SM partitioning).
+        let placement = self.instances[&id].placement();
+        if let Some(gpu) = placement.gpu_index() {
+            let key = (placement.server(), gpu);
+            let others = self.gpu_busy_pct.get(&key).copied().unwrap_or(0);
+            let k = self.hardware.calibration().mps_interference;
+            exec = exec.mul_f64(1.0 + k * f64::from(others) / 100.0);
+            *self.gpu_busy_pct.entry(key).or_insert(0) += config.resources().gpu_pct();
+        }
+        let until = now + exec;
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        let batch = inst.begin_batch(now, until);
+        let (w, _, _) = self.weights(config);
+        self.collector.busy_delta(now, w);
+        self.in_flight.insert(
+            id,
+            InFlight {
+                started: now,
+                exec,
+                batch,
+            },
+        );
+        queue.schedule(until, EngineEvent::BatchComplete(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infless_models::{ModelId, ResourceConfig};
+
+    fn engine() -> (Engine, EventQueue<EngineEvent>) {
+        let functions = vec![FunctionInfo::new(
+            ModelId::MobileNet.spec(),
+            SimDuration::from_millis(50),
+        )];
+        (
+            Engine::new(
+                "test",
+                ClusterSpec::testbed(),
+                HardwareModel::default(),
+                functions,
+                1,
+            ),
+            EventQueue::new(),
+        )
+    }
+
+    fn cfg() -> InstanceConfig {
+        InstanceConfig::new(4, ResourceConfig::new(1, 10))
+    }
+
+    /// Drains engine-handled events, returning completed request counts.
+    fn drain(engine: &mut Engine, queue: &mut EventQueue<EngineEvent>) {
+        while let Some((t, ev)) = queue.pop() {
+            engine.advance(t);
+            match ev {
+                EngineEvent::InstanceReady(id) => engine.on_instance_ready(id, queue),
+                EngineEvent::BatchTimeout(id) => engine.on_batch_timeout(id, queue),
+                EngineEvent::BatchComplete(id) => {
+                    engine.on_batch_complete(id, queue);
+                }
+                EngineEvent::Arrival(_) | EngineEvent::ScalerTick => {}
+            }
+        }
+    }
+
+    #[test]
+    fn full_batch_executes_immediately() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::from_millis(30), &mut queue)
+            .unwrap();
+        // Let the instance become ready (200ms prewarmed start).
+        drain(&mut engine, &mut queue);
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 4);
+        assert_eq!(report.functions[0].per_batch_completed[&4], 4);
+    }
+
+    #[test]
+    fn partial_batch_waits_for_timeout() {
+        let (mut engine, mut queue) = engine();
+        let budget = SimDuration::from_millis(30);
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, budget, &mut queue)
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        let t0 = engine.now();
+        let req = engine.mint_request(0);
+        engine.enqueue(id, req, &mut queue);
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 1);
+        // The lone request waited out the full budget before executing.
+        let queue_ms = report.functions[0].queue_ms.mean();
+        assert!(
+            (queue_ms - budget.as_millis_f64()).abs() < 1.0,
+            "queue {queue_ms}ms vs budget {budget}"
+        );
+        let _ = t0;
+    }
+
+    #[test]
+    fn cold_start_is_attributed_to_requests() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::Cold, SimDuration::from_millis(30), &mut queue)
+            .unwrap();
+        // Request arrives while the instance is still starting.
+        let req = engine.mint_request(0);
+        engine.enqueue(id, req, &mut queue);
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 1);
+        assert_eq!(report.functions[0].cold_requests, 1);
+        assert!(report.functions[0].cold_ms.mean() > 1000.0, "cold start is seconds");
+        assert_eq!(report.cold_launches, 1);
+    }
+
+    #[test]
+    fn overflow_requests_are_rejected() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::Cold, SimDuration::MAX, &mut queue)
+            .unwrap();
+        // Instance is cold: queue fills to one batch, fifth drops.
+        for i in 0..5 {
+            let req = engine.mint_request(0);
+            let accepted = engine.enqueue(id, req, &mut queue);
+            assert_eq!(accepted, i < 4, "request {i}");
+            if !accepted {
+                engine.drop_request(&req);
+            }
+        }
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 4);
+        assert_eq!(report.total_dropped(), 1);
+    }
+
+    #[test]
+    fn retire_releases_resources() {
+        let (mut engine, mut queue) = engine();
+        let before = engine.cluster().cpu_in_use();
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::MAX, &mut queue)
+            .unwrap();
+        assert!(engine.cluster().cpu_in_use() > before);
+        drain(&mut engine, &mut queue);
+        engine.retire(id);
+        assert_eq!(engine.cluster().cpu_in_use(), before);
+        assert!(!engine.is_live(id));
+        let report = engine.finish();
+        assert_eq!(report.retirements, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "work pending")]
+    fn retiring_with_queued_work_panics() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::Cold, SimDuration::MAX, &mut queue)
+            .unwrap();
+        let req = engine.mint_request(0);
+        engine.enqueue(id, req, &mut queue);
+        engine.retire(id);
+    }
+
+    #[test]
+    fn usage_accounting_tracks_lifetime() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::MAX, &mut queue)
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        // Hold for 10 virtual seconds, then retire.
+        engine.advance(SimTime::from_secs(10));
+        engine.retire(id);
+        engine.advance(SimTime::from_secs(20));
+        let beta = engine.beta();
+        let report = engine.finish();
+        let expected = (beta * 1.0 + 10.0) * 10.0;
+        assert!(
+            (report.weighted_resource_seconds - expected).abs() / expected < 0.05,
+            "usage {} vs expected {expected}",
+            report.weighted_resource_seconds
+        );
+    }
+
+    #[test]
+    fn colocated_gpu_batches_interfere() {
+        // Two instances sharing one physical GPU: a batch started while
+        // the neighbour executes runs slower than one started alone.
+        let functions = vec![FunctionInfo::new(
+            ModelId::ResNet50.spec(),
+            SimDuration::from_millis(500),
+        )];
+        let cluster = ClusterSpec {
+            servers: 1,
+            cores_per_server: 8,
+            gpus_per_server: 1,
+            mem_per_server_mb: 128.0 * 1024.0,
+        };
+        let mut engine = Engine::new("t", cluster, HardwareModel::default(), functions, 2);
+        let mut queue = EventQueue::new();
+        let cfg = InstanceConfig::new(8, ResourceConfig::new(1, 40));
+        let a = engine
+            .launch_anywhere(0, cfg, StartupKind::PreWarmed, SimDuration::MAX, &mut queue)
+            .unwrap();
+        let b = engine
+            .launch_anywhere(0, cfg, StartupKind::PreWarmed, SimDuration::MAX, &mut queue)
+            .unwrap();
+        // Let both become ready.
+        while let Some((t, ev)) = queue.pop() {
+            engine.advance(t);
+            if let EngineEvent::InstanceReady(id) = ev {
+                engine.on_instance_ready(id, &mut queue);
+            }
+        }
+        // Fill instance A; it starts immediately (solo on the device).
+        for _ in 0..8 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(a, req, &mut queue));
+        }
+        let (t_a_done, _) = queue.peek_time().map(|t| (t, ())).unwrap();
+        let solo_exec = t_a_done - engine.now();
+        // Fill instance B while A executes: B starts co-located.
+        for _ in 0..8 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(b, req, &mut queue));
+        }
+        // Find B's completion event time.
+        let start = engine.now();
+        let mut done = Vec::new();
+        while let Some((t, ev)) = queue.pop() {
+            engine.advance(t);
+            if let EngineEvent::BatchComplete(id) = ev {
+                engine.on_batch_complete(id, &mut queue);
+                done.push((id, t));
+            }
+        }
+        let b_done = done.iter().find(|(id, _)| *id == b).unwrap().1;
+        let colocated_exec = b_done - start;
+        assert!(
+            colocated_exec.as_secs_f64() > solo_exec.as_secs_f64() * 1.02,
+            "co-located batch should run slower: solo {solo_exec} vs {colocated_exec}"
+        );
+        // And the device book-keeping drains back to zero.
+        let req = engine.mint_request(0);
+        assert!(engine.enqueue(a, req, &mut queue));
+    }
+
+    #[test]
+    fn next_batch_starts_after_completion() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::from_millis(5), &mut queue)
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        // Two full batches' worth of requests: 4 execute, 4 queue behind.
+        for _ in 0..8 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 8);
+        assert_eq!(report.functions[0].per_batch_completed[&4], 8);
+    }
+}

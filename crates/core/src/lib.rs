@@ -1,0 +1,76 @@
+//! The INFless contribution: a native serverless inference platform.
+//!
+//! This crate implements everything inside the dashed box of the paper's
+//! Fig. 4, running against the simulated substrates of the sibling
+//! crates:
+//!
+//! * [`batching`] — built-in, non-uniform batching (§3.2): the
+//!   per-instance feasible arrival-rate window of Eq. 1 and the
+//!   three-case dispatch-rate controller with hysteresis constant `α`.
+//! * [`predictor`] — Combined Operator Profiling (§3.3): predicts batch
+//!   execution time for any `⟨b, c, g⟩` by combining per-operator
+//!   profiles along the model DAG, inflated by a safety offset.
+//! * [`scheduler`] — Algorithm 1 (§3.4): the greedy largest-batch-first
+//!   search with the resource-efficiency placement metric of Eq. 10.
+//! * [`coldstart`] — the Long-Short Term Histogram policy (§3.5) plus
+//!   the hybrid-histogram (HHP) and fixed-window baselines it is
+//!   evaluated against.
+//! * [`engine`] / [`metrics`] — the shared platform mechanics (instance
+//!   lifecycle, batch queues, request accounting) used by INFless *and*
+//!   by the baseline platforms in `infless-baselines`, so every system
+//!   is compared on identical machinery.
+//! * [`platform`] — [`InflessPlatform`]: the full event loop tying the
+//!   pieces together (batch-aware dispatcher, auto-scaling engine,
+//!   cold-start manager).
+//! * [`apps`] — the two evaluation applications of §5.1: online
+//!   second-hand vehicle trading (OSVT, SLO 200 ms) and the Q&A robot
+//!   (SLO 50 ms).
+//!
+//! # Example
+//!
+//! ```
+//! use infless_core::apps::Application;
+//! use infless_core::platform::{InflessConfig, InflessPlatform};
+//! use infless_cluster::ClusterSpec;
+//! use infless_sim::SimDuration;
+//! use infless_workload::{FunctionLoad, Workload};
+//!
+//! let app = Application::qa_robot();
+//! let loads: Vec<FunctionLoad> = app
+//!     .functions()
+//!     .iter()
+//!     .map(|_| FunctionLoad::constant(30.0, SimDuration::from_secs(20)))
+//!     .collect();
+//! let workload = Workload::build(&loads, 7);
+//!
+//! let mut platform = InflessPlatform::new(
+//!     ClusterSpec::testbed(),
+//!     app.functions().to_vec(),
+//!     InflessConfig::default(),
+//!     7,
+//! );
+//! let report = platform.run(&workload);
+//! assert!(report.total_completed() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod batching;
+pub mod chains;
+pub mod coldstart;
+pub mod engine;
+pub mod metrics;
+pub mod platform;
+pub mod predictor;
+pub mod scheduler;
+
+pub use batching::RpsWindow;
+pub use chains::{ChainReport, ChainSpec, ChainSplit};
+pub use coldstart::{ColdStartPolicy, FixedKeepAlive, HybridHistogram, Lsth, Windows};
+pub use engine::{Engine, EngineEvent, FunctionInfo};
+pub use metrics::{FunctionReport, RunReport, StartupKind};
+pub use platform::{InflessConfig, InflessPlatform};
+pub use predictor::CopPredictor;
+pub use scheduler::{PlacementStrategy, ScheduledInstance, Scheduler, SchedulerConfig};

@@ -1,0 +1,503 @@
+//! Run-level measurement: everything the paper's figures need.
+//!
+//! A [`Collector`] records events while a platform runs; calling
+//! [`Collector::finish`] freezes it into a [`RunReport`] with the
+//! derived metrics (SLO violation rate, throughput per unit of
+//! resource, cold-start rate, fragment statistics, …).
+
+use std::collections::HashMap;
+
+use infless_cluster::InstanceConfig;
+use infless_sim::stats::{Samples, TimeWeighted, Welford};
+use infless_sim::{SimDuration, SimTime};
+
+/// How an instance came up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StartupKind {
+    /// Full cold start: container boot + model load.
+    Cold,
+    /// The image was pre-warmed (or already resident): fast attach.
+    PreWarmed,
+}
+
+/// Per-function results.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function display name (model name in the evaluation apps).
+    pub name: String,
+    /// The latency SLO.
+    pub slo: SimDuration,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped (no instance could accept them).
+    pub dropped: u64,
+    /// Completed requests whose end-to-end latency exceeded the SLO.
+    pub violations: u64,
+    /// Completed requests that experienced a cold-start wait.
+    pub cold_requests: u64,
+    /// End-to-end latency of completed requests, milliseconds.
+    pub latency_ms: Samples,
+    /// Batch-queueing component (ms).
+    pub queue_ms: Welford,
+    /// Execution component (ms).
+    pub exec_ms: Welford,
+    /// Cold-start component (ms).
+    pub cold_ms: Welford,
+    /// Completed requests per serving-instance batchsize (Fig. 13a/b).
+    pub per_batch_completed: HashMap<u32, u64>,
+}
+
+impl FunctionReport {
+    fn new(name: String, slo: SimDuration) -> Self {
+        FunctionReport {
+            name,
+            slo,
+            completed: 0,
+            dropped: 0,
+            violations: 0,
+            cold_requests: 0,
+            latency_ms: Samples::new(),
+            queue_ms: Welford::new(),
+            exec_ms: Welford::new(),
+            cold_ms: Welford::new(),
+            per_batch_completed: HashMap::new(),
+        }
+    }
+
+    /// SLO violation rate counting drops as violations, in `[0, 1]`.
+    pub fn violation_rate(&self) -> f64 {
+        let total = self.completed + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            (self.violations + self.dropped) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of completed requests that experienced a cold start.
+    pub fn cold_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.cold_requests as f64 / self.completed as f64
+        }
+    }
+}
+
+/// The frozen result of one platform run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Platform name ("INFless", "OpenFaaS+", "BATCH", …).
+    pub platform: String,
+    /// Per-function results.
+    pub functions: Vec<FunctionReport>,
+    /// Simulated span of the run.
+    pub duration: SimDuration,
+    /// Instances launched in total.
+    pub launches: u64,
+    /// Launches that paid a full cold start.
+    pub cold_launches: u64,
+    /// Launches served from a pre-warmed image.
+    pub prewarmed_launches: u64,
+    /// Instances retired.
+    pub retirements: u64,
+    /// ∫ (β·cpu + gpu) allocated dt, in weighted-resource · seconds.
+    pub weighted_resource_seconds: f64,
+    /// ∫ over instances that were allocated but not executing.
+    pub weighted_idle_seconds: f64,
+    /// ∫ CPU cores allocated dt (core·s).
+    pub cpu_core_seconds: f64,
+    /// ∫ GPU SM-percent allocated dt (pct·s).
+    pub gpu_pct_seconds: f64,
+    /// Fragment-ratio samples taken at scaler ticks (Fig. 17b).
+    pub fragment_samples: Samples,
+    /// Wall-clock scheduling overhead per `Schedule()` call, µs
+    /// (Fig. 17a).
+    pub sched_overhead_us: Samples,
+    /// `(t seconds, weighted resources allocated)` timeline (Fig. 14).
+    pub provisioning: Vec<(f64, f64)>,
+    /// Instances launched per (function, config) — Fig. 13c.
+    pub config_launches: HashMap<(usize, InstanceConfig), u64>,
+    /// End-to-end results per declared function chain (empty unless the
+    /// platform was built with chains).
+    pub chains: Vec<crate::chains::ChainReport>,
+}
+
+impl RunReport {
+    /// Total completed requests.
+    pub fn total_completed(&self) -> u64 {
+        self.functions.iter().map(|f| f.completed).sum()
+    }
+
+    /// Total dropped requests.
+    pub fn total_dropped(&self) -> u64 {
+        self.functions.iter().map(|f| f.dropped).sum()
+    }
+
+    /// Overall SLO violation rate (drops count as violations).
+    pub fn violation_rate(&self) -> f64 {
+        let total: u64 = self
+            .functions
+            .iter()
+            .map(|f| f.completed + f.dropped)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let bad: u64 = self
+            .functions
+            .iter()
+            .map(|f| f.violations + f.dropped)
+            .sum();
+        bad as f64 / total as f64
+    }
+
+    /// Completed requests that met their SLO, per second of simulated
+    /// time (the "maximum RPS achieved" of Fig. 11).
+    pub fn goodput_rps(&self) -> f64 {
+        let good: u64 = self
+            .functions
+            .iter()
+            .map(|f| f.completed - f.violations)
+            .sum();
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            good as f64 / secs
+        }
+    }
+
+    /// Completed requests per weighted-resource-second — the
+    /// "throughput per unit of resource" of Figs. 12 and 18.
+    pub fn throughput_per_resource(&self) -> f64 {
+        if self.weighted_resource_seconds == 0.0 {
+            0.0
+        } else {
+            self.total_completed() as f64 / self.weighted_resource_seconds
+        }
+    }
+
+    /// Fraction of completed requests that experienced a cold start.
+    pub fn cold_request_rate(&self) -> f64 {
+        let completed = self.total_completed();
+        if completed == 0 {
+            return 0.0;
+        }
+        let cold: u64 = self.functions.iter().map(|f| f.cold_requests).sum();
+        cold as f64 / completed as f64
+    }
+
+    /// Fraction of launches that paid a full cold start.
+    pub fn cold_launch_rate(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.cold_launches as f64 / self.launches as f64
+        }
+    }
+
+    /// Average CPU cores held per 100 completed RPS (Table 4).
+    pub fn cpus_per_100rps(&self) -> f64 {
+        let rps = self.total_completed() as f64 / self.duration.as_secs_f64().max(1e-9);
+        if rps == 0.0 {
+            return 0.0;
+        }
+        (self.cpu_core_seconds / self.duration.as_secs_f64().max(1e-9)) / rps * 100.0
+    }
+
+    /// Average full GPUs held per 100 completed RPS (Table 4).
+    pub fn gpus_per_100rps(&self) -> f64 {
+        let rps = self.total_completed() as f64 / self.duration.as_secs_f64().max(1e-9);
+        if rps == 0.0 {
+            return 0.0;
+        }
+        (self.gpu_pct_seconds / 100.0 / self.duration.as_secs_f64().max(1e-9)) / rps * 100.0
+    }
+}
+
+/// The mutable recorder a running platform writes into.
+#[derive(Debug)]
+pub struct Collector {
+    platform: String,
+    functions: Vec<FunctionReport>,
+    launches: u64,
+    cold_launches: u64,
+    prewarmed_launches: u64,
+    retirements: u64,
+    weighted_usage: TimeWeighted,
+    weighted_busy: TimeWeighted,
+    cpu_usage: TimeWeighted,
+    gpu_usage: TimeWeighted,
+    fragment_samples: Samples,
+    sched_overhead_us: Samples,
+    provisioning: Vec<(f64, f64)>,
+    config_launches: HashMap<(usize, InstanceConfig), u64>,
+}
+
+impl Collector {
+    /// Creates a collector for `platform` covering the given functions
+    /// (`(name, slo)` pairs).
+    pub fn new(platform: impl Into<String>, functions: &[(String, SimDuration)]) -> Self {
+        Collector {
+            platform: platform.into(),
+            functions: functions
+                .iter()
+                .map(|(n, slo)| FunctionReport::new(n.clone(), *slo))
+                .collect(),
+            launches: 0,
+            cold_launches: 0,
+            prewarmed_launches: 0,
+            retirements: 0,
+            weighted_usage: TimeWeighted::new(),
+            weighted_busy: TimeWeighted::new(),
+            cpu_usage: TimeWeighted::new(),
+            gpu_usage: TimeWeighted::new(),
+            fragment_samples: Samples::new(),
+            sched_overhead_us: Samples::new(),
+            provisioning: Vec::new(),
+            config_launches: HashMap::new(),
+        }
+    }
+
+    /// Records a completed request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        function: usize,
+        queue: SimDuration,
+        exec: SimDuration,
+        cold: SimDuration,
+        batch_setting: u32,
+    ) {
+        let f = &mut self.functions[function];
+        let latency = queue + exec;
+        f.completed += 1;
+        f.latency_ms.add(latency.as_millis_f64());
+        f.queue_ms.add((queue - cold).as_millis_f64());
+        f.exec_ms.add(exec.as_millis_f64());
+        f.cold_ms.add(cold.as_millis_f64());
+        if latency > f.slo {
+            f.violations += 1;
+        }
+        if !cold.is_zero() {
+            f.cold_requests += 1;
+        }
+        *f.per_batch_completed.entry(batch_setting).or_insert(0) += 1;
+    }
+
+    /// Records a dropped request.
+    pub fn drop_request(&mut self, function: usize) {
+        self.functions[function].dropped += 1;
+    }
+
+    /// Records an instance launch.
+    pub fn launch(&mut self, function: usize, config: InstanceConfig, kind: StartupKind) {
+        self.launches += 1;
+        match kind {
+            StartupKind::Cold => self.cold_launches += 1,
+            StartupKind::PreWarmed => self.prewarmed_launches += 1,
+        }
+        *self.config_launches.entry((function, config)).or_insert(0) += 1;
+    }
+
+    /// Records an instance retirement.
+    pub fn retire(&mut self) {
+        self.retirements += 1;
+    }
+
+    /// Adjusts the allocated-resource step functions at time `t`.
+    pub fn usage_delta(&mut self, t: SimTime, weighted: f64, cpu: f64, gpu: f64) {
+        self.weighted_usage.add(t, weighted);
+        self.cpu_usage.add(t, cpu);
+        self.gpu_usage.add(t, gpu);
+    }
+
+    /// Adjusts the busy-resource step function at time `t` (instances
+    /// actively executing a batch).
+    pub fn busy_delta(&mut self, t: SimTime, weighted: f64) {
+        self.weighted_busy.add(t, weighted);
+    }
+
+    /// Samples the cluster fragment ratio.
+    pub fn fragment_sample(&mut self, ratio: f64) {
+        self.fragment_samples.add(ratio);
+    }
+
+    /// Records the wall-clock cost of one `Schedule()` invocation.
+    pub fn sched_overhead(&mut self, micros: f64) {
+        self.sched_overhead_us.add(micros);
+    }
+
+    /// Appends a provisioning-timeline point.
+    pub fn provision_point(&mut self, t: SimTime, weighted_in_use: f64) {
+        self.provisioning.push((t.as_secs_f64(), weighted_in_use));
+    }
+
+    /// Current allocated weighted resources (step-function value).
+    pub fn current_weighted_usage(&self) -> f64 {
+        self.weighted_usage.current()
+    }
+
+    /// Freezes the collector into a report covering `[0, end]`.
+    pub fn finish(mut self, end: SimTime) -> RunReport {
+        // Pre-sort the latency samples so report consumers read
+        // quantiles as index lookups.
+        for f in &mut self.functions {
+            f.latency_ms.sort();
+        }
+        let usage = self.weighted_usage.integral_until(end);
+        let busy = self.weighted_busy.integral_until(end);
+        RunReport {
+            platform: self.platform,
+            functions: self.functions,
+            duration: end - SimTime::ZERO,
+            launches: self.launches,
+            cold_launches: self.cold_launches,
+            prewarmed_launches: self.prewarmed_launches,
+            retirements: self.retirements,
+            weighted_resource_seconds: usage,
+            weighted_idle_seconds: (usage - busy).max(0.0),
+            cpu_core_seconds: self.cpu_usage.integral_until(end),
+            gpu_pct_seconds: self.gpu_usage.integral_until(end),
+            fragment_samples: self.fragment_samples,
+            sched_overhead_us: self.sched_overhead_us,
+            provisioning: self.provisioning,
+            config_launches: self.config_launches,
+            chains: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infless_models::ResourceConfig;
+
+    fn collector() -> Collector {
+        Collector::new(
+            "test",
+            &[
+                ("a".to_string(), SimDuration::from_millis(100)),
+                ("b".to_string(), SimDuration::from_millis(50)),
+            ],
+        )
+    }
+
+    #[test]
+    fn completion_classifies_violations() {
+        let mut c = collector();
+        c.complete(
+            0,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(40),
+            SimDuration::ZERO,
+            4,
+        ); // 70ms <= 100ms: ok
+        c.complete(
+            0,
+            SimDuration::from_millis(90),
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(50),
+            4,
+        ); // 130ms > 100ms: violation, cold
+        let r = c.finish(SimTime::from_secs(10));
+        let f = &r.functions[0];
+        assert_eq!(f.completed, 2);
+        assert_eq!(f.violations, 1);
+        assert_eq!(f.cold_requests, 1);
+        assert_eq!(f.violation_rate(), 0.5);
+        assert_eq!(f.cold_rate(), 0.5);
+        assert_eq!(f.per_batch_completed[&4], 2);
+    }
+
+    #[test]
+    fn drops_count_as_violations() {
+        let mut c = collector();
+        c.complete(
+            1,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            1,
+        );
+        c.drop_request(1);
+        let r = c.finish(SimTime::from_secs(1));
+        assert_eq!(r.total_dropped(), 1);
+        assert_eq!(r.violation_rate(), 0.5);
+    }
+
+    #[test]
+    fn resource_integrals_and_throughput() {
+        let mut c = collector();
+        c.usage_delta(SimTime::ZERO, 10.0, 2.0, 20.0);
+        c.usage_delta(SimTime::from_secs(5), -10.0, -2.0, -20.0);
+        for _ in 0..50 {
+            c.complete(
+                0,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(1),
+                SimDuration::ZERO,
+                1,
+            );
+        }
+        let r = c.finish(SimTime::from_secs(10));
+        assert_eq!(r.weighted_resource_seconds, 50.0);
+        assert_eq!(r.cpu_core_seconds, 10.0);
+        assert_eq!(r.gpu_pct_seconds, 100.0);
+        assert_eq!(r.throughput_per_resource(), 1.0);
+        assert_eq!(r.goodput_rps(), 5.0);
+    }
+
+    #[test]
+    fn idle_is_usage_minus_busy() {
+        let mut c = collector();
+        c.usage_delta(SimTime::ZERO, 4.0, 0.0, 0.0);
+        c.busy_delta(SimTime::from_secs(2), 4.0);
+        c.busy_delta(SimTime::from_secs(4), -4.0);
+        let r = c.finish(SimTime::from_secs(10));
+        assert_eq!(r.weighted_resource_seconds, 40.0);
+        assert_eq!(r.weighted_idle_seconds, 32.0);
+    }
+
+    #[test]
+    fn launch_kinds_are_tallied() {
+        let mut c = collector();
+        let cfg = InstanceConfig::new(4, ResourceConfig::new(1, 10));
+        c.launch(0, cfg, StartupKind::Cold);
+        c.launch(0, cfg, StartupKind::PreWarmed);
+        c.launch(1, cfg, StartupKind::Cold);
+        c.retire();
+        let r = c.finish(SimTime::from_secs(1));
+        assert_eq!(r.launches, 3);
+        assert_eq!(r.cold_launches, 2);
+        assert_eq!(r.prewarmed_launches, 1);
+        assert_eq!(r.retirements, 1);
+        assert!((r.cold_launch_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.config_launches[&(0, cfg)], 2);
+    }
+
+    #[test]
+    fn table4_unit_math() {
+        // 10 cores and 1.5 GPUs held for the whole run at 50 completed RPS.
+        let mut c = collector();
+        c.usage_delta(SimTime::ZERO, 0.0, 10.0, 150.0);
+        for _ in 0..500 {
+            c.complete(0, SimDuration::ZERO, SimDuration::from_millis(1), SimDuration::ZERO, 1);
+        }
+        let r = c.finish(SimTime::from_secs(10));
+        assert!((r.cpus_per_100rps() - 20.0).abs() < 1e-9);
+        assert!((r.gpus_per_100rps() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = collector().finish(SimTime::from_secs(1));
+        assert_eq!(r.total_completed(), 0);
+        assert_eq!(r.violation_rate(), 0.0);
+        assert_eq!(r.goodput_rps(), 0.0);
+        assert_eq!(r.throughput_per_resource(), 0.0);
+        assert_eq!(r.cold_request_rate(), 0.0);
+        assert_eq!(r.cold_launch_rate(), 0.0);
+    }
+}

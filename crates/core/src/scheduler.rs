@@ -1,0 +1,546 @@
+//! The greedy SLO-aware scheduler — Algorithm 1 of §3.4.
+//!
+//! Given the residual request rate of a function, the scheduler
+//! repeatedly creates one instance at a time: it tries batchsizes in
+//! descending order (batching contributes most to throughput), collects
+//! every resource configuration whose *predicted* execution time keeps
+//! the SLO feasible (`AvailableConfig`), and then jointly picks the
+//! configuration and the server maximizing the resource-efficiency
+//! metric of Eq. 10:
+//!
+//! ```text
+//! e_ij = (r_up / (β·c + g)) / (1 − (β·c + g) / (β·C_j + G_j))
+//! ```
+//!
+//! — throughput per unit of hybrid resource, divided by the fragment the
+//! placement would leave on server `j` (`C_j`, `G_j` are the server's
+//! *free* resources). A placement that exactly fills a server leaves no
+//! fragment and is preferred unconditionally.
+
+use infless_cluster::{ClusterState, InstanceConfig, Placement, ServerId};
+use infless_models::{ModelSpec, ResourceConfig};
+use infless_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::batching::RpsWindow;
+use crate::engine::FunctionInfo;
+use crate::predictor::CopPredictor;
+
+/// How the scheduler chooses the server (and, for the ablations, the
+/// configuration) for each new instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// The paper's joint config/server choice by Eq. 10.
+    Efficiency,
+    /// Ablation (RS off, Fig. 11): pick the configuration with the
+    /// highest absolute throughput `r_up`, place it first-fit —
+    /// fragmentation-oblivious.
+    MaxThroughput,
+    /// Ablation: first feasible configuration on the first fitting
+    /// server.
+    FirstFit,
+}
+
+/// Scheduler knobs (§3.4 defaults plus ablation switches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Server/config selection strategy.
+    pub placement: PlacementStrategy,
+    /// Try batchsizes in descending order (the paper's choice). The
+    /// greedy-order ablation flips this.
+    pub largest_batch_first: bool,
+    /// Cap on the batchsizes considered (1 disables batching — the
+    /// "BB off" ablation of Fig. 11).
+    pub max_batch: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            placement: PlacementStrategy::Efficiency,
+            largest_batch_first: true,
+            max_batch: u32::MAX,
+        }
+    }
+}
+
+/// One instance the scheduler decided to launch (resources already
+/// allocated on the cluster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledInstance {
+    /// Batchsize and resources.
+    pub config: InstanceConfig,
+    /// The chosen server.
+    pub server: ServerId,
+    /// The resource allocation made on the cluster (release it when the
+    /// instance retires).
+    pub placement: Placement,
+    /// The feasible arrival-rate window (Eq. 1) under the predicted
+    /// execution time.
+    pub window: RpsWindow,
+    /// The COP-predicted batch execution time.
+    pub predicted_exec: SimDuration,
+}
+
+/// The result of one scheduling round.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScheduleOutcome {
+    /// Instances created, in creation order.
+    pub instances: Vec<ScheduledInstance>,
+    /// Residual RPS that could not be placed (cluster exhausted or no
+    /// feasible configuration) — the paper's simulator reports this as
+    /// unserved load.
+    pub unplaced_rps: f64,
+}
+
+/// The Algorithm 1 scheduler. Stateless apart from its configuration;
+/// each call works against the predictor and mutates the cluster's
+/// resource accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given knobs.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SchedulerConfig {
+        self.config
+    }
+
+    /// `Schedule(R_k, B, M, t_slo)`: creates instances for `residual_rps`
+    /// of `function`, allocating on `cluster`. The batchsize set `B` is
+    /// the profiled grid capped by both the scheduler's ablation switch
+    /// and the function's own `maxBatchsize` template field.
+    ///
+    /// Resources for every returned instance are already allocated; the
+    /// caller launches them and must release them on retirement.
+    pub fn schedule(
+        &self,
+        predictor: &CopPredictor,
+        function: &FunctionInfo,
+        residual_rps: f64,
+        cluster: &mut ClusterState,
+    ) -> ScheduleOutcome {
+        let spec = function.spec();
+        let slo = function.slo();
+        let cap = self.config.max_batch.min(function.max_batch());
+        let mut out = ScheduleOutcome::default();
+        let mut rk = residual_rps;
+        let mut batches: Vec<u32> = predictor
+            .grid()
+            .batches()
+            .iter()
+            .copied()
+            .filter(|b| *b <= cap)
+            .collect();
+        batches.sort_unstable();
+        if self.config.largest_batch_first {
+            batches.reverse();
+        }
+
+        let mem_mb = predictor.instance_memory_mb(spec);
+        'outer: while rk > 1e-9 {
+            for &b in &batches {
+                let candidates = self.available_config(predictor, spec, slo, b, rk);
+                if candidates.is_empty() {
+                    continue; // try the next batchsize
+                }
+                if let Some(placed) = self.place(&candidates, cluster, predictor.beta(), mem_mb) {
+                    rk -= placed.window.r_up();
+                    out.instances.push(placed);
+                    continue 'outer;
+                }
+                // Feasible configs exist but nowhere fits: a smaller
+                // batchsize may still fit (it admits smaller configs).
+            }
+            break; // nothing feasible/placeable remains
+        }
+        out.unplaced_rps = rk.max(0.0);
+        out
+    }
+
+    /// `AvailableConfig(b, R_k, t_slo)`: all configurations whose
+    /// predicted execution time keeps the SLO feasible (and, for b > 1,
+    /// whose batches the residual rate can saturate).
+    fn available_config(
+        &self,
+        predictor: &CopPredictor,
+        spec: &ModelSpec,
+        slo: SimDuration,
+        b: u32,
+        rk: f64,
+    ) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for &cfg in predictor.grid().configs() {
+            let Some(t_exec) = predictor.predict(spec, b, cfg) else {
+                continue;
+            };
+            let Some(window) = RpsWindow::for_instance(t_exec, slo, b) else {
+                continue;
+            };
+            if b > 1 && rk < window.r_low() {
+                continue; // the batch would time out before filling
+            }
+            out.push(Candidate {
+                batch: b,
+                cfg,
+                window,
+                t_exec,
+            });
+        }
+        out
+    }
+
+    fn place(
+        &self,
+        candidates: &[Candidate],
+        cluster: &mut ClusterState,
+        beta: f64,
+        mem_mb: f64,
+    ) -> Option<ScheduledInstance> {
+        let chosen: Option<(Candidate, ServerId)> = match self.config.placement {
+            PlacementStrategy::Efficiency => {
+                choose_by_efficiency(candidates, cluster, beta, mem_mb)
+            }
+            PlacementStrategy::MaxThroughput => {
+                // Highest-throughput config, first server it fits on.
+                let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+                sorted.sort_by(|a, b| {
+                    b.window
+                        .r_up()
+                        .partial_cmp(&a.window.r_up())
+                        .expect("rates are finite")
+                });
+                sorted
+                    .iter()
+                    .find_map(|c| first_fit(cluster, c.cfg, mem_mb).map(|s| (**c, s)))
+            }
+            PlacementStrategy::FirstFit => candidates
+                .iter()
+                .find_map(|c| first_fit(cluster, c.cfg, mem_mb).map(|s| (*c, s))),
+        };
+        let (cand, server) = chosen?;
+        let placement = cluster
+            .allocate_on_with_memory(server, cand.cfg, mem_mb)
+            .expect("server was checked to fit");
+        Some(ScheduledInstance {
+            config: InstanceConfig::new(cand.batch, cand.cfg),
+            server,
+            placement,
+            window: cand.window,
+            predicted_exec: cand.t_exec,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    batch: u32,
+    cfg: ResourceConfig,
+    window: RpsWindow,
+    t_exec: SimDuration,
+}
+
+fn first_fit(cluster: &ClusterState, cfg: ResourceConfig, mem_mb: f64) -> Option<ServerId> {
+    cluster
+        .servers()
+        .iter()
+        .find(|s| s.fits_with_memory(cfg, mem_mb))
+        .map(|s| s.id())
+}
+
+fn choose_by_efficiency(
+    candidates: &[Candidate],
+    cluster: &ClusterState,
+    beta: f64,
+    mem_mb: f64,
+) -> Option<(Candidate, ServerId)> {
+    // Normalizer for the RPS/resource numerator.
+    let max_density = candidates
+        .iter()
+        .map(|c| c.window.r_up() / weighted(c.cfg, beta))
+        .fold(0.0f64, f64::max);
+    if max_density <= 0.0 {
+        return None;
+    }
+    let mut best: Option<(f64, Candidate, ServerId)> = None;
+    for c in candidates {
+        let density = (c.window.r_up() / weighted(c.cfg, beta)) / max_density;
+        for server in cluster.servers() {
+            if !server.fits_with_memory(c.cfg, mem_mb) {
+                continue;
+            }
+            let free = beta * f64::from(server.cpu_free()) + f64::from(server.gpu_free_total());
+            let frag = 1.0 - weighted(c.cfg, beta) / free;
+            // A perfect fill (frag → 0) gets an effectively infinite
+            // score; ties between perfect fills break on density.
+            let e = if frag <= 1e-9 {
+                1e12 * density
+            } else {
+                density / frag
+            };
+            if best.as_ref().is_none_or(|(b, ..)| e > *b) {
+                best = Some((e, *c, server.id()));
+            }
+        }
+    }
+    best.map(|(_, c, s)| (c, s))
+}
+
+fn weighted(cfg: ResourceConfig, beta: f64) -> f64 {
+    beta * f64::from(cfg.cpu_cores()) + f64::from(cfg.gpu_pct())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infless_cluster::ClusterSpec;
+    use infless_models::{profile::ConfigGrid, HardwareModel, ModelId, ProfileDatabase};
+
+    fn predictor() -> CopPredictor {
+        let hw = HardwareModel::default();
+        let specs: Vec<ModelSpec> = ModelId::all().iter().map(|id| id.spec()).collect();
+        let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 5);
+        CopPredictor::new(db, hw)
+    }
+
+    fn slo_ms(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn schedules_enough_capacity_for_residual() {
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::ResNet50.spec();
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 300.0, &mut cluster);
+        assert_eq!(out.unplaced_rps, 0.0);
+        let capacity: f64 = out.instances.iter().map(|i| i.window.r_up()).sum();
+        assert!(capacity >= 300.0, "capacity {capacity} < residual 300");
+        assert!(!out.instances.is_empty());
+    }
+
+    #[test]
+    fn every_instance_meets_predicted_slo() {
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::Ssd.spec();
+        let slo = slo_ms(200);
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec, slo), 500.0, &mut cluster);
+        for inst in &out.instances {
+            if inst.config.batch() > 1 {
+                assert!(inst.predicted_exec.as_secs_f64() <= slo.as_secs_f64() / 2.0 + 1e-9);
+            } else {
+                assert!(inst.predicted_exec <= slo);
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_large_batches_under_high_load() {
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::ResNet50.spec();
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 2000.0, &mut cluster);
+        let max_batch = out.instances.iter().map(|i| i.config.batch()).max().unwrap();
+        assert!(max_batch >= 8, "expected large batches, got max {max_batch}");
+    }
+
+    #[test]
+    fn low_residual_uses_small_batches() {
+        // A residual of 3 RPS cannot saturate big batches within the SLO
+        // for a slow model, so small batchsizes must be chosen.
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::BertV1.spec();
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 3.0, &mut cluster);
+        assert!(!out.instances.is_empty());
+        for inst in &out.instances {
+            assert!(
+                inst.config.batch() <= 4,
+                "batch {} cannot saturate at 3 RPS",
+                inst.config.batch()
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_batching_caps_batch_at_one() {
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::ResNet50.spec();
+        let cfg = SchedulerConfig {
+            max_batch: 1,
+            ..SchedulerConfig::default()
+        };
+        let out = Scheduler::new(cfg).schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 200.0, &mut cluster);
+        assert!(out.instances.iter().all(|i| i.config.batch() == 1));
+    }
+
+    #[test]
+    fn batching_improves_capacity_per_resource() {
+        // The BB ablation (Fig. 11): with batching disabled, each unit
+        // of hybrid resource provides substantially less serving
+        // capacity.
+        let p = predictor();
+        let spec = ModelId::ResNet50.spec();
+        let beta = p.beta();
+
+        let density = |max_batch: u32| {
+            let mut cluster = ClusterSpec::testbed().build();
+            let out = Scheduler::new(SchedulerConfig {
+                max_batch,
+                ..SchedulerConfig::default()
+            })
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 400.0, &mut cluster);
+            let capacity: f64 = out.instances.iter().map(|i| i.window.r_up()).sum();
+            capacity / cluster.weighted_in_use(beta)
+        };
+
+        let batched = density(u32::MAX);
+        let unbatched = density(1);
+        assert!(
+            batched > unbatched * 1.3,
+            "batching should raise capacity density: {batched} vs {unbatched}"
+        );
+    }
+
+    #[test]
+    fn reports_unplaced_when_cluster_exhausted() {
+        let p = predictor();
+        let mut cluster = ClusterSpec {
+            servers: 1,
+            cores_per_server: 2,
+            gpus_per_server: 0,
+            mem_per_server_mb: 128.0 * 1024.0,
+        }
+        .build();
+        let spec = ModelId::BertV1.spec();
+        // BERT cannot meet 200ms on <=2 CPU cores at all.
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 100.0, &mut cluster);
+        assert!(out.unplaced_rps > 0.0);
+    }
+
+    #[test]
+    fn scheduling_is_deterministic() {
+        let p = predictor();
+        let spec = ModelId::TextCnn69.spec();
+        let run = || {
+            let mut cluster = ClusterSpec::testbed().build();
+            Scheduler::new(SchedulerConfig::default())
+                .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(50)), 800.0, &mut cluster)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn efficiency_placement_wins_at_saturation() {
+        // The RS claim (Figs. 11/17b): when the cluster is driven to
+        // saturation across a mixed set of functions, the Eq. 10
+        // efficiency placement extracts at least as much total serving
+        // capacity from the same hardware as throughput-greedy
+        // placement.
+        let p = predictor();
+        let specs = [
+            ModelId::ResNet50.spec(),
+            ModelId::Ssd.spec(),
+            ModelId::MobileNet.spec(),
+            ModelId::VggNet.spec(),
+        ];
+
+        let capacity_of = |placement: PlacementStrategy| {
+            let mut cluster = ClusterSpec::testbed().build();
+            let sched = Scheduler::new(SchedulerConfig {
+                placement,
+                ..SchedulerConfig::default()
+            });
+            let mut capacity = 0.0;
+            for spec in &specs {
+                let out = sched.schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 1e5, &mut cluster);
+                capacity += out
+                    .instances
+                    .iter()
+                    .map(|i| i.window.r_up())
+                    .sum::<f64>();
+            }
+            capacity
+        };
+
+        let eff = capacity_of(PlacementStrategy::Efficiency);
+        let naive = capacity_of(PlacementStrategy::MaxThroughput);
+        assert!(
+            eff >= naive * 0.98,
+            "Eq. 10 placement should not lose capacity: {eff} vs {naive}"
+        );
+    }
+
+    #[test]
+    fn zero_residual_schedules_nothing() {
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::Mnist.spec();
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(50)), 0.0, &mut cluster);
+        assert!(out.instances.is_empty());
+        assert_eq!(out.unplaced_rps, 0.0);
+        assert_eq!(cluster.cpu_in_use(), 0);
+    }
+
+    #[test]
+    fn memory_constrained_cluster_limits_placement() {
+        // Same cores/GPUs as the testbed, but only enough memory on the
+        // whole cluster for a couple of Bert-v1 instances (~541 MB
+        // each): the scheduler must stop at the memory wall instead of
+        // over-packing.
+        let p = predictor();
+        let mem_needed = p.instance_memory_mb(&ModelId::BertV1.spec());
+        let mut cluster = ClusterSpec {
+            servers: 1,
+            cores_per_server: 32,
+            gpus_per_server: 2,
+            mem_per_server_mb: mem_needed * 2.5,
+        }
+        .build();
+        let spec = ModelId::BertV1.spec();
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(350)), 1e4, &mut cluster);
+        assert!(
+            out.instances.len() <= 2,
+            "memory allows at most 2 instances, got {}",
+            out.instances.len()
+        );
+        assert!(out.unplaced_rps > 0.0, "the memory wall must be reported");
+        assert!(cluster.mem_in_use_mb() <= cluster.mem_capacity_mb());
+    }
+
+    #[test]
+    fn allocations_match_outcome() {
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::MobileNet.spec();
+        let out = Scheduler::new(SchedulerConfig::default())
+            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(50)), 300.0, &mut cluster);
+        let expected_cpu: u64 = out
+            .instances
+            .iter()
+            .map(|i| u64::from(i.config.resources().cpu_cores()))
+            .sum();
+        let expected_gpu: u64 = out
+            .instances
+            .iter()
+            .map(|i| u64::from(i.config.resources().gpu_pct()))
+            .sum();
+        assert_eq!(cluster.cpu_in_use(), expected_cpu);
+        assert_eq!(cluster.gpu_in_use(), expected_gpu);
+    }
+}

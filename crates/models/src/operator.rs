@@ -1,0 +1,245 @@
+//! The operator vocabulary.
+//!
+//! The paper's Observation #6: across the 11 benchmark models there are
+//! more than 1 000 operator *calls* but only 71 *distinct* operators, and
+//! a handful (MatMul, FusedMatMul, Conv2D) dominate execution time.
+//! We model each DAG node as an [`Operator`]: an [`OpKind`] plus the
+//! amount of work it performs per input sample.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kinds of DNN operators appearing in the model zoo.
+///
+/// The set is modelled on the TensorFlow op names the paper reports in
+/// Fig. 7 (`MatMul`, `FusedMatMul`, `Conv2D`, `ConcatV2`, `Mul`, `Sum`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names mirror the TF op names directly
+pub enum OpKind {
+    MatMul,
+    FusedMatMul,
+    Conv2d,
+    DepthwiseConv2d,
+    LstmCell,
+    Attention,
+    Embedding,
+    Relu,
+    Gelu,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    BatchNorm,
+    LayerNorm,
+    MaxPool,
+    AvgPool,
+    Add,
+    Mul,
+    Sum,
+    ConcatV2,
+    Reshape,
+    Transpose,
+    Gather,
+}
+
+/// Arithmetic-intensity class of an operator.
+///
+/// Determines what fraction of peak FLOPS the operator sustains: dense
+/// linear algebra comes close to peak, element-wise and data-movement
+/// operators are memory-bound and sustain only a small fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Dense compute (GEMM/conv): high fraction of peak FLOPS.
+    Compute,
+    /// Recurrent cells: compute-heavy but with serialization overheads.
+    Recurrent,
+    /// Element-wise / normalization: memory-bound.
+    ElementWise,
+    /// Pure data movement (reshape/transpose/concat/gather).
+    DataMovement,
+}
+
+impl OpKind {
+    /// The arithmetic-intensity class of this operator kind.
+    pub fn class(self) -> OpClass {
+        use OpKind::*;
+        match self {
+            MatMul | FusedMatMul | Conv2d | DepthwiseConv2d | Attention => OpClass::Compute,
+            LstmCell => OpClass::Recurrent,
+            Relu | Gelu | Sigmoid | Tanh | Softmax | BatchNorm | LayerNorm | MaxPool | AvgPool
+            | Add | Mul | Sum | Embedding => OpClass::ElementWise,
+            Reshape | Transpose | Gather | ConcatV2 => OpClass::DataMovement,
+        }
+    }
+
+    /// Fraction of peak CPU FLOPS this kind sustains. Inference on CPUs
+    /// sustains a far smaller share of peak than on GPUs with saturated
+    /// batches — which is exactly why hybrid scheduling prefers GPU
+    /// slices once batching is available.
+    pub fn cpu_efficiency(self) -> f64 {
+        match self.class() {
+            OpClass::Compute => 0.18,
+            OpClass::Recurrent => 0.115,
+            OpClass::ElementWise => 0.052,
+            OpClass::DataMovement => 0.026,
+        }
+    }
+
+    /// Fraction of peak GPU FLOPS this kind sustains once the batch has
+    /// saturated the device.
+    pub fn gpu_efficiency(self) -> f64 {
+        match self.class() {
+            OpClass::Compute => 0.35,
+            OpClass::Recurrent => 0.20,
+            OpClass::ElementWise => 0.08,
+            OpClass::DataMovement => 0.05,
+        }
+    }
+
+    /// Batch half-saturation constant `k`: the GPU reaches half its
+    /// sustained rate at batch `k` (`util(b) = b / (b + k)`). Dense ops
+    /// need more batch to fill the SMs than element-wise ones.
+    pub fn gpu_saturation_batch(self) -> f64 {
+        match self.class() {
+            OpClass::Compute => 8.0,
+            OpClass::Recurrent => 10.0,
+            OpClass::ElementWise => 3.0,
+            OpClass::DataMovement => 2.0,
+        }
+    }
+
+    /// Iterator over every operator kind (used when seeding profile
+    /// databases and in exhaustiveness tests).
+    pub fn all() -> impl Iterator<Item = OpKind> {
+        use OpKind::*;
+        [
+            MatMul,
+            FusedMatMul,
+            Conv2d,
+            DepthwiseConv2d,
+            LstmCell,
+            Attention,
+            Embedding,
+            Relu,
+            Gelu,
+            Sigmoid,
+            Tanh,
+            Softmax,
+            BatchNorm,
+            LayerNorm,
+            MaxPool,
+            AvgPool,
+            Add,
+            Mul,
+            Sum,
+            ConcatV2,
+            Reshape,
+            Transpose,
+            Gather,
+        ]
+        .into_iter()
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One operator call site in a model DAG: a kind plus the work it does.
+///
+/// `gflops` is the work per *single input sample*; batched execution
+/// multiplies it by the batchsize. This mirrors the paper's operator
+/// 5-tuple `⟨p, b, c, g, t⟩` — the input-size `p` dependence is folded
+/// into `gflops` because our zoo fixes each model's input shape.
+///
+/// # Example
+///
+/// ```
+/// use infless_models::{OpKind, Operator};
+///
+/// let conv = Operator::new(OpKind::Conv2d, 0.25);
+/// assert_eq!(conv.kind(), OpKind::Conv2d);
+/// assert_eq!(conv.gflops(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    kind: OpKind,
+    gflops: f64,
+}
+
+impl Operator {
+    /// Creates an operator of `kind` doing `gflops` GFLOPs per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gflops` is negative or non-finite.
+    pub fn new(kind: OpKind, gflops: f64) -> Self {
+        assert!(
+            gflops.is_finite() && gflops >= 0.0,
+            "operator work must be a non-negative finite GFLOP count"
+        );
+        Operator { kind, gflops }
+    }
+
+    /// The operator kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Work per input sample, in GFLOPs.
+    pub fn gflops(&self) -> f64 {
+        self.gflops
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({:.4} GF)", self.kind, self.gflops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_kinds() {
+        // Every kind maps to exactly one class and the efficiencies are
+        // sane probabilities.
+        for kind in OpKind::all() {
+            assert!(kind.cpu_efficiency() > 0.0 && kind.cpu_efficiency() <= 1.0);
+            assert!(kind.gpu_efficiency() > 0.0 && kind.gpu_efficiency() <= 1.0);
+            assert!(kind.gpu_saturation_batch() > 0.0);
+        }
+    }
+
+    #[test]
+    fn compute_ops_beat_elementwise_efficiency() {
+        assert!(OpKind::MatMul.cpu_efficiency() > OpKind::Relu.cpu_efficiency());
+        assert!(OpKind::Conv2d.gpu_efficiency() > OpKind::ConcatV2.gpu_efficiency());
+    }
+
+    #[test]
+    fn all_kinds_are_distinct() {
+        let kinds: Vec<_> = OpKind::all().collect();
+        let mut dedup = kinds.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(kinds.len(), dedup.len());
+        assert_eq!(kinds.len(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_work_rejected() {
+        let _ = Operator::new(OpKind::Add, -1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let op = Operator::new(OpKind::MatMul, 1.5);
+        assert_eq!(op.to_string(), "MatMul(1.5000 GF)");
+    }
+}

@@ -1,0 +1,387 @@
+//! The operator profile database (❸ in the paper's Fig. 4).
+//!
+//! INFless profiles *operators*, not whole models: since inference
+//! functions share a small operator vocabulary, profiling the ~71
+//! distinct operators once is far cheaper than profiling hundreds of
+//! models offline (§3.3). A profile entry is the paper's 5-tuple
+//! `⟨p, b, c, g, t⟩`; here the input-size `p` dependence is folded into
+//! the operator signature (our zoo fixes each model's input shape).
+//!
+//! Distinct operators are identified by an [`OpSignature`]: the operator
+//! kind plus a logarithmically-quantized work bucket. Quantization is
+//! deliberate — it is what makes the database *shared* across models
+//! (two MatMuls of nearly equal size hit the same entry) and it
+//! introduces the small, realistic profiling error that the Combined
+//! Operator Profiling evaluation (Fig. 8) measures.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::{HardwareModel, ResourceConfig, BATCH_SIZES};
+use crate::operator::{OpKind, Operator};
+use crate::zoo::ModelSpec;
+
+/// Work-bucket resolution: buckets per doubling of GFLOPs. Eight buckets
+/// per octave bounds the quantization error at ±4.4 %.
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+
+/// Identity of a distinct operator in the profile database.
+///
+/// # Example
+///
+/// ```
+/// use infless_models::{OpKind, Operator, OpSignature};
+///
+/// let a = OpSignature::of(&Operator::new(OpKind::MatMul, 0.100));
+/// let b = OpSignature::of(&Operator::new(OpKind::MatMul, 0.0995));
+/// let c = OpSignature::of(&Operator::new(OpKind::MatMul, 0.200));
+/// assert_eq!(a, b); // near-equal work shares a bucket
+/// assert_ne!(a, c); // doubling the work does not
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpSignature {
+    kind: OpKind,
+    bucket: i32,
+}
+
+impl OpSignature {
+    /// The signature of an operator call site.
+    pub fn of(op: &Operator) -> Self {
+        let gf = op.gflops().max(1e-9);
+        OpSignature {
+            kind: op.kind(),
+            bucket: (gf.log2() * BUCKETS_PER_OCTAVE).round() as i32,
+        }
+    }
+
+    /// The operator kind.
+    pub fn kind(self) -> OpKind {
+        self.kind
+    }
+
+    /// The bucket's representative operator: same kind, work equal to
+    /// the bucket's center. Profile measurements run this representative.
+    pub fn representative(self) -> Operator {
+        Operator::new(self.kind, self.representative_gflops())
+    }
+
+    /// The bucket-center work in GFLOPs.
+    pub fn representative_gflops(self) -> f64 {
+        (f64::from(self.bucket) / BUCKETS_PER_OCTAVE).exp2()
+    }
+}
+
+/// A single profile lookup key: which operator, at which batchsize,
+/// under which resource configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProfileKey {
+    /// The distinct operator.
+    pub signature: OpSignature,
+    /// The profiled batchsize.
+    pub batch: u32,
+    /// The profiled resource configuration.
+    pub config: ResourceConfig,
+}
+
+/// The discrete configuration grid profiled offline and searched by the
+/// scheduler (`AvailableConfig` in Algorithm 1 iterates it).
+///
+/// # Example
+///
+/// ```
+/// use infless_models::profile::ConfigGrid;
+///
+/// let grid = ConfigGrid::standard();
+/// assert!(grid.configs().len() > 10);
+/// assert!(grid.batches().contains(&32));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigGrid {
+    configs: Vec<ResourceConfig>,
+    batches: Vec<u32>,
+}
+
+impl ConfigGrid {
+    /// The grid used throughout the evaluation: 1–4 CPU cores crossed
+    /// with GPU shares from none to half a device, and power-of-two
+    /// batchsizes up to 32.
+    pub fn standard() -> Self {
+        let mut configs = Vec::new();
+        for &cpu in &[1u32, 2, 4] {
+            configs.push(ResourceConfig::cpu(cpu));
+            for &gpu in &[5u32, 10, 15, 20, 25, 30, 40, 50] {
+                configs.push(ResourceConfig::new(cpu, gpu));
+            }
+        }
+        ConfigGrid {
+            configs,
+            batches: BATCH_SIZES.to_vec(),
+        }
+    }
+
+    /// A custom grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either list is empty.
+    pub fn new(configs: Vec<ResourceConfig>, batches: Vec<u32>) -> Self {
+        assert!(!configs.is_empty(), "grid needs at least one config");
+        assert!(!batches.is_empty(), "grid needs at least one batchsize");
+        ConfigGrid { configs, batches }
+    }
+
+    /// The resource configurations in the grid.
+    pub fn configs(&self) -> &[ResourceConfig] {
+        &self.configs
+    }
+
+    /// The batchsizes in the grid.
+    pub fn batches(&self) -> &[u32] {
+        &self.batches
+    }
+
+    /// Iterates all `(batch, config)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (u32, ResourceConfig)> + '_ {
+        self.batches
+            .iter()
+            .flat_map(move |&b| self.configs.iter().map(move |&c| (b, c)))
+    }
+}
+
+/// The operator profile database: offline "measurements" of every
+/// distinct operator across the configuration grid.
+///
+/// Measurements are taken by running the bucket representative on the
+/// [`HardwareModel`] and perturbing the result with a small profiling
+/// noise — the same imperfection a real profiler exhibits run-to-run.
+///
+/// # Example
+///
+/// ```
+/// use infless_models::{HardwareModel, ModelId, ProfileDatabase};
+/// use infless_models::profile::ConfigGrid;
+///
+/// let hw = HardwareModel::default();
+/// let specs = [ModelId::ResNet50.spec()];
+/// let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 42);
+/// assert!(db.len() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileDatabase {
+    entries: HashMap<ProfileKey, f64>,
+    grid: ConfigGrid,
+}
+
+impl ProfileDatabase {
+    /// Profiling noise sigma (relative): run-to-run variance of offline
+    /// operator measurements.
+    const PROFILING_NOISE: f64 = 0.02;
+
+    /// Profiles every distinct operator appearing in `specs` across the
+    /// whole `grid`. `seed` makes the measurement noise reproducible.
+    pub fn profile(
+        hardware: &HardwareModel,
+        specs: &[ModelSpec],
+        grid: &ConfigGrid,
+        seed: u64,
+    ) -> Self {
+        let mut signatures: Vec<OpSignature> = specs
+            .iter()
+            .flat_map(|s| s.dag().nodes().iter().map(OpSignature::of))
+            .collect();
+        signatures.sort();
+        signatures.dedup();
+
+        let mut entries = HashMap::new();
+        for sig in signatures {
+            let rep = sig.representative();
+            let mut rng = infless_sim::rng::stream(
+                seed,
+                &format!("profile/{:?}/{}", sig.kind(), sig.representative_gflops()),
+            );
+            for (batch, config) in grid.points() {
+                let true_t = hardware.op_latency_s(&rep, batch, config);
+                let noise = 1.0 + Self::PROFILING_NOISE * gaussian(&mut rng);
+                entries.insert(
+                    ProfileKey {
+                        signature: sig,
+                        batch,
+                        config,
+                    },
+                    true_t * noise.max(0.5),
+                );
+            }
+        }
+        ProfileDatabase {
+            entries,
+            grid: grid.clone(),
+        }
+    }
+
+    /// Looks up the measured execution time (seconds) of the operator
+    /// `op` at `(batch, config)`, or `None` if the operator or the
+    /// configuration was never profiled.
+    pub fn op_time_s(&self, op: &Operator, batch: u32, config: ResourceConfig) -> Option<f64> {
+        self.entries
+            .get(&ProfileKey {
+                signature: OpSignature::of(op),
+                batch,
+                config,
+            })
+            .copied()
+    }
+
+    /// The configuration grid this database covers.
+    pub fn grid(&self) -> &ConfigGrid {
+        &self.grid
+    }
+
+    /// Number of profile entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct operators profiled.
+    pub fn distinct_operators(&self) -> usize {
+        let mut sigs: Vec<OpSignature> = self.entries.keys().map(|k| k.signature).collect();
+        sigs.sort();
+        sigs.dedup();
+        sigs.len()
+    }
+}
+
+/// Standard-normal draw via Box-Muller (keeps this crate independent of
+/// a distributions crate).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelId;
+    use proptest::prelude::*;
+
+    fn db() -> ProfileDatabase {
+        let hw = HardwareModel::default();
+        let specs: Vec<ModelSpec> = ModelId::all().iter().map(|id| id.spec()).collect();
+        ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 7)
+    }
+
+    #[test]
+    fn signature_quantization_groups_neighbours() {
+        let a = OpSignature::of(&Operator::new(OpKind::Conv2d, 0.100));
+        let b = OpSignature::of(&Operator::new(OpKind::Conv2d, 0.0995));
+        assert_eq!(a, b);
+        let c = OpSignature::of(&Operator::new(OpKind::Conv2d, 0.150));
+        assert_ne!(a, c);
+        let d = OpSignature::of(&Operator::new(OpKind::MatMul, 0.100));
+        assert_ne!(a, d, "kind is part of the identity");
+    }
+
+    #[test]
+    fn representative_is_close_to_members() {
+        let op = Operator::new(OpKind::MatMul, 0.37);
+        let sig = OpSignature::of(&op);
+        let rep = sig.representative_gflops();
+        assert!((rep / 0.37 - 1.0).abs() < 0.05, "rep {rep} vs 0.37");
+    }
+
+    #[test]
+    fn database_covers_all_zoo_operators() {
+        let db = db();
+        let hw = HardwareModel::default();
+        let _ = hw;
+        for id in ModelId::all() {
+            let spec = id.spec();
+            for op in spec.dag().nodes() {
+                for (b, cfg) in ConfigGrid::standard().points() {
+                    assert!(
+                        db.op_time_s(op, b, cfg).is_some(),
+                        "{id}: missing profile for {op} at b={b} cfg={cfg}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_keeps_database_small() {
+        // Observation #6: distinct operators are far fewer than call
+        // sites. The whole zoo needs well under 100 distinct profiles.
+        let db = db();
+        let distinct = db.distinct_operators();
+        assert!(
+            (20..=120).contains(&distinct),
+            "distinct operators: {distinct}"
+        );
+    }
+
+    #[test]
+    fn measurements_are_near_truth() {
+        let hw = HardwareModel::default();
+        let db = db();
+        let op = Operator::new(OpKind::Conv2d, 0.070);
+        let cfg = ResourceConfig::new(1, 20);
+        let measured = db.op_time_s(&op, 8, cfg).unwrap();
+        let truth = hw.op_latency_s(&op, 8, cfg);
+        assert!(
+            (measured / truth - 1.0).abs() < 0.15,
+            "measured {measured} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn profiling_is_reproducible() {
+        let hw = HardwareModel::default();
+        let specs = [ModelId::Mnist.spec()];
+        let grid = ConfigGrid::standard();
+        let a = ProfileDatabase::profile(&hw, &specs, &grid, 3);
+        let b = ProfileDatabase::profile(&hw, &specs, &grid, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_config_returns_none() {
+        let db = db();
+        let op = Operator::new(OpKind::Conv2d, 0.070);
+        // 7 cores is not in the standard grid.
+        assert!(db.op_time_s(&op, 8, ResourceConfig::cpu(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one config")]
+    fn empty_grid_rejected() {
+        ConfigGrid::new(vec![], vec![1]);
+    }
+
+    proptest! {
+        /// Signature bucketing is monotone: more work never lands in a
+        /// smaller bucket.
+        #[test]
+        fn prop_buckets_monotone(a in 1e-6f64..100.0, b in 1e-6f64..100.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let sa = OpSignature::of(&Operator::new(OpKind::MatMul, lo));
+            let sb = OpSignature::of(&Operator::new(OpKind::MatMul, hi));
+            prop_assert!(sa <= sb);
+        }
+
+        /// The representative work is always within one bucket width of
+        /// the original.
+        #[test]
+        fn prop_representative_close(gf in 1e-6f64..100.0) {
+            let sig = OpSignature::of(&Operator::new(OpKind::MatMul, gf));
+            let rel = (sig.representative_gflops() / gf).log2().abs();
+            prop_assert!(rel <= 0.5 / BUCKETS_PER_OCTAVE + 1e-9);
+        }
+    }
+}

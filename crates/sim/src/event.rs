@@ -1,0 +1,252 @@
+//! A stable, timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// An event scheduled in an [`EventQueue`].
+///
+/// Ordering is by time first, then by insertion sequence, so that events
+/// scheduled for the same instant are delivered in FIFO order. This
+/// stability matters: platform behaviour (which batch fills first, which
+/// instance a request lands on) must not depend on heap internals.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// The instant the event fires.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The event payload.
+    pub fn payload(&self) -> &E {
+        &self.payload
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    // Reversed so the BinaryHeap (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list: the heart of the discrete-event simulator.
+///
+/// Events are arbitrary payloads `E` tagged with a [`SimTime`]. Popping
+/// always yields the earliest pending event; ties break in insertion
+/// order. There is no global clock object — the caller advances its own
+/// notion of "now" to each popped event's timestamp, which makes it
+/// impossible for time to drift or run backwards.
+///
+/// # Example
+///
+/// ```
+/// use infless_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(3), "c");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// q.schedule(SimTime::from_millis(1), "b"); // same instant, FIFO
+///
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// Scheduling in the past (before the last popped event) is allowed at
+    /// the API level — the event simply fires "now" from the caller's
+    /// perspective because it becomes the earliest entry — but it is
+    /// almost always a logic error, so debug builds assert against it.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        debug_assert!(
+            time >= self.last_popped,
+            "scheduled an event at {time} before the simulation clock {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` when the run is
+    /// complete.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        self.last_popped = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(ScheduledEvent::time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event — the current simulated
+    /// instant from the queue's point of view.
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (t, e) in iter {
+            self.schedule(t, e);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_millis(10), 1),
+                (SimTime::from_millis(20), 2),
+                (SimTime::from_millis(30), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(2), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let q: EventQueue<u8> = (0..5u8).map(|i| (SimTime::from_secs(i as u64), i)).collect();
+        assert_eq!(q.len(), 5);
+    }
+
+    proptest! {
+        /// Popped timestamps are non-decreasing regardless of insertion order.
+        #[test]
+        fn prop_pop_order_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// Every scheduled event is delivered exactly once.
+        #[test]
+        fn prop_no_event_lost(times in prop::collection::vec(0u64..10_000, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::ZERO + SimDuration::from_micros(*t), i);
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

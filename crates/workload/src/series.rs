@@ -1,0 +1,149 @@
+//! Piecewise-constant request-rate curves.
+
+use infless_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A request-rate curve: RPS held constant within fixed-width bins.
+///
+/// # Example
+///
+/// ```
+/// use infless_sim::{SimDuration, SimTime};
+/// use infless_workload::RateSeries;
+///
+/// let s = RateSeries::new(SimDuration::from_secs(60), vec![10.0, 20.0, 0.0]);
+/// assert_eq!(s.rate_at(SimTime::from_secs(90)), 20.0);
+/// assert_eq!(s.duration(), SimDuration::from_mins(3));
+/// assert_eq!(s.peak(), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSeries {
+    bin: SimDuration,
+    rates: Vec<f64>,
+}
+
+impl RateSeries {
+    /// Creates a series with the given bin width and per-bin rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero, `rates` is empty, or any rate is
+    /// negative or non-finite.
+    pub fn new(bin: SimDuration, rates: Vec<f64>) -> Self {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        assert!(!rates.is_empty(), "a rate series needs at least one bin");
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "rates must be non-negative and finite"
+        );
+        RateSeries { bin, rates }
+    }
+
+    /// A constant rate over `duration`, in one-minute bins (or a single
+    /// bin if the duration is shorter).
+    pub fn constant(rps: f64, duration: SimDuration) -> Self {
+        let bin = SimDuration::from_mins(1).min(duration);
+        let bins = (duration.as_secs_f64() / bin.as_secs_f64()).ceil().max(1.0) as usize;
+        RateSeries::new(bin, vec![rps; bins])
+    }
+
+    /// Bin width.
+    pub fn bin(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Per-bin rates, RPS.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Total covered duration.
+    pub fn duration(&self) -> SimDuration {
+        self.bin * self.rates.len() as u64
+    }
+
+    /// The rate in effect at `t`; zero past the end of the series.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let idx = (t.as_micros() / self.bin.as_micros()) as usize;
+        self.rates.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// The peak rate.
+    pub fn peak(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The time-average rate.
+    pub fn mean(&self) -> f64 {
+        self.rates.iter().sum::<f64>() / self.rates.len() as f64
+    }
+
+    /// Expected total number of requests.
+    pub fn expected_requests(&self) -> f64 {
+        self.rates.iter().sum::<f64>() * self.bin.as_secs_f64()
+    }
+
+    /// Scales every rate by `factor` (for load sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> RateSeries {
+        assert!(factor.is_finite() && factor >= 0.0, "bad scale factor");
+        RateSeries {
+            bin: self.bin,
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_series_covers_duration() {
+        let s = RateSeries::constant(25.0, SimDuration::from_mins(5));
+        assert_eq!(s.rates().len(), 5);
+        assert_eq!(s.mean(), 25.0);
+        assert_eq!(s.peak(), 25.0);
+        assert!((s.expected_requests() - 25.0 * 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_duration_gets_single_bin() {
+        let s = RateSeries::constant(10.0, SimDuration::from_secs(10));
+        assert_eq!(s.rates().len(), 1);
+        assert_eq!(s.bin(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn rate_lookup_past_end_is_zero() {
+        let s = RateSeries::new(SimDuration::from_secs(1), vec![5.0]);
+        assert_eq!(s.rate_at(SimTime::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_everything() {
+        let s = RateSeries::new(SimDuration::from_secs(1), vec![1.0, 3.0]).scaled(2.0);
+        assert_eq!(s.rates(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rates_rejected() {
+        RateSeries::new(SimDuration::from_secs(1), vec![-1.0]);
+    }
+
+    proptest! {
+        /// mean <= peak and expected_requests consistent with mean.
+        #[test]
+        fn prop_series_aggregates(rates in prop::collection::vec(0.0f64..1e4, 1..100)) {
+            let s = RateSeries::new(SimDuration::from_secs(30), rates);
+            prop_assert!(s.mean() <= s.peak() + 1e-9);
+            let expect = s.mean() * s.duration().as_secs_f64();
+            prop_assert!((s.expected_requests() - expect).abs() < 1e-6 * (1.0 + expect));
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Reading and writing Azure-Functions-style invocation traces.
+//!
+//! The paper's dynamic workloads come from the Azure Functions
+//! production trace (Shahrad et al.): per-function rows of per-minute
+//! invocation counts. The proprietary trace itself is not
+//! redistributable, but this module speaks its shape — a CSV with a
+//! function identifier followed by one count column per minute — so
+//! real trace files can be replayed directly, and our generators can
+//! export workloads in the same format.
+//!
+//! [`TraceRow::classify`] reproduces the paper's three-way pattern
+//! classification (*sporadic* / *periodic* / *bursty*, Fig. 10) with a
+//! simple heuristic over the rate curve.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use infless_sim::SimDuration;
+
+use crate::series::RateSeries;
+use crate::traces::TracePattern;
+use crate::workload::FunctionLoad;
+
+/// One function's row of an invocation trace: a name plus per-minute
+/// invocation counts.
+///
+/// # Example
+///
+/// ```
+/// use infless_workload::trace_io::TraceRow;
+///
+/// let row = TraceRow::new("fraud-detector", vec![0, 12, 40, 12, 0, 0]);
+/// assert_eq!(row.total_invocations(), 64);
+/// let load = row.to_load();
+/// assert!(load.series().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRow {
+    name: String,
+    per_minute: Vec<u64>,
+}
+
+impl TraceRow {
+    /// Creates a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_minute` is empty.
+    pub fn new(name: impl Into<String>, per_minute: Vec<u64>) -> Self {
+        assert!(!per_minute.is_empty(), "a trace row needs at least one minute");
+        TraceRow {
+            name: name.into(),
+            per_minute,
+        }
+    }
+
+    /// The function identifier.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-minute invocation counts.
+    pub fn per_minute(&self) -> &[u64] {
+        &self.per_minute
+    }
+
+    /// Total invocations over the trace.
+    pub fn total_invocations(&self) -> u64 {
+        self.per_minute.iter().sum()
+    }
+
+    /// The row as a rate curve (RPS per one-minute bin).
+    pub fn to_series(&self) -> RateSeries {
+        RateSeries::new(
+            SimDuration::from_mins(1),
+            self.per_minute.iter().map(|c| *c as f64 / 60.0).collect(),
+        )
+    }
+
+    /// The row as a Poisson [`FunctionLoad`] for replay.
+    pub fn to_load(&self) -> FunctionLoad {
+        FunctionLoad::poisson(self.to_series())
+    }
+
+    /// Classifies the row into the paper's Fig. 10 pattern classes.
+    ///
+    /// * mostly-silent rows (> 60 % zero minutes) are **sporadic**;
+    /// * rows whose peak exceeds 3× their active-mean are **bursty**;
+    /// * everything else is **periodic** (steady/diurnal).
+    pub fn classify(&self) -> TracePattern {
+        let n = self.per_minute.len() as f64;
+        let zeros = self.per_minute.iter().filter(|c| **c == 0).count() as f64;
+        if zeros / n > 0.6 {
+            return TracePattern::Sporadic;
+        }
+        let active: Vec<f64> = self
+            .per_minute
+            .iter()
+            .filter(|c| **c > 0)
+            .map(|c| *c as f64)
+            .collect();
+        if active.is_empty() {
+            return TracePattern::Sporadic;
+        }
+        let mean = active.iter().sum::<f64>() / active.len() as f64;
+        let peak = active.iter().cloned().fold(0.0f64, f64::max);
+        if peak > 3.0 * mean {
+            TracePattern::Bursty
+        } else {
+            TracePattern::Periodic
+        }
+    }
+}
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse {
+        /// The offending line, 1-based.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O failed: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace line {line} is malformed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Reads an Azure-style invocation CSV: a header line
+/// (`function,1,2,3,…`) followed by one row per function.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure, a missing header, rows with
+/// no counts, non-numeric counts, or ragged rows.
+///
+/// # Example
+///
+/// ```
+/// use infless_workload::trace_io::{read_csv, write_csv, TraceRow};
+///
+/// let rows = vec![TraceRow::new("f0", vec![1, 0, 3])];
+/// let mut buf = Vec::new();
+/// write_csv(&rows, &mut buf)?;
+/// assert_eq!(read_csv(buf.as_slice())?, rows);
+/// # Ok::<(), infless_workload::trace_io::TraceIoError>(())
+/// ```
+pub fn read_csv<R: Read>(reader: R) -> Result<Vec<TraceRow>, TraceIoError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or(TraceIoError::Parse {
+        line: 1,
+        message: "empty file (expected a header)".into(),
+    })??;
+    let width = header.split(',').count().saturating_sub(1);
+    if width == 0 {
+        return Err(TraceIoError::Parse {
+            line: 1,
+            message: "header has no minute columns".into(),
+        });
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let name = parts
+            .next()
+            .ok_or(TraceIoError::Parse {
+                line: lineno,
+                message: "missing function name".into(),
+            })?
+            .trim()
+            .to_string();
+        let counts: Result<Vec<u64>, TraceIoError> = parts
+            .map(|p| {
+                p.trim().parse::<u64>().map_err(|e| TraceIoError::Parse {
+                    line: lineno,
+                    message: format!("bad count {p:?}: {e}"),
+                })
+            })
+            .collect();
+        let counts = counts?;
+        if counts.len() != width {
+            return Err(TraceIoError::Parse {
+                line: lineno,
+                message: format!("expected {width} counts, found {}", counts.len()),
+            });
+        }
+        rows.push(TraceRow::new(name, counts));
+    }
+    Ok(rows)
+}
+
+/// Writes rows in the same CSV shape [`read_csv`] accepts.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on write failure.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or rows have differing lengths — a ragged
+/// trace cannot be represented in this format.
+pub fn write_csv<W: Write>(rows: &[TraceRow], mut writer: W) -> Result<(), TraceIoError> {
+    assert!(!rows.is_empty(), "cannot write an empty trace");
+    let width = rows[0].per_minute.len();
+    assert!(
+        rows.iter().all(|r| r.per_minute.len() == width),
+        "trace rows must cover the same minutes"
+    );
+    write!(writer, "function")?;
+    for m in 1..=width {
+        write!(writer, ",{m}")?;
+    }
+    writeln!(writer)?;
+    for row in rows {
+        write!(writer, "{}", row.name)?;
+        for c in &row.per_minute {
+            write!(writer, ",{c}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Exports a generated [`RateSeries`] as a trace row (expected counts
+/// per minute, rounded), for writing synthetic workloads in the Azure
+/// format.
+pub fn series_to_row(name: impl Into<String>, series: &RateSeries) -> TraceRow {
+    let bin_secs = series.bin().as_secs_f64();
+    TraceRow::new(
+        name,
+        series
+            .rates()
+            .iter()
+            .map(|r| (r * bin_secs).round() as u64)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_preserves_rows() {
+        let rows = vec![
+            TraceRow::new("alpha", vec![0, 5, 9, 0]),
+            TraceRow::new("beta", vec![1, 1, 1, 1]),
+        ];
+        let mut buf = Vec::new();
+        write_csv(&rows, &mut buf).unwrap();
+        assert_eq!(read_csv(buf.as_slice()).unwrap(), rows);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let csv = "function,1,2\na,1,2\nb,1\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        let csv = "function,1,2\na,1,x\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad count"));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let err = read_csv("".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header") || err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "function,1,2\n\na,1,2\n\n";
+        let rows = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn classification_matches_pattern_classes() {
+        // Mostly silent → sporadic.
+        let mut counts = vec![0u64; 100];
+        counts[10] = 30;
+        counts[60] = 25;
+        assert_eq!(TraceRow::new("s", counts).classify(), TracePattern::Sporadic);
+        // Steady → periodic.
+        assert_eq!(
+            TraceRow::new("p", vec![50; 100]).classify(),
+            TracePattern::Periodic
+        );
+        // Steady base with tall spikes → bursty.
+        let mut counts = vec![10u64; 100];
+        counts[40] = 90;
+        counts[41] = 80;
+        assert_eq!(TraceRow::new("b", counts).classify(), TracePattern::Bursty);
+    }
+
+    #[test]
+    fn generated_traces_classify_as_their_own_pattern() {
+        for pattern in TracePattern::evaluation_set() {
+            let series = pattern.generate(30.0, SimDuration::from_hours(6), 9);
+            let row = series_to_row("g", &series);
+            assert_eq!(
+                row.classify(),
+                pattern,
+                "generator for {pattern} should classify as itself"
+            );
+        }
+    }
+
+    #[test]
+    fn series_round_trip_preserves_mean_rate() {
+        let series = TracePattern::Periodic.generate(40.0, SimDuration::from_hours(2), 3);
+        let row = series_to_row("f", &series);
+        let back = row.to_series();
+        assert!((back.mean() - series.mean()).abs() / series.mean() < 0.05);
+    }
+
+    proptest! {
+        /// Any count matrix round-trips bit-exactly.
+        #[test]
+        fn prop_csv_round_trip(
+            rows in prop::collection::vec(prop::collection::vec(0u64..10_000, 5), 1..20)
+        ) {
+            let rows: Vec<TraceRow> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, counts)| TraceRow::new(format!("fn{i}"), counts))
+                .collect();
+            let mut buf = Vec::new();
+            write_csv(&rows, &mut buf).unwrap();
+            prop_assert_eq!(read_csv(buf.as_slice()).unwrap(), rows);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Generators for the production-trace pattern classes.
+
+use infless_sim::{rng::stream, SimDuration};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::series::RateSeries;
+
+/// The arrival-pattern classes of the paper's Fig. 10, plus the Fig. 9a
+/// diurnal shape used by the cold-start evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TracePattern {
+    /// Occasional short activity windows separated by long silences —
+    /// the cold-start stress case.
+    Sporadic,
+    /// Smooth periodic load (diurnal user-access pattern compressed to
+    /// the requested duration).
+    Periodic,
+    /// A steady base load punctuated by sudden multiplicative spikes
+    /// and dips.
+    Bursty,
+    /// Long-term periodicity *with* short-term bursts (LTP + STB,
+    /// Fig. 9a): a diurnal cycle overlaid with random spikes. This is
+    /// the shape LSTH is designed for.
+    Diurnal,
+}
+
+impl TracePattern {
+    /// All pattern classes, in the order the paper's figures list them.
+    pub fn all() -> [TracePattern; 4] {
+        [
+            TracePattern::Sporadic,
+            TracePattern::Periodic,
+            TracePattern::Bursty,
+            TracePattern::Diurnal,
+        ]
+    }
+
+    /// The three classes compared in Figs. 12a/15a/16.
+    pub fn evaluation_set() -> [TracePattern; 3] {
+        [
+            TracePattern::Sporadic,
+            TracePattern::Periodic,
+            TracePattern::Bursty,
+        ]
+    }
+
+    /// The pattern's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePattern::Sporadic => "sporadic",
+            TracePattern::Periodic => "periodic",
+            TracePattern::Bursty => "bursty",
+            TracePattern::Diurnal => "diurnal",
+        }
+    }
+
+    /// Generates a rate curve with the given time-average RPS over
+    /// `duration`, in one-minute bins. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_rps` is negative/non-finite or `duration` is zero.
+    pub fn generate(self, mean_rps: f64, duration: SimDuration, seed: u64) -> RateSeries {
+        assert!(
+            mean_rps.is_finite() && mean_rps >= 0.0,
+            "mean RPS must be non-negative"
+        );
+        assert!(!duration.is_zero(), "duration must be positive");
+        let bin = SimDuration::from_mins(1).min(duration);
+        let bins = (duration.as_secs_f64() / bin.as_secs_f64()).ceil().max(1.0) as usize;
+        let mut rng = stream(seed, &format!("trace/{}", self.name()));
+
+        let raw: Vec<f64> = match self {
+            TracePattern::Sporadic => {
+                // Active windows cover ~15% of bins; bursts last 1-4 bins.
+                let mut rates = vec![0.0; bins];
+                let mut i = 0;
+                while i < bins {
+                    if rng.gen_bool(0.07) {
+                        let len = rng.gen_range(1..=4).min(bins - i);
+                        let level = rng.gen_range(0.5..2.0);
+                        for r in rates.iter_mut().skip(i).take(len) {
+                            *r = level;
+                        }
+                        i += len;
+                    } else {
+                        i += 1;
+                    }
+                }
+                rates
+            }
+            TracePattern::Periodic => {
+                // Two full cycles over the duration, never dropping to zero.
+                (0..bins)
+                    .map(|i| {
+                        let phase = i as f64 / bins as f64 * 2.0 * std::f64::consts::TAU;
+                        1.0 + 0.8 * phase.sin()
+                    })
+                    .collect()
+            }
+            TracePattern::Bursty => {
+                let mut rates = vec![0.35; bins];
+                let mut i = 0;
+                while i < bins {
+                    if rng.gen_bool(0.05) {
+                        let len = rng.gen_range(1..=3).min(bins - i);
+                        let spike = rng.gen_range(3.0..8.0);
+                        for r in rates.iter_mut().skip(i).take(len) {
+                            *r = spike;
+                        }
+                        i += len;
+                    } else {
+                        i += 1;
+                    }
+                }
+                rates
+            }
+            TracePattern::Diurnal => {
+                // One cycle per day of simulated time (or one cycle total
+                // for sub-day durations), plus STB spikes/dips.
+                let day_bins =
+                    (SimDuration::from_hours(24).as_secs_f64() / bin.as_secs_f64()) as usize;
+                let period = day_bins.min(bins).max(1) as f64;
+                (0..bins)
+                    .map(|i| {
+                        let phase = i as f64 / period * std::f64::consts::TAU;
+                        let base = 1.0 + 0.7 * phase.sin();
+                        let stb = if rng.gen_bool(0.08) {
+                            rng.gen_range(0.3..2.5)
+                        } else {
+                            1.0
+                        };
+                        base * stb
+                    })
+                    .collect()
+            }
+        };
+
+        // Normalize so the time-average equals mean_rps.
+        let raw_mean = raw.iter().sum::<f64>() / raw.len() as f64;
+        let rates = if raw_mean > 0.0 && mean_rps > 0.0 {
+            raw.iter().map(|r| r / raw_mean * mean_rps).collect()
+        } else {
+            vec![0.0; bins]
+        };
+        RateSeries::new(bin, rates)
+    }
+}
+
+impl std::fmt::Display for TracePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: SimDuration = SimDuration::from_hours(1);
+
+    #[test]
+    fn all_patterns_hit_target_mean() {
+        for p in TracePattern::all() {
+            let s = p.generate(40.0, HOUR, 1);
+            assert!(
+                (s.mean() - 40.0).abs() < 1e-6,
+                "{p}: mean {} != 40",
+                s.mean()
+            );
+            assert_eq!(s.rates().len(), 60);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for p in TracePattern::all() {
+            assert_eq!(p.generate(10.0, HOUR, 5), p.generate(10.0, HOUR, 5));
+        }
+        assert_ne!(
+            TracePattern::Bursty.generate(10.0, HOUR, 5),
+            TracePattern::Bursty.generate(10.0, HOUR, 6)
+        );
+    }
+
+    #[test]
+    fn sporadic_is_mostly_silent() {
+        let s = TracePattern::Sporadic.generate(10.0, SimDuration::from_hours(12), 3);
+        let zero_bins = s.rates().iter().filter(|r| **r == 0.0).count();
+        let frac = zero_bins as f64 / s.rates().len() as f64;
+        assert!(frac > 0.5, "sporadic should be mostly idle, got {frac}");
+    }
+
+    #[test]
+    fn periodic_never_goes_silent() {
+        let s = TracePattern::Periodic.generate(10.0, HOUR, 3);
+        assert!(s.rates().iter().all(|r| *r > 0.0));
+        // Meaningful swing between trough and peak.
+        let min = s.rates().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(s.peak() / min > 3.0);
+    }
+
+    #[test]
+    fn bursty_has_spikes_above_base() {
+        let s = TracePattern::Bursty.generate(10.0, SimDuration::from_hours(6), 3);
+        let mean = s.mean();
+        assert!(s.peak() > 3.0 * mean, "peak {} vs mean {mean}", s.peak());
+    }
+
+    #[test]
+    fn diurnal_cycles_daily() {
+        let s = TracePattern::Diurnal.generate(100.0, SimDuration::from_hours(48), 3);
+        // Correlate bin i with bin i+24h: same phase, strong similarity
+        // despite STB noise.
+        let day = 24 * 60;
+        let rates = s.rates();
+        let mut same_phase = 0.0;
+        let mut anti_phase = 0.0;
+        for i in 0..day {
+            same_phase += (rates[i] - rates[i + day]).abs();
+            anti_phase += (rates[i] - rates[(i + day / 2) % (2 * day)]).abs();
+        }
+        assert!(
+            same_phase < anti_phase,
+            "daily periodicity missing: same {same_phase} anti {anti_phase}"
+        );
+    }
+
+    #[test]
+    fn zero_mean_is_all_zero() {
+        let s = TracePattern::Bursty.generate(0.0, HOUR, 1);
+        assert!(s.rates().iter().all(|r| *r == 0.0));
+    }
+
+    #[test]
+    fn evaluation_set_is_the_fig10_trio() {
+        let names: Vec<_> = TracePattern::evaluation_set()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(names, ["sporadic", "periodic", "bursty"]);
+    }
+}

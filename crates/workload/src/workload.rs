@@ -1,0 +1,245 @@
+//! Multi-function workloads: merged arrival streams.
+
+use infless_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::{constant_arrivals, poisson_arrivals};
+use crate::series::RateSeries;
+use crate::traces::TracePattern;
+
+/// The load offered to one function: its rate curve plus how arrivals
+/// are drawn from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionLoad {
+    kind: LoadKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum LoadKind {
+    /// Poisson arrivals following a rate curve.
+    Poisson(RateSeries),
+    /// Evenly-spaced arrivals at the curve's mean rate.
+    Constant(RateSeries),
+    /// An explicit, pre-sorted arrival list (single-shot timers,
+    /// replayed production traces).
+    Explicit(Vec<SimTime>),
+}
+
+impl FunctionLoad {
+    /// Poisson arrivals following `series`.
+    pub fn poisson(series: RateSeries) -> Self {
+        FunctionLoad {
+            kind: LoadKind::Poisson(series),
+        }
+    }
+
+    /// Evenly-spaced arrivals at constant `rps` (stress-test load).
+    pub fn constant(rps: f64, duration: SimDuration) -> Self {
+        FunctionLoad {
+            kind: LoadKind::Constant(RateSeries::constant(rps, duration)),
+        }
+    }
+
+    /// A Poisson load following a synthetic trace pattern.
+    pub fn trace(pattern: TracePattern, mean_rps: f64, duration: SimDuration, seed: u64) -> Self {
+        FunctionLoad::poisson(pattern.generate(mean_rps, duration, seed))
+    }
+
+    /// Exact arrival timestamps — single-shot timer functions and trace
+    /// replays. The list is sorted internally.
+    pub fn explicit(mut times: Vec<SimTime>) -> Self {
+        times.sort_unstable();
+        FunctionLoad {
+            kind: LoadKind::Explicit(times),
+        }
+    }
+
+    /// The underlying rate curve, if the load is curve-driven.
+    pub fn series(&self) -> Option<&RateSeries> {
+        match &self.kind {
+            LoadKind::Poisson(s) | LoadKind::Constant(s) => Some(s),
+            LoadKind::Explicit(_) => None,
+        }
+    }
+
+    fn sample(&self, seed: u64) -> Vec<SimTime> {
+        match &self.kind {
+            LoadKind::Constant(series) => {
+                if series.mean() <= 0.0 {
+                    Vec::new()
+                } else {
+                    constant_arrivals(series.mean(), series.duration())
+                }
+            }
+            LoadKind::Poisson(series) => poisson_arrivals(series, seed),
+            LoadKind::Explicit(times) => times.clone(),
+        }
+    }
+}
+
+/// A complete workload: per-function arrival streams merged into one
+/// time-sorted sequence of `(time, function index)` pairs — exactly
+/// what a platform's gateway consumes.
+///
+/// # Example
+///
+/// ```
+/// use infless_sim::SimDuration;
+/// use infless_workload::{FunctionLoad, Workload};
+///
+/// let w = Workload::build(
+///     &[
+///         FunctionLoad::constant(10.0, SimDuration::from_secs(2)),
+///         FunctionLoad::constant(5.0, SimDuration::from_secs(2)),
+///     ],
+///     99,
+/// );
+/// assert_eq!(w.len(), 30);
+/// assert!(w.arrivals().windows(2).all(|p| p[0].0 <= p[1].0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    arrivals: Vec<(SimTime, usize)>,
+    functions: usize,
+}
+
+impl Workload {
+    /// Samples every function's arrivals (independent streams derived
+    /// from `seed`) and merges them in time order.
+    pub fn build(loads: &[FunctionLoad], seed: u64) -> Self {
+        let mut arrivals: Vec<(SimTime, usize)> = Vec::new();
+        for (i, load) in loads.iter().enumerate() {
+            let sub_seed = infless_sim::rng::derive_seed(seed, &format!("workload/fn{i}"));
+            arrivals.extend(load.sample(sub_seed).into_iter().map(|t| (t, i)));
+        }
+        arrivals.sort_unstable();
+        Workload {
+            arrivals,
+            functions: loads.len(),
+        }
+    }
+
+    /// The merged `(time, function index)` stream, sorted by time.
+    pub fn arrivals(&self) -> &[(SimTime, usize)] {
+        &self.arrivals
+    }
+
+    /// Total number of requests.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` if the workload contains no requests.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Number of functions the workload addresses.
+    pub fn functions(&self) -> usize {
+        self.functions
+    }
+
+    /// The time of the last arrival, or zero for an empty workload.
+    pub fn end_time(&self) -> SimTime {
+        self.arrivals.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Observed average RPS for one function over a window — what the
+    /// auto-scaling engine's monitor would report.
+    pub fn observed_rps(&self, function: usize, from: SimTime, to: SimTime) -> f64 {
+        assert!(to > from, "empty observation window");
+        let n = self
+            .arrivals
+            .iter()
+            .filter(|(t, f)| *f == function && *t >= from && *t < to)
+            .count();
+        n as f64 / (to - from).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_all_arrivals() {
+        let loads = [
+            FunctionLoad::constant(20.0, SimDuration::from_secs(5)),
+            FunctionLoad::trace(TracePattern::Periodic, 30.0, SimDuration::from_secs(60), 1),
+        ];
+        let w = Workload::build(&loads, 42);
+        assert_eq!(w.functions(), 2);
+        let f0 = w.arrivals().iter().filter(|(_, f)| *f == 0).count();
+        assert_eq!(f0, 100);
+        assert!(!w.is_empty());
+        assert!(w.end_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let loads = [FunctionLoad::trace(
+            TracePattern::Bursty,
+            50.0,
+            SimDuration::from_mins(3),
+            7,
+        )];
+        assert_eq!(Workload::build(&loads, 1), Workload::build(&loads, 1));
+        assert_ne!(Workload::build(&loads, 1), Workload::build(&loads, 2));
+    }
+
+    #[test]
+    fn functions_get_independent_streams() {
+        let loads = [
+            FunctionLoad::trace(TracePattern::Periodic, 10.0, SimDuration::from_mins(2), 1),
+            FunctionLoad::trace(TracePattern::Periodic, 10.0, SimDuration::from_mins(2), 1),
+        ];
+        let w = Workload::build(&loads, 3);
+        let f0: Vec<SimTime> = w
+            .arrivals()
+            .iter()
+            .filter(|(_, f)| *f == 0)
+            .map(|(t, _)| *t)
+            .collect();
+        let f1: Vec<SimTime> = w
+            .arrivals()
+            .iter()
+            .filter(|(_, f)| *f == 1)
+            .map(|(t, _)| *t)
+            .collect();
+        assert_ne!(f0, f1, "same trace config must still sample independently");
+    }
+
+    #[test]
+    fn observed_rps_matches_constant_load() {
+        let loads = [FunctionLoad::constant(40.0, SimDuration::from_secs(10))];
+        let w = Workload::build(&loads, 0);
+        let rps = w.observed_rps(0, SimTime::ZERO, SimTime::from_secs(10));
+        assert!((rps - 40.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn explicit_arrivals_pass_through_sorted() {
+        let times = vec![
+            SimTime::from_secs(9),
+            SimTime::from_secs(1),
+            SimTime::from_secs(5),
+        ];
+        let load = FunctionLoad::explicit(times);
+        assert!(load.series().is_none());
+        let w = Workload::build(&[load], 3);
+        let ts: Vec<SimTime> = w.arrivals().iter().map(|(t, _)| *t).collect();
+        assert_eq!(
+            ts,
+            vec![SimTime::from_secs(1), SimTime::from_secs(5), SimTime::from_secs(9)]
+        );
+        // Explicit loads ignore the seed entirely.
+        assert_eq!(w, Workload::build(&[FunctionLoad::explicit(ts)], 99));
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::build(&[], 0);
+        assert!(w.is_empty());
+        assert_eq!(w.end_time(), SimTime::ZERO);
+    }
+}

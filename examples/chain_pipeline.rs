@@ -1,0 +1,77 @@
+//! Function chains: the paper's §7 future-work extension.
+//!
+//! A two-stage OSVT-style pipeline — SSD object detection feeding
+//! ResNet-50 classification — under a single 400 ms *end-to-end* SLO.
+//! The platform splits the budget across the stages in proportion to
+//! their minimum achievable latencies, serves each stage with the full
+//! INFless machinery, and relays completions to the next stage.
+//!
+//! ```sh
+//! cargo run --release --example chain_pipeline
+//! ```
+
+use infless::cluster::ClusterSpec;
+use infless::core::chains::ChainSpec;
+use infless::core::engine::FunctionInfo;
+use infless::core::platform::{InflessConfig, InflessPlatform};
+use infless::models::ModelId;
+use infless::sim::SimDuration;
+use infless::workload::{FunctionLoad, TracePattern, Workload};
+
+fn main() {
+    let functions = vec![
+        FunctionInfo::new(ModelId::Ssd.spec(), SimDuration::from_millis(200)),
+        FunctionInfo::new(ModelId::ResNet50.spec(), SimDuration::from_millis(200)),
+    ];
+    let chain = ChainSpec::new(
+        "detect-then-classify",
+        vec![0, 1],
+        SimDuration::from_millis(400),
+    );
+
+    // Traffic only enters the chain head; stage 2 load is pure relay.
+    let duration = SimDuration::from_mins(5);
+    let loads = vec![
+        FunctionLoad::trace(TracePattern::Bursty, 80.0, duration, 7),
+        FunctionLoad::constant(0.001, SimDuration::from_secs(1)),
+    ];
+    let workload = Workload::build(&loads, 7);
+
+    let platform = InflessPlatform::with_chains(
+        ClusterSpec::testbed(),
+        functions,
+        vec![chain],
+        InflessConfig::default(),
+        7,
+    );
+    let report = platform.run(&workload);
+
+    println!("pipeline: SSD -> ResNet-50, end-to-end SLO 400 ms\n");
+    println!("per-stage (split SLOs):");
+    for f in &report.functions {
+        if f.completed < 10 {
+            continue;
+        }
+        let lat = &f.latency_ms;
+        println!(
+            "  {:<11} slo={:<8} n={:<6} p50={:>6.1}ms p99={:>6.1}ms",
+            f.name,
+            f.slo.to_string(),
+            f.completed,
+            lat.quantile(0.5).unwrap_or(0.0),
+            lat.quantile(0.99).unwrap_or(0.0),
+        );
+    }
+    for chain in &report.chains {
+        let e2e = &chain.e2e_ms;
+        println!(
+            "\nchain '{}': {} traversals, {} lost, e2e p50 {:.1} ms, p99 {:.1} ms, violations {:.2}%",
+            chain.name,
+            chain.completed,
+            chain.lost,
+            e2e.quantile(0.5).unwrap_or(0.0),
+            e2e.quantile(0.99).unwrap_or(0.0),
+            chain.violation_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Cold-start lab: the same sporadic workload served three times, with
+//! the cold-start manager running LSTH, HHP, and a fixed 300 s window
+//! (the Fig. 16 comparison at example scale).
+//!
+//! ```sh
+//! cargo run --release --example coldstart_lab
+//! ```
+
+use infless::cluster::ClusterSpec;
+use infless::core::engine::FunctionInfo;
+use infless::core::platform::{ColdStartConfig, InflessConfig, InflessPlatform};
+use infless::models::ModelId;
+use infless::sim::SimDuration;
+use infless::workload::{FunctionLoad, TracePattern, Workload};
+
+fn main() {
+    let duration = SimDuration::from_hours(8);
+    let functions = vec![
+        FunctionInfo::new(ModelId::Ssd.spec(), SimDuration::from_millis(200)),
+        FunctionInfo::new(ModelId::TextCnn69.spec(), SimDuration::from_millis(200)),
+    ];
+    let loads: Vec<FunctionLoad> = (0..functions.len())
+        .map(|i| FunctionLoad::trace(TracePattern::Sporadic, 8.0, duration, 55 + i as u64))
+        .collect();
+    let workload = Workload::build(&loads, 55);
+    println!(
+        "Sporadic workload, {} requests over {} — comparing cold-start policies\n",
+        workload.len(),
+        duration
+    );
+
+    let policies = [
+        ("LSTH (γ=0.5)", ColdStartConfig::Lsth { gamma: 0.5 }),
+        ("HHP (4h)", ColdStartConfig::Hhp),
+        ("fixed 300s", ColdStartConfig::Fixed(SimDuration::from_secs(300))),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>16}",
+        "policy", "cold rate", "cold starts", "violations", "idle waste (u·s)"
+    );
+    for (name, coldstart) in policies {
+        let config = InflessConfig {
+            coldstart,
+            ..InflessConfig::default()
+        };
+        let report =
+            InflessPlatform::new(ClusterSpec::testbed(), functions.clone(), config, 55)
+                .run(&workload);
+        println!(
+            "{:<14} {:>9.2}% {:>12} {:>11.2}% {:>16.0}",
+            name,
+            report.cold_request_rate() * 100.0,
+            report.cold_launches,
+            report.violation_rate() * 100.0,
+            report.weighted_idle_seconds
+        );
+    }
+}

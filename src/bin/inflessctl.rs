@@ -1,0 +1,163 @@
+//! `inflessctl` — run a deployment scenario from a JSON descriptor.
+//!
+//! ```sh
+//! cargo run --release --bin inflessctl -- scenarios/osvt.json
+//! cargo run --release --bin inflessctl -- scenarios/osvt.json --seed 7 --json
+//! ```
+
+use std::process::ExitCode;
+
+use infless::descriptor::Scenario;
+use infless::core::RunReport;
+
+const USAGE: &str = "usage: inflessctl <scenario.json> [--seed N] [--json]
+
+Runs a deployment scenario (see scenarios/ for examples) and prints the
+run report. --seed overrides the scenario's seed; --json emits the
+summary as JSON instead of a table.";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => seed = Some(v),
+                _ => return usage("--seed needs an integer"),
+            },
+            "--json" => json = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing scenario path");
+    };
+
+    let mut scenario = match Scenario::from_file(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(seed) = seed {
+        scenario.seed = seed;
+    }
+    match scenario.run() {
+        Ok(report) => {
+            if json {
+                print_json(&report);
+            } else {
+                print_table(&report);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn print_table(report: &RunReport) {
+    println!(
+        "{} served {} requests over {} ({} dropped, {:.2}% SLO violations)",
+        report.platform,
+        report.total_completed(),
+        report.duration,
+        report.total_dropped(),
+        report.violation_rate() * 100.0
+    );
+    println!(
+        "throughput/resource {:.3}   cold-start rate {:.3}%   launches {}   retirements {}\n",
+        report.throughput_per_resource(),
+        report.cold_request_rate() * 100.0,
+        report.launches,
+        report.retirements
+    );
+    println!(
+        "{:<14} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "function", "completed", "p50 ms", "p99 ms", "viol %", "cold %"
+    );
+    for f in &report.functions {
+        let lat = &f.latency_ms;
+        println!(
+            "{:<14} {:>10} {:>9.1} {:>9.1} {:>9.2} {:>9.2}",
+            f.name,
+            f.completed,
+            lat.quantile(0.5).unwrap_or(0.0),
+            lat.quantile(0.99).unwrap_or(0.0),
+            f.violation_rate() * 100.0,
+            f.cold_rate() * 100.0
+        );
+    }
+    for c in &report.chains {
+        let e2e = &c.e2e_ms;
+        println!(
+            "\nchain {:<10} {:>8} traversals  e2e p50 {:>7.1} ms  p99 {:>7.1} ms  viol {:.2}%",
+            c.name,
+            c.completed,
+            e2e.quantile(0.5).unwrap_or(0.0),
+            e2e.quantile(0.99).unwrap_or(0.0),
+            c.violation_rate() * 100.0
+        );
+    }
+}
+
+fn print_json(report: &RunReport) {
+    let functions: Vec<serde_json::Value> = report
+        .functions
+        .iter()
+        .map(|f| {
+            let lat = &f.latency_ms;
+            serde_json::json!({
+                "name": f.name,
+                "completed": f.completed,
+                "dropped": f.dropped,
+                "p50_ms": lat.quantile(0.5),
+                "p99_ms": lat.quantile(0.99),
+                "violation_rate": f.violation_rate(),
+                "cold_rate": f.cold_rate(),
+            })
+        })
+        .collect();
+    let chains: Vec<serde_json::Value> = report
+        .chains
+        .iter()
+        .map(|c| {
+            let e2e = &c.e2e_ms;
+            serde_json::json!({
+                "name": c.name,
+                "completed": c.completed,
+                "lost": c.lost,
+                "e2e_p50_ms": e2e.quantile(0.5),
+                "e2e_p99_ms": e2e.quantile(0.99),
+                "violation_rate": c.violation_rate(),
+            })
+        })
+        .collect();
+    let out = serde_json::json!({
+        "platform": report.platform,
+        "duration_s": report.duration.as_secs_f64(),
+        "completed": report.total_completed(),
+        "dropped": report.total_dropped(),
+        "violation_rate": report.violation_rate(),
+        "throughput_per_resource": report.throughput_per_resource(),
+        "cold_request_rate": report.cold_request_rate(),
+        "functions": functions,
+        "chains": chains,
+    });
+    println!("{}", serde_json::to_string_pretty(&out).expect("valid json"));
+}

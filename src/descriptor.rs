@@ -1,0 +1,509 @@
+//! Deployment descriptors: the paper's Fig. 5 function template, as a
+//! JSON scenario file.
+//!
+//! INFless accepts inference deployments declaratively — function name,
+//! model, latency SLO and batchsize cap (`faas-cli` parses the YAML in
+//! the original). This module provides the equivalent for the
+//! reproduction: a [`Scenario`] describing the cluster, the platform,
+//! the deployed functions with their loads, and optional function
+//! chains. `cargo run --bin inflessctl -- scenarios/osvt.json` runs one
+//! end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use infless::descriptor::Scenario;
+//!
+//! let json = r#"{
+//!   "platform": "infless",
+//!   "seed": 7,
+//!   "cluster": { "servers": 2 },
+//!   "functions": [
+//!     { "name": "detector", "model": "SSD", "slo_ms": 200,
+//!       "load": { "kind": "constant", "rps": 20.0, "duration_secs": 10 } }
+//!   ]
+//! }"#;
+//! let scenario = Scenario::from_json(json)?;
+//! let report = scenario.run()?;
+//! assert!(report.total_completed() > 0);
+//! # Ok::<(), infless::descriptor::ScenarioError>(())
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::Deserialize;
+
+use infless_baselines::{BatchPlatform, OpenFaasPlus};
+use infless_cluster::ClusterSpec;
+use infless_core::chains::ChainSpec;
+use infless_core::engine::FunctionInfo;
+use infless_core::metrics::RunReport;
+use infless_core::platform::{ColdStartConfig, InflessConfig, InflessPlatform};
+use infless_models::ModelId;
+use infless_sim::SimDuration;
+use infless_workload::{FunctionLoad, TracePattern, Workload};
+
+/// Which platform serves the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum PlatformKind {
+    /// The paper's system.
+    Infless,
+    /// The one-to-one baseline.
+    Openfaas,
+    /// The OTP batching baseline.
+    Batch,
+}
+
+/// Cluster shape (defaults to the Table 2 testbed).
+#[derive(Debug, Clone, Copy, Deserialize)]
+#[serde(default, deny_unknown_fields)]
+pub struct ClusterDescriptor {
+    /// Number of servers.
+    pub servers: usize,
+    /// CPU threads per server.
+    pub cores_per_server: u32,
+    /// GPUs per server.
+    pub gpus_per_server: usize,
+    /// Memory per server, MB.
+    pub mem_per_server_mb: f64,
+}
+
+impl Default for ClusterDescriptor {
+    fn default() -> Self {
+        let t = ClusterSpec::testbed();
+        ClusterDescriptor {
+            servers: t.servers,
+            cores_per_server: t.cores_per_server,
+            gpus_per_server: t.gpus_per_server,
+            mem_per_server_mb: t.mem_per_server_mb,
+        }
+    }
+}
+
+impl ClusterDescriptor {
+    fn to_spec(self) -> ClusterSpec {
+        ClusterSpec {
+            servers: self.servers,
+            cores_per_server: self.cores_per_server,
+            gpus_per_server: self.gpus_per_server,
+            mem_per_server_mb: self.mem_per_server_mb,
+        }
+    }
+}
+
+/// The load offered to one function.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "kind", rename_all = "lowercase", deny_unknown_fields)]
+pub enum LoadDescriptor {
+    /// Evenly-spaced arrivals.
+    Constant {
+        /// Requests per second.
+        rps: f64,
+        /// Load duration in seconds.
+        duration_secs: u64,
+    },
+    /// A synthetic production-trace pattern (Poisson arrivals).
+    Trace {
+        /// `sporadic` / `periodic` / `bursty` / `diurnal`.
+        pattern: String,
+        /// Time-average RPS.
+        mean_rps: f64,
+        /// Load duration in seconds.
+        duration_secs: u64,
+    },
+    /// A row of an Azure-format invocation CSV, replayed as Poisson
+    /// arrivals per minute.
+    Csv {
+        /// Path to the trace file (relative to the working directory).
+        path: String,
+        /// The row's function identifier.
+        function: String,
+    },
+    /// No external load (chain-interior stages).
+    None,
+}
+
+/// One deployed function (the Fig. 5 template).
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FunctionDescriptor {
+    /// The function's name (referenced by chains).
+    pub name: String,
+    /// Model name from the zoo (case/separator-insensitive).
+    pub model: String,
+    /// Latency SLO in milliseconds.
+    pub slo_ms: u64,
+    /// Optional batchsize cap (`maxBatchsize`).
+    #[serde(default)]
+    pub max_batch: Option<u32>,
+    /// The offered load.
+    pub load: LoadDescriptor,
+}
+
+/// A function chain (the §7 extension).
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ChainDescriptor {
+    /// The chain's name.
+    pub name: String,
+    /// Stage function names, in order.
+    pub stages: Vec<String>,
+    /// End-to-end SLO in milliseconds.
+    pub e2e_slo_ms: u64,
+}
+
+/// A complete, runnable scenario.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Scenario {
+    /// The platform to run (`infless` / `openfaas` / `batch`).
+    pub platform: PlatformKind,
+    /// Run seed (all randomness derives from it).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Cluster shape (Table 2 testbed by default).
+    #[serde(default)]
+    pub cluster: ClusterDescriptor,
+    /// The deployed functions.
+    pub functions: Vec<FunctionDescriptor>,
+    /// Function chains (INFless platform only).
+    #[serde(default)]
+    pub chains: Vec<ChainDescriptor>,
+}
+
+fn default_seed() -> u64 {
+    42
+}
+
+/// Errors building or running a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// File could not be read.
+    Io(std::io::Error),
+    /// JSON was malformed.
+    Json(serde_json::Error),
+    /// The scenario was semantically invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io(e) => write!(f, "failed to read scenario: {e}"),
+            ScenarioError::Json(e) => write!(f, "failed to parse scenario: {e}"),
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Io(e) => Some(e),
+            ScenarioError::Json(e) => Some(e),
+            ScenarioError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ScenarioError {
+    fn from(e: std::io::Error) -> Self {
+        ScenarioError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ScenarioError {
+    fn from(e: serde_json::Error) -> Self {
+        ScenarioError::Json(e)
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Json`] on malformed JSON and
+    /// [`ScenarioError::Invalid`] on semantic problems (unknown model,
+    /// unknown chain stage, …).
+    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+        let scenario: Scenario = serde_json::from_str(json)?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Loads a scenario from a file.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::from_json`], plus I/O errors.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, ScenarioError> {
+        Self::from_json(&fs::read_to_string(path)?)
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        if self.functions.is_empty() {
+            return Err(ScenarioError::Invalid("no functions declared".into()));
+        }
+        for f in &self.functions {
+            f.model
+                .parse::<ModelId>()
+                .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+            if f.slo_ms == 0 {
+                return Err(ScenarioError::Invalid(format!(
+                    "function {:?} has a zero SLO",
+                    f.name
+                )));
+            }
+            if let LoadDescriptor::Trace { pattern, .. } = &f.load {
+                parse_pattern(pattern)?;
+            }
+        }
+        for c in &self.chains {
+            if self.platform != PlatformKind::Infless {
+                return Err(ScenarioError::Invalid(
+                    "function chains require the INFless platform".into(),
+                ));
+            }
+            for stage in &c.stages {
+                if !self.functions.iter().any(|f| &f.name == stage) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "chain {:?} references unknown function {stage:?}",
+                        c.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the function table, chains and workload, runs the chosen
+    /// platform to completion, and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if a CSV load cannot be read or a
+    /// referenced row is missing.
+    pub fn run(&self) -> Result<RunReport, ScenarioError> {
+        let functions: Vec<FunctionInfo> = self
+            .functions
+            .iter()
+            .map(|f| {
+                let id: ModelId = f.model.parse().expect("validated");
+                let slo = SimDuration::from_millis(f.slo_ms);
+                match f.max_batch {
+                    Some(cap) => FunctionInfo::with_max_batch(id.spec(), slo, cap),
+                    None => FunctionInfo::new(id.spec(), slo),
+                }
+            })
+            .collect();
+
+        let loads: Result<Vec<FunctionLoad>, ScenarioError> = self
+            .functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| self.build_load(i, f))
+            .collect();
+        let workload = Workload::build(&loads?, self.seed);
+
+        let chains: Vec<ChainSpec> = self
+            .chains
+            .iter()
+            .map(|c| {
+                let stages = c
+                    .stages
+                    .iter()
+                    .map(|name| {
+                        self.functions
+                            .iter()
+                            .position(|f| &f.name == name)
+                            .expect("validated")
+                    })
+                    .collect();
+                ChainSpec::new(c.name.clone(), stages, SimDuration::from_millis(c.e2e_slo_ms))
+            })
+            .collect();
+
+        let cluster = self.cluster.to_spec();
+        let report = match self.platform {
+            PlatformKind::Infless => InflessPlatform::with_chains(
+                cluster,
+                functions,
+                chains,
+                InflessConfig {
+                    coldstart: ColdStartConfig::Lsth { gamma: 0.5 },
+                    ..InflessConfig::default()
+                },
+                self.seed,
+            )
+            .run(&workload),
+            PlatformKind::Openfaas => {
+                OpenFaasPlus::new(cluster, functions, self.seed).run(&workload)
+            }
+            PlatformKind::Batch => BatchPlatform::new(cluster, functions, self.seed).run(&workload),
+        };
+        Ok(report)
+    }
+
+    fn build_load(&self, index: usize, f: &FunctionDescriptor) -> Result<FunctionLoad, ScenarioError> {
+        match &f.load {
+            LoadDescriptor::Constant { rps, duration_secs } => Ok(FunctionLoad::constant(
+                *rps,
+                SimDuration::from_secs(*duration_secs),
+            )),
+            LoadDescriptor::Trace {
+                pattern,
+                mean_rps,
+                duration_secs,
+            } => Ok(FunctionLoad::trace(
+                parse_pattern(pattern).expect("validated"),
+                *mean_rps,
+                SimDuration::from_secs(*duration_secs),
+                self.seed + index as u64,
+            )),
+            LoadDescriptor::Csv { path, function } => {
+                let file = fs::File::open(path)?;
+                let rows = infless_workload::read_csv(file)
+                    .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+                let row = rows
+                    .iter()
+                    .find(|r| r.name() == function)
+                    .ok_or_else(|| {
+                        ScenarioError::Invalid(format!(
+                            "trace {path:?} has no row named {function:?}"
+                        ))
+                    })?;
+                Ok(row.to_load())
+            }
+            LoadDescriptor::None => Ok(FunctionLoad::explicit(Vec::new())),
+        }
+    }
+}
+
+fn parse_pattern(name: &str) -> Result<TracePattern, ScenarioError> {
+    TracePattern::all()
+        .into_iter()
+        .find(|p| p.name() == name.to_ascii_lowercase())
+        .ok_or_else(|| ScenarioError::Invalid(format!("unknown trace pattern {name:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"{
+        "platform": "infless",
+        "cluster": { "servers": 2 },
+        "functions": [
+            { "name": "a", "model": "MobileNet", "slo_ms": 100,
+              "load": { "kind": "constant", "rps": 15.0, "duration_secs": 10 } }
+        ]
+    }"#;
+
+    #[test]
+    fn minimal_scenario_parses_and_runs() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        assert_eq!(s.seed, 42, "seed defaults");
+        assert_eq!(s.cluster.cores_per_server, 32, "cluster fields default");
+        let report = s.run().unwrap();
+        assert_eq!(report.total_completed() + report.total_dropped(), 150);
+    }
+
+    #[test]
+    fn rejects_unknown_model() {
+        let bad = MINIMAL.replace("MobileNet", "AlexNet");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown model"));
+    }
+
+    #[test]
+    fn rejects_unknown_chain_stage() {
+        let json = r#"{
+            "platform": "infless",
+            "functions": [
+                { "name": "a", "model": "SSD", "slo_ms": 200,
+                  "load": { "kind": "none" } },
+                { "name": "b", "model": "ResNet-50", "slo_ms": 200,
+                  "load": { "kind": "none" } }
+            ],
+            "chains": [ { "name": "c", "stages": ["a", "nope"], "e2e_slo_ms": 400 } ]
+        }"#;
+        let err = Scenario::from_json(json).unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_chains_on_baselines() {
+        let json = r#"{
+            "platform": "batch",
+            "functions": [
+                { "name": "a", "model": "SSD", "slo_ms": 200, "load": { "kind": "none" } },
+                { "name": "b", "model": "ResNet-50", "slo_ms": 200, "load": { "kind": "none" } }
+            ],
+            "chains": [ { "name": "c", "stages": ["a", "b"], "e2e_slo_ms": 400 } ]
+        }"#;
+        let err = Scenario::from_json(json).unwrap_err();
+        assert!(err.to_string().contains("INFless platform"));
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let json = MINIMAL.replace("\"seed\"", "\"sneed\"");
+        let with_extra = json.replace(
+            "\"platform\": \"infless\",",
+            "\"platform\": \"infless\", \"turbo\": true,",
+        );
+        assert!(Scenario::from_json(&with_extra).is_err());
+    }
+
+    #[test]
+    fn chain_scenario_runs_end_to_end() {
+        let json = r#"{
+            "platform": "infless",
+            "seed": 3,
+            "cluster": { "servers": 4 },
+            "functions": [
+                { "name": "detect", "model": "SSD", "slo_ms": 200,
+                  "load": { "kind": "constant", "rps": 20.0, "duration_secs": 15 } },
+                { "name": "classify", "model": "resnet50", "slo_ms": 200, "max_batch": 8,
+                  "load": { "kind": "none" } }
+            ],
+            "chains": [ { "name": "pipeline", "stages": ["detect", "classify"], "e2e_slo_ms": 450 } ]
+        }"#;
+        let report = Scenario::from_json(json).unwrap().run().unwrap();
+        assert_eq!(report.chains.len(), 1);
+        assert!(report.chains[0].completed > 100);
+        // The max_batch cap holds: classify never batches beyond 8.
+        let classify = &report.functions[1];
+        assert!(classify.per_batch_completed.keys().all(|b| *b <= 8));
+    }
+
+    #[test]
+    fn csv_load_replays_a_trace_row() {
+        let dir = std::env::temp_dir().join("infless-descriptor-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let rows = vec![infless_workload::TraceRow::new("hot", vec![600; 5])];
+        let mut buf = Vec::new();
+        infless_workload::write_csv(&rows, &mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+
+        let json = format!(
+            r#"{{
+                "platform": "infless",
+                "cluster": {{ "servers": 2 }},
+                "functions": [
+                    {{ "name": "f", "model": "MNIST", "slo_ms": 50,
+                       "load": {{ "kind": "csv", "path": {path:?}, "function": "hot" }} }}
+                ]
+            }}"#
+        );
+        let report = Scenario::from_json(&json).unwrap().run().unwrap();
+        // ~10 rps over 5 minutes.
+        let total = report.total_completed() + report.total_dropped();
+        assert!((2000..4500).contains(&(total as usize)), "total {total}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # infless
+//!
+//! Facade crate for the INFless (ASPLOS'22) reproduction. Re-exports the
+//! workspace crates under one roof; see the README for a tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptor;
+
+pub use infless_baselines as baselines;
+pub use infless_cluster as cluster;
+pub use infless_core as core;
+pub use infless_models as models;
+pub use infless_sim as sim;
+pub use infless_workload as workload;

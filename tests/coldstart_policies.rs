@@ -1,0 +1,104 @@
+//! Cold-start policy integration: LSTH against HHP and fixed windows on
+//! the workload class it was designed for (timer-like and sporadic
+//! functions) — the Fig. 16 claims at test scale.
+
+use infless::cluster::ClusterSpec;
+use infless::core::engine::FunctionInfo;
+use infless::core::platform::{ColdStartConfig, InflessConfig, InflessPlatform};
+use infless::core::RunReport;
+use infless::models::ModelId;
+use infless::sim::SimDuration;
+use infless::workload::{FunctionLoad, RateSeries, TracePattern, Workload};
+
+/// A 6-hour mixed workload: a timer-like function firing in short
+/// windows every ~50 minutes, plus a sporadic and a bursty function.
+fn mixed_workload() -> (Vec<FunctionInfo>, Workload) {
+    let duration = SimDuration::from_hours(6);
+    let slo = SimDuration::from_millis(200);
+    let functions = vec![
+        FunctionInfo::new(ModelId::Ssd.spec(), slo),
+        FunctionInfo::new(ModelId::TextCnn69.spec(), slo),
+        FunctionInfo::new(ModelId::MobileNet.spec(), slo),
+    ];
+    let mins = (duration.as_secs_f64() / 60.0) as usize;
+    let timer: Vec<f64> = (0..mins)
+        .map(|i| if i % 50 < 2 { 10.0 } else { 0.0 })
+        .collect();
+    let loads = vec![
+        FunctionLoad::poisson(RateSeries::new(SimDuration::from_mins(1), timer)),
+        FunctionLoad::trace(TracePattern::Sporadic, 2.0, duration, 301),
+        FunctionLoad::trace(TracePattern::Bursty, 3.0, duration, 302),
+    ];
+    (functions, Workload::build(&loads, 300))
+}
+
+fn run(coldstart: ColdStartConfig) -> RunReport {
+    let (functions, workload) = mixed_workload();
+    let config = InflessConfig {
+        coldstart,
+        ..InflessConfig::default()
+    };
+    InflessPlatform::new(ClusterSpec::testbed(), functions, config, 300).run(&workload)
+}
+
+#[test]
+fn lsth_no_worse_than_hhp_on_both_axes() {
+    let lsth = run(ColdStartConfig::Lsth { gamma: 0.5 });
+    let hhp = run(ColdStartConfig::Hhp);
+    assert!(
+        lsth.cold_launches <= hhp.cold_launches,
+        "LSTH {} cold launches vs HHP {}",
+        lsth.cold_launches,
+        hhp.cold_launches
+    );
+    assert!(
+        lsth.weighted_idle_seconds <= hhp.weighted_idle_seconds * 1.05,
+        "LSTH idle waste {} vs HHP {}",
+        lsth.weighted_idle_seconds,
+        hhp.weighted_idle_seconds
+    );
+}
+
+#[test]
+fn histogram_policies_beat_fixed_on_cold_starts() {
+    let lsth = run(ColdStartConfig::Lsth { gamma: 0.5 });
+    let fixed = run(ColdStartConfig::Fixed(SimDuration::from_secs(300)));
+    // A 300 s window cannot bridge ~48-minute timer gaps; the histogram
+    // policy pre-warms across them.
+    assert!(
+        lsth.cold_launches < fixed.cold_launches,
+        "LSTH {} vs fixed {}",
+        lsth.cold_launches,
+        fixed.cold_launches
+    );
+}
+
+#[test]
+fn gamma_sweep_stays_functional() {
+    for gamma in [0.3, 0.5, 0.7] {
+        let report = run(ColdStartConfig::Lsth { gamma });
+        let total = report.total_completed() + report.total_dropped();
+        let served = report.total_completed() as f64 / total as f64;
+        assert!(
+            served > 0.95,
+            "γ={gamma}: served only {:.1}%",
+            served * 100.0
+        );
+    }
+}
+
+#[test]
+fn cold_requests_wait_seconds_not_minutes() {
+    let report = run(ColdStartConfig::Fixed(SimDuration::from_secs(60)));
+    for f in &report.functions {
+        if f.cold_requests == 0 {
+            continue;
+        }
+        let cold_mean = f.cold_ms.mean();
+        assert!(
+            cold_mean < 10_000.0,
+            "{}: mean cold wait {cold_mean}ms",
+            f.name
+        );
+    }
+}
