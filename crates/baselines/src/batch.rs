@@ -133,9 +133,11 @@ impl BatchPlatform {
         config: BatchConfig,
         seed: u64,
     ) -> Self {
+        let construction_started = std::time::Instant::now();
         let hardware = HardwareModel::default();
         let specs: Vec<ModelSpec> = functions.iter().map(|f| f.spec().clone()).collect();
-        let db = ProfileDatabase::profile(&hardware, &specs, &ConfigGrid::standard(), seed);
+        let (db, cache_outcome) =
+            ProfileDatabase::cached_with_outcome(&hardware, &specs, &ConfigGrid::standard(), seed);
         let predictor = CopPredictor::new(db, hardware.clone());
         let name = match config.placement {
             BatchPlacement::Spread => "BATCH",
@@ -151,7 +153,9 @@ impl BatchPlatform {
                 buffer: VecDeque::new(),
             })
             .collect();
-        let engine = Engine::new(name, cluster, hardware, functions, seed);
+        let mut engine = Engine::new(name, cluster, hardware, functions, seed);
+        engine.collector.mark_started(construction_started);
+        engine.collector.set_profile_cache(cache_outcome);
         BatchPlatform {
             engine,
             config,
@@ -225,7 +229,9 @@ impl BatchPlatform {
     /// per live instance (plus slack for the cold-start ramp while no
     /// instance exists yet).
     fn buffer_cap(&self, f: usize) -> usize {
-        let Some(plan) = self.fns[f].plan else { return 0 };
+        let Some(plan) = self.fns[f].plan else {
+            return 0;
+        };
         let live = self.engine.instances_of(f).len();
         let b = plan.config.batch() as usize;
         (2 * b * live).max(4 * b)
@@ -281,7 +287,9 @@ impl BatchPlatform {
                 .max(1.0);
             let rps = self.fns[f].recent_arrivals.len() as f64 / window;
 
-            let Some(plan) = self.fns[f].plan else { continue };
+            let Some(plan) = self.fns[f].plan else {
+                continue;
+            };
             // Uniform scaling: n = ceil(R / r_up), plus one catch-up
             // instance per tick while the buffer holds a backlog.
             let mut desired = (rps / plan.window.r_up()).ceil() as usize;

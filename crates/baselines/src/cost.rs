@@ -51,7 +51,11 @@ impl CostModel {
         CostSummary {
             cpus_per_100rps: report.cpus_per_100rps(),
             gpus_per_100rps: report.gpus_per_100rps(),
-            cost_per_request: if completed > 0.0 { dollars / completed } else { 0.0 },
+            cost_per_request: if completed > 0.0 {
+                dollars / completed
+            } else {
+                0.0
+            },
         }
         .validated(hours)
     }
@@ -75,9 +79,21 @@ impl CostModel {
         let dollars =
             (peak_cpus * self.cpu_per_hour + peak_gpus * self.gpu_per_hour) * duration_hours;
         CostSummary {
-            cpus_per_100rps: if rps > 0.0 { peak_cpus / rps * 100.0 } else { 0.0 },
-            gpus_per_100rps: if rps > 0.0 { peak_gpus / rps * 100.0 } else { 0.0 },
-            cost_per_request: if completed > 0 { dollars / completed_f } else { 0.0 },
+            cpus_per_100rps: if rps > 0.0 {
+                peak_cpus / rps * 100.0
+            } else {
+                0.0
+            },
+            gpus_per_100rps: if rps > 0.0 {
+                peak_gpus / rps * 100.0
+            } else {
+                0.0
+            },
+            cost_per_request: if completed > 0 {
+                dollars / completed_f
+            } else {
+                0.0
+            },
         }
     }
 

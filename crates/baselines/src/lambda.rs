@@ -85,11 +85,16 @@ impl LambdaModel {
 
     /// The smallest ladder memory size meeting `slo` at `batch`, if any
     /// (Fig. 2c, left bar).
-    pub fn min_memory_for_slo(&self, spec: &ModelSpec, batch: u32, slo: SimDuration) -> Option<u32> {
-        LAMBDA_MEMORY_STEPS_MB
-            .iter()
-            .copied()
-            .find(|&mb| self.invoke_latency(spec, batch, mb).is_some_and(|t| t <= slo))
+    pub fn min_memory_for_slo(
+        &self,
+        spec: &ModelSpec,
+        batch: u32,
+        slo: SimDuration,
+    ) -> Option<u32> {
+        LAMBDA_MEMORY_STEPS_MB.iter().copied().find(|&mb| {
+            self.invoke_latency(spec, batch, mb)
+                .is_some_and(|t| t <= slo)
+        })
     }
 
     /// Fraction of the SLO-satisfying memory configuration that is
@@ -133,10 +138,7 @@ mod tests {
             for mb in LAMBDA_MEMORY_STEPS_MB {
                 if let Some(t) = l.invoke_latency(&spec, 1, mb) {
                     if l.vcpus(mb) >= 0.5 {
-                        assert!(
-                            t.as_millis_f64() < 50.0,
-                            "{id} at {mb}MB: {t}"
-                        );
+                        assert!(t.as_millis_f64() < 50.0, "{id} at {mb}MB: {t}");
                     }
                 }
             }
@@ -155,7 +157,9 @@ mod tests {
                 t.as_millis_f64() > 200.0,
                 "{id} at 3GB: {t} unexpectedly meets the SLO"
             );
-            assert!(l.min_memory_for_slo(&spec, 1, SimDuration::from_millis(200)).is_none());
+            assert!(l
+                .min_memory_for_slo(&spec, 1, SimDuration::from_millis(200))
+                .is_none());
         }
     }
 
@@ -174,7 +178,10 @@ mod tests {
                 flipped += 1;
             }
         }
-        assert!(flipped >= 2, "batching should break the SLO for some models, flipped={flipped}");
+        assert!(
+            flipped >= 2,
+            "batching should break the SLO for some models, flipped={flipped}"
+        );
     }
 
     #[test]
@@ -193,7 +200,9 @@ mod tests {
     #[test]
     fn tiny_memory_cannot_load_big_models() {
         let l = lambda();
-        assert!(l.invoke_latency(&ModelId::ResNet50.spec(), 1, 128).is_none());
+        assert!(l
+            .invoke_latency(&ModelId::ResNet50.spec(), 1, 128)
+            .is_none());
         assert!(l.invoke_latency(&ModelId::Mnist.spec(), 1, 256).is_some());
     }
 }

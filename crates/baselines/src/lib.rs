@@ -27,7 +27,9 @@ pub mod cost;
 pub mod lambda;
 pub mod openfaas;
 
-pub use batch::{uniform_plan, BatchConfig, BatchPlacement, BatchPlatform, UniformPlan, BATCH_PROFILE_MARGIN};
+pub use batch::{
+    uniform_plan, BatchConfig, BatchPlacement, BatchPlatform, UniformPlan, BATCH_PROFILE_MARGIN,
+};
 pub use cost::{CostModel, CostSummary};
 pub use lambda::{LambdaModel, LAMBDA_MEMORY_STEPS_MB};
 pub use openfaas::{OpenFaasConfig, OpenFaasPlus};

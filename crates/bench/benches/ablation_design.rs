@@ -23,7 +23,7 @@ fn main() {
     let app = Application::osvt();
     let hw = HardwareModel::default();
     let specs: Vec<ModelSpec> = app.functions().iter().map(|f| f.spec().clone()).collect();
-    let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 50);
+    let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 50);
     let predictor = CopPredictor::new(db, hw);
     let mut json = serde_json::Map::new();
 
@@ -42,7 +42,10 @@ fn main() {
         let mut c = ClusterSpec::testbed().build();
         let out = sched.schedule(
             &predictor,
-            &infless_core::engine::FunctionInfo::new(specs[2].clone(), SimDuration::from_millis(200)),
+            &infless_core::engine::FunctionInfo::new(
+                specs[2].clone(),
+                SimDuration::from_millis(200),
+            ),
             600.0,
             &mut c,
         );
@@ -81,7 +84,10 @@ fn main() {
         for spec in &specs {
             let out = sched.schedule(
                 &predictor,
-                &infless_core::engine::FunctionInfo::new(spec.clone(), SimDuration::from_millis(200)),
+                &infless_core::engine::FunctionInfo::new(
+                    spec.clone(),
+                    SimDuration::from_millis(200),
+                ),
                 1e5,
                 &mut c,
             );
@@ -106,7 +112,13 @@ fn main() {
         "α hysteresis sweep on a bursty trace: launches vs violations",
     );
     let duration = maybe_quick(SimDuration::from_mins(10));
-    let workload = pattern_workload(app.functions().len(), TracePattern::Bursty, 150.0, duration, 51);
+    let workload = pattern_workload(
+        app.functions().len(),
+        TracePattern::Bursty,
+        150.0,
+        duration,
+        51,
+    );
     let mut d4 = Vec::new();
     for alpha in [0.0, 0.4, 0.8, 1.0] {
         let cfg = InflessConfig {
@@ -137,7 +149,12 @@ fn main() {
         "D6",
         "COP offset sweep under constant stress: goodput vs safety",
     );
-    let stress = constant_workload(app.functions().len(), 800.0, maybe_quick(SimDuration::from_secs(60)), 52);
+    let stress = constant_workload(
+        app.functions().len(),
+        800.0,
+        maybe_quick(SimDuration::from_secs(60)),
+        52,
+    );
     let mut d6 = Vec::new();
     for offset in [1.0, 1.1, 1.25, 1.5, 2.0] {
         let cfg = InflessConfig {
@@ -175,8 +192,10 @@ fn main() {
     );
     let mut d7 = Vec::new();
     for k in [0.0, 0.12, 0.3, 0.6] {
-        let mut hw = infless_models::HardwareCalibration::default();
-        hw.mps_interference = k;
+        let hw = infless_models::HardwareCalibration {
+            mps_interference: k,
+            ..Default::default()
+        };
         let cfg = InflessConfig {
             hardware: hw,
             ..InflessConfig::default()

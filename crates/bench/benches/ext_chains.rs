@@ -94,6 +94,8 @@ fn main() {
         }
         println!();
     }
-    println!("(proportional wins at tight budgets; equal acts as a per-stage guard band at loose ones)");
+    println!(
+        "(proportional wins at tight budgets; equal acts as a per-stage guard band at loose ones)"
+    );
     record("ext_chains", serde_json::json!({ "rows": rows }));
 }

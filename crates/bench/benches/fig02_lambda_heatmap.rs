@@ -5,8 +5,8 @@
 //! (b) the same with OTP batching (b = 4 and b = 8);
 //! (c) the memory over-provisioning needed to reach the 200 ms SLO.
 
-use infless_bench::{header, record};
 use infless_baselines::{LambdaModel, LAMBDA_MEMORY_STEPS_MB};
+use infless_bench::{header, record};
 use infless_models::ModelId;
 use infless_sim::SimDuration;
 

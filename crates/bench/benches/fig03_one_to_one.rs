@@ -21,7 +21,12 @@ fn main() {
     )];
     let duration = maybe_quick(SimDuration::from_mins(10));
     let workload = Workload::build(
-        &[FunctionLoad::trace(TracePattern::Bursty, 120.0, duration, 33)],
+        &[FunctionLoad::trace(
+            TracePattern::Bursty,
+            120.0,
+            duration,
+            33,
+        )],
         33,
     );
 
@@ -95,12 +100,12 @@ fn main() {
     record(
         "fig03_one_to_one",
         serde_json::json!({
-            "fig3a": {
+            "fig3a": serde_json::json!({
                 "one_to_one_launches": one_to_one.launches,
                 "batching_launches": batched.launches,
                 "invocation_reduction": inv_drop,
                 "launch_reduction": launch_drop,
-            },
+            }),
             "fig3b": thpts
                 .iter()
                 .map(|(n, g, t)| serde_json::json!({"system": n, "goodput_rps": g, "thpt_per_resource": t}))

@@ -19,7 +19,7 @@ fn main() {
     );
     let hw = HardwareModel::default();
     let specs: Vec<ModelSpec> = ModelId::all().iter().map(|id| id.spec()).collect();
-    let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 8);
+    let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 8);
     let predictor = CopPredictor::new(db, hw.clone());
 
     let mut json = Vec::new();
@@ -43,7 +43,12 @@ fn main() {
             e.1 += 1;
         }
         let avg = total / f64::from(n);
-        println!("{} — average error {:.2}%, worst {:.2}%", id.name(), avg * 100.0, worst * 100.0);
+        println!(
+            "{} — average error {:.2}%, worst {:.2}%",
+            id.name(),
+            avg * 100.0,
+            worst * 100.0
+        );
         print!("  per batchsize:");
         for (b, (sum, c)) in &per_batch {
             print!("  b={b}: {:.1}%", sum / f64::from(*c) * 100.0);

@@ -8,10 +8,13 @@
 //! * BB off: all batchsizes forced to 1;
 //! * RS off: fragmentation-oblivious max-throughput configs;
 //! * OP1.5 / OP2: prediction offset inflated to 1.5× / 2×.
+//!
 //! (paper: throughput drops 45.6 % / 21.9 % / 35.4 % for BB/RS/OP in
 //! OSVT; 60 % / 7 % / 34.3 % in Q&A.)
 
-use infless_bench::{constant_workload, header, maybe_quick, record, run_parallel, System};
+use infless_bench::{
+    constant_workload, header, maybe_quick, print_timings, record, run_parallel, System,
+};
 use infless_cluster::ClusterSpec;
 use infless_core::apps::Application;
 use infless_core::platform::{InflessConfig, InflessPlatform};
@@ -24,9 +27,8 @@ fn ablated(
     workload: &infless_workload::Workload,
     seed: u64,
     config: InflessConfig,
-) -> (f64, f64) {
-    let r = InflessPlatform::new(cluster, app.functions().to_vec(), config, seed).run(workload);
-    (r.goodput_rps(), r.throughput_per_resource())
+) -> infless_core::metrics::RunReport {
+    InflessPlatform::new(cluster, app.functions().to_vec(), config, seed).run(workload)
 }
 
 fn main() {
@@ -89,6 +91,13 @@ fn main() {
             base / of,
             base / batch
         );
+        print_timings(
+            System::trio()
+                .iter()
+                .map(|s| s.name())
+                .zip(trio_reports.iter()),
+        );
+        println!();
 
         // Right: component ablation.
         let variants: Vec<(&str, InflessConfig)> = vec![
@@ -144,7 +153,8 @@ fn main() {
                 })
                 .collect(),
         );
-        for ((name, _), (goodput, tpr)) in variants.iter().zip(abl_results) {
+        for ((name, _), r) in variants.iter().zip(&abl_results) {
+            let (goodput, tpr) = (r.goodput_rps(), r.throughput_per_resource());
             let drop = (1.0 - goodput / base) * 100.0;
             println!(
                 "{:<14} goodput {:>8.0} RPS  thpt/res {:>7.3}  ({:+.1}% vs full INFless)",
@@ -152,6 +162,13 @@ fn main() {
             );
             abl_rows.push((name.to_string(), goodput, drop));
         }
+        println!();
+        print_timings(
+            variants
+                .iter()
+                .map(|(name, _)| *name)
+                .zip(abl_results.iter()),
+        );
         println!();
         results.push(serde_json::json!({
             "app": app.name(),
@@ -166,5 +183,8 @@ fn main() {
         }));
     }
 
-    record("fig11_throughput_ablation", serde_json::json!({ "apps": results }));
+    record(
+        "fig11_throughput_ablation",
+        serde_json::json!({ "apps": results }),
+    );
 }

@@ -35,14 +35,23 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(pi, pattern)| {
-            pattern_workload(app.functions().len(), *pattern, 150.0, duration, 12 + pi as u64)
+            pattern_workload(
+                app.functions().len(),
+                *pattern,
+                150.0,
+                duration,
+                12 + pi as u64,
+            )
         })
         .collect();
     let mut jobs = Vec::new();
     for workload in &workloads {
         for sys in System::trio() {
             let functions = app.functions().to_vec();
-            jobs.push(move || sys.run(cluster, &functions, workload, 12).throughput_per_resource());
+            jobs.push(move || {
+                sys.run(cluster, &functions, workload, 12)
+                    .throughput_per_resource()
+            });
         }
     }
     let results = run_parallel(jobs);
@@ -76,7 +85,10 @@ fn main() {
         "Throughput per unit of resource across latency SLOs (OSVT, bursty)",
     );
     let slos = [150u64, 200, 250, 300, 350];
-    println!("{:<10} {:>10} {:>10} {:>10}", "SLO", "INFless", "BATCH", "ratio");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "SLO", "INFless", "BATCH", "ratio"
+    );
     let mut slo_rows = Vec::new();
     let slo_inputs: Vec<_> = slos
         .iter()

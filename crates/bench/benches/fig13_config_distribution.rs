@@ -22,7 +22,12 @@ fn main() {
     // A load that swings widely so both small and large batches pay off.
     let duration = maybe_quick(SimDuration::from_mins(15));
     let workload = Workload::build(
-        &[FunctionLoad::trace(TracePattern::Bursty, 250.0, duration, 133)],
+        &[FunctionLoad::trace(
+            TracePattern::Bursty,
+            250.0,
+            duration,
+            133,
+        )],
         133,
     );
 
@@ -35,8 +40,11 @@ fn main() {
             &format!("{} — throughput share by batchsize (ResNet-50)", sys.name()),
         );
         let f = &r.functions[0];
-        let mut batches: Vec<(u32, u64)> =
-            f.per_batch_completed.iter().map(|(b, n)| (*b, *n)).collect();
+        let mut batches: Vec<(u32, u64)> = f
+            .per_batch_completed
+            .iter()
+            .map(|(b, n)| (*b, *n))
+            .collect();
         batches.sort_unstable();
         let mut batch_rows = Vec::new();
         for (b, n) in &batches {
@@ -48,7 +56,10 @@ fn main() {
         header(
             "fig13_config_distribution",
             "Fig. 13(c)",
-            &format!("{} — instance (b, c, g) configurations launched", sys.name()),
+            &format!(
+                "{} — instance (b, c, g) configurations launched",
+                sys.name()
+            ),
         );
         let mut cfgs: Vec<(String, u64)> = r
             .config_launches
@@ -80,8 +91,5 @@ fn main() {
         );
     }
 
-    record(
-        "fig13_config_distribution",
-        serde_json::Value::Object(json),
-    );
+    record("fig13_config_distribution", serde_json::Value::Object(json));
 }

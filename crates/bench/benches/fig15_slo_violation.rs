@@ -33,7 +33,13 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(pi, pattern)| {
-            pattern_workload(app.functions().len(), *pattern, 120.0, duration, 150 + pi as u64)
+            pattern_workload(
+                app.functions().len(),
+                *pattern,
+                120.0,
+                duration,
+                150 + pi as u64,
+            )
         })
         .collect();
     let mut jobs = Vec::new();
@@ -61,7 +67,11 @@ fn main() {
     for slo_ms in [150u64, 350] {
         header(
             "fig15_slo_violation",
-            if slo_ms == 150 { "Fig. 15(b)" } else { "Fig. 15(c)" },
+            if slo_ms == 150 {
+                "Fig. 15(b)"
+            } else {
+                "Fig. 15(c)"
+            },
             &format!("INFless latency breakdown at SLO = {slo_ms} ms (OSVT, bursty)"),
         );
         let app = Application::osvt_with_slo(SimDuration::from_millis(slo_ms));

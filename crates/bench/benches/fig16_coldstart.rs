@@ -6,7 +6,7 @@
 //! plus sporadic and bursty functions (paper: LSTH cuts the cold-start
 //! rate by 21.9 % and idle waste by 24.3 % vs HHP, best at γ = 0.5).
 
-use infless_bench::{header, record, run_parallel};
+use infless_bench::{header, print_timings, record, run_parallel};
 use infless_cluster::ClusterSpec;
 use infless_core::engine::FunctionInfo;
 use infless_core::platform::{ColdStartConfig, InflessConfig, InflessPlatform};
@@ -75,14 +75,14 @@ fn workload(duration: SimDuration) -> (Vec<FunctionInfo>, Workload) {
     // the steady background texture gets tiny models so its constant
     // holding does not mask the policy differences.
     let models = [
-        ModelId::TextCnn69, // office-hours
-        ModelId::MobileNet, // office-hours
-        ModelId::Dssm2365,  // office-hours
-        ModelId::Ssd,       // 45-min timer
-        ModelId::ResNet20,  // 110-min timer
-        ModelId::DeepSpeech,// 170-min timer
-        ModelId::Mnist,     // sporadic texture
-        ModelId::Dssm2389,  // bursty texture
+        ModelId::TextCnn69,  // office-hours
+        ModelId::MobileNet,  // office-hours
+        ModelId::Dssm2365,   // office-hours
+        ModelId::Ssd,        // 45-min timer
+        ModelId::ResNet20,   // 110-min timer
+        ModelId::DeepSpeech, // 170-min timer
+        ModelId::Mnist,      // sporadic texture
+        ModelId::Dssm2389,   // bursty texture
     ];
     let functions: Vec<FunctionInfo> = models
         .iter()
@@ -99,8 +99,18 @@ fn workload(duration: SimDuration) -> (Vec<FunctionInfo>, Workload) {
         FunctionLoad::explicit(jittered_timer(mins, 110, 15, 175)),
         FunctionLoad::explicit(jittered_timer(mins, 170, 20, 176)),
     ];
-    loads.push(FunctionLoad::trace(TracePattern::Sporadic, 1.0, duration, 181));
-    loads.push(FunctionLoad::trace(TracePattern::Bursty, 1.5, duration, 182));
+    loads.push(FunctionLoad::trace(
+        TracePattern::Sporadic,
+        1.0,
+        duration,
+        181,
+    ));
+    loads.push(FunctionLoad::trace(
+        TracePattern::Bursty,
+        1.5,
+        duration,
+        182,
+    ));
     (functions, Workload::build(&loads, 160))
 }
 
@@ -187,6 +197,14 @@ fn main() {
         );
         println!("(paper: −21.9% cold starts, −24.3% idle waste)");
     }
+
+    println!();
+    print_timings(
+        policies
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .zip(reports.iter()),
+    );
 
     record("fig16_coldstart", serde_json::json!({ "policies": rows }));
 }

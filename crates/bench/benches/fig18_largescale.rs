@@ -15,7 +15,9 @@ use infless_cluster::{ClusterSpec, ClusterState};
 use infless_core::apps::Application;
 use infless_core::predictor::CopPredictor;
 use infless_core::scheduler::{Scheduler, SchedulerConfig};
-use infless_models::{profile::ConfigGrid, HardwareModel, ModelSpec, ProfileDatabase, ResourceConfig};
+use infless_models::{
+    profile::ConfigGrid, HardwareModel, ModelSpec, ProfileDatabase, ResourceConfig,
+};
 use infless_sim::SimDuration;
 
 struct Harness {
@@ -28,7 +30,7 @@ impl Harness {
     fn new(app: &Application, servers: usize) -> Self {
         let hw = HardwareModel::default();
         let specs: Vec<ModelSpec> = app.functions().iter().map(|f| f.spec().clone()).collect();
-        let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 18);
+        let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 18);
         Harness {
             predictor: CopPredictor::new(db, hw),
             scheduler: Scheduler::new(SchedulerConfig::default()),
@@ -101,7 +103,6 @@ impl Harness {
         }
         capacity / cluster.weighted_in_use(self.predictor.beta()).max(1e-9)
     }
-
 }
 
 fn normalize(rows: &mut [(String, f64)]) {
@@ -120,7 +121,9 @@ fn main() {
     header(
         "fig18_largescale",
         "Fig. 18(a)",
-        &format!("Normalized throughput upper bound per resource vs #functions ({servers} servers)"),
+        &format!(
+            "Normalized throughput upper bound per resource vs #functions ({servers} servers)"
+        ),
     );
     println!(
         "{:>10} {:>12} {:>12} {:>12}",
@@ -132,7 +135,10 @@ fn main() {
         let h = Harness::new(&app, servers);
         let rps = 4_000.0;
         let mut row = vec![
-            ("OpenFaaS+".to_string(), h.openfaas_capacity_density(&app, rps)),
+            (
+                "OpenFaaS+".to_string(),
+                h.openfaas_capacity_density(&app, rps),
+            ),
             ("BATCH".to_string(), h.batch_capacity_density(&app, rps)),
             ("INFless".to_string(), h.infless_capacity_density(&app, rps)),
         ];
@@ -181,13 +187,20 @@ fn main() {
             let mut cluster = ClusterSpec::large(servers).build();
             let mut capacity = 0.0;
             for function in &app.functions {
-                let out = h.scheduler.schedule(&h.predictor, function, 4_000.0, &mut cluster);
+                let out = h
+                    .scheduler
+                    .schedule(&h.predictor, function, 4_000.0, &mut cluster);
                 capacity += out.instances.iter().map(|i| i.window.r_up()).sum::<f64>();
             }
             capacity / cluster.weighted_in_use(h.predictor.beta()).max(1e-9)
         };
         let base_v = *base.get_or_insert(density);
-        println!("{:>6}ms {:>14.2}  ({:.2} normalized)", slo_ms, density, density / base_v);
+        println!(
+            "{:>6}ms {:>14.2}  ({:.2} normalized)",
+            slo_ms,
+            density,
+            density / base_v
+        );
         b_rows.push(serde_json::json!({"slo_ms": slo_ms, "density": density}));
     }
     println!("(paper: throughput per resource rises as the SLO relaxes)");
@@ -207,7 +220,7 @@ impl Harness {
     fn new_from(functions: &[infless_core::engine::FunctionInfo], servers: usize) -> Self {
         let hw = HardwareModel::default();
         let specs: Vec<ModelSpec> = functions.iter().map(|f| f.spec().clone()).collect();
-        let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 18);
+        let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 18);
         Harness {
             predictor: CopPredictor::new(db, hw),
             scheduler: Scheduler::new(SchedulerConfig::default()),

@@ -14,7 +14,7 @@ use infless_sim::{EventQueue, SimDuration, SimTime};
 fn predictor() -> (CopPredictor, ModelSpec) {
     let hw = HardwareModel::default();
     let specs: Vec<ModelSpec> = ModelId::all().iter().map(|id| id.spec()).collect();
-    let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 99);
+    let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 99);
     (CopPredictor::new(db, hw), ModelId::ResNet50.spec())
 }
 
@@ -27,7 +27,7 @@ fn bench_predictor(c: &mut Criterion) {
                 let hw = HardwareModel::default();
                 let db = ProfileDatabase::profile(
                     &hw,
-                    &[spec.clone()],
+                    std::slice::from_ref(&spec),
                     &ConfigGrid::standard(),
                     99,
                 );
@@ -52,7 +52,10 @@ fn bench_scheduler(c: &mut Criterion) {
             |mut cluster| {
                 scheduler.schedule(
                     &p,
-                    &infless_core::engine::FunctionInfo::new(spec.clone(), SimDuration::from_millis(200)),
+                    &infless_core::engine::FunctionInfo::new(
+                        spec.clone(),
+                        SimDuration::from_millis(200),
+                    ),
                     500.0,
                     &mut cluster,
                 )
@@ -66,7 +69,10 @@ fn bench_scheduler(c: &mut Criterion) {
             |mut cluster| {
                 scheduler.schedule(
                     &p,
-                    &infless_core::engine::FunctionInfo::new(spec.clone(), SimDuration::from_millis(200)),
+                    &infless_core::engine::FunctionInfo::new(
+                        spec.clone(),
+                        SimDuration::from_millis(200),
+                    ),
                     500.0,
                     &mut cluster,
                 )

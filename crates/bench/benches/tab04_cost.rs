@@ -9,8 +9,8 @@
 //!   EC2 49.42 CPU, 2.47 GPU, 2.23e-5 | OpenFaaS+ 55.63, 2.13, 2e-5 |
 //!   BATCH 41.45, 1.34, 1.32e-5 | INFless 13.91, 0.51, 1.6e-6.
 
-use infless_bench::{header, maybe_quick, record, System};
 use infless_baselines::CostModel;
+use infless_bench::{header, maybe_quick, record, System};
 use infless_cluster::ClusterSpec;
 use infless_core::apps::Application;
 use infless_sim::SimDuration;

@@ -19,11 +19,12 @@
 use std::fs;
 use std::path::PathBuf;
 
+use infless_baselines::{BatchConfig, BatchPlacement, BatchPlatform, OpenFaasPlus};
 use infless_cluster::ClusterSpec;
 use infless_core::engine::FunctionInfo;
 use infless_core::metrics::RunReport;
 use infless_core::platform::{InflessConfig, InflessPlatform};
-use infless_baselines::{BatchConfig, BatchPlacement, BatchPlatform, OpenFaasPlus};
+use infless_models::CacheOutcome;
 use infless_sim::SimDuration;
 use infless_workload::{FunctionLoad, TracePattern, Workload};
 
@@ -57,7 +58,10 @@ pub fn record(experiment: &str, value: serde_json::Value) {
         return;
     }
     let path = dir.join(format!("{experiment}.json"));
-    let _ = fs::write(path, serde_json::to_string_pretty(&value).unwrap_or_default());
+    let _ = fs::write(
+        path,
+        serde_json::to_string_pretty(&value).unwrap_or_default(),
+    );
 }
 
 fn results_dir() -> PathBuf {
@@ -152,12 +156,7 @@ pub fn pattern_workload(
 }
 
 /// Builds constant stress loads.
-pub fn constant_workload(
-    functions: usize,
-    rps: f64,
-    duration: SimDuration,
-    seed: u64,
-) -> Workload {
+pub fn constant_workload(functions: usize, rps: f64, duration: SimDuration, seed: u64) -> Workload {
     let loads: Vec<FunctionLoad> = (0..functions)
         .map(|_| FunctionLoad::constant(rps, duration))
         .collect();
@@ -173,17 +172,43 @@ where
     F: FnOnce() -> R + Send,
     R: Send,
 {
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|job| scope.spawn(move |_| job()))
-            .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs.into_iter().map(|job| scope.spawn(job)).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("experiment thread panicked"))
             .collect()
     })
-    .expect("experiment scope panicked")
+}
+
+/// Short provenance tag for a run's COP profile database.
+pub fn cache_tag(report: &RunReport) -> &'static str {
+    match report.profile_cache {
+        Some(CacheOutcome::MemoryHit) => "profile-db cache hit",
+        Some(CacheOutcome::DiskHit) => "profile-db disk hit",
+        Some(CacheOutcome::Built) => "profile-db built",
+        None => "no profile-db",
+    }
+}
+
+/// One per-run accounting line of the parallel harness: wall-clock time
+/// of the run (construction + simulation) and where its profile
+/// database came from.
+pub fn timing_line(label: &str, report: &RunReport) -> String {
+    format!(
+        "  {:<14} wall {:>7.2}s  ({})",
+        label,
+        report.wall_clock_seconds,
+        cache_tag(report)
+    )
+}
+
+/// Prints the per-run wall-clock block for a batch of labelled reports.
+pub fn print_timings<'a>(runs: impl IntoIterator<Item = (&'a str, &'a RunReport)>) {
+    println!("per-run wall-clock (parallel harness):");
+    for (label, report) in runs {
+        println!("{}", timing_line(label, report));
+    }
 }
 
 /// A compact one-line summary used by several benches.
@@ -219,7 +244,13 @@ mod tests {
     fn workload_builders_produce_load() {
         let w = constant_workload(2, 10.0, SimDuration::from_secs(5), 1);
         assert_eq!(w.len(), 100);
-        let w = pattern_workload(2, TracePattern::Periodic, 10.0, SimDuration::from_mins(2), 1);
+        let w = pattern_workload(
+            2,
+            TracePattern::Periodic,
+            10.0,
+            SimDuration::from_mins(2),
+            1,
+        );
         assert!(!w.is_empty());
     }
 }

@@ -388,7 +388,10 @@ mod tests {
         let t1 = t0 + SimDuration::from_millis(2);
         assert!(inst.enqueue(request(2, t1), t1));
         assert!(inst.enqueue(request(3, t1), t1));
-        assert!(!inst.enqueue(request(4, t1), t1), "second pending batch drops");
+        assert!(
+            !inst.enqueue(request(4, t1), t1),
+            "second pending batch drops"
+        );
         assert!(!inst.can_execute(t1), "busy until t0+10ms");
         inst.complete_batch(until, 2);
         assert!(inst.can_execute(until));

@@ -87,7 +87,12 @@ impl Server {
     ///
     /// Panics if `cpu_capacity` is zero or `mem_capacity_mb` is not
     /// positive.
-    pub fn with_memory(id: ServerId, cpu_capacity: u32, gpus: &[u32], mem_capacity_mb: f64) -> Self {
+    pub fn with_memory(
+        id: ServerId,
+        cpu_capacity: u32,
+        gpus: &[u32],
+        mem_capacity_mb: f64,
+    ) -> Self {
         assert!(cpu_capacity > 0, "a server needs CPU capacity");
         assert!(
             mem_capacity_mb > 0.0 && mem_capacity_mb.is_finite(),
@@ -293,7 +298,7 @@ mod tests {
     fn best_fit_prefers_tighter_device() {
         let mut s = server();
         let _a = s.allocate(ResourceConfig::new(1, 70)).unwrap(); // dev0: 30 free
-        // A 25% request should land on dev0 (30 free), not dev1 (100 free).
+                                                                  // A 25% request should land on dev0 (30 free), not dev1 (100 free).
         let p = s.allocate(ResourceConfig::new(1, 25)).unwrap();
         assert_eq!(p.gpu_index(), Some(0));
     }
@@ -341,11 +346,15 @@ mod tests {
     fn memory_constrains_allocation() {
         let mut s = Server::with_memory(ServerId::new(0), 32, &[100], 1000.0);
         assert!(s.fits_with_memory(ResourceConfig::cpu(1), 600.0));
-        let p = s.allocate_with_memory(ResourceConfig::cpu(1), 600.0).unwrap();
+        let p = s
+            .allocate_with_memory(ResourceConfig::cpu(1), 600.0)
+            .unwrap();
         assert_eq!(s.mem_free_mb(), 400.0);
         // Plenty of cores left, but not enough memory.
         assert!(!s.fits_with_memory(ResourceConfig::cpu(1), 500.0));
-        assert!(s.allocate_with_memory(ResourceConfig::cpu(1), 500.0).is_none());
+        assert!(s
+            .allocate_with_memory(ResourceConfig::cpu(1), 500.0)
+            .is_none());
         s.release(ResourceConfig::cpu(1), p);
         assert_eq!(s.mem_free_mb(), 1000.0);
         assert_eq!(p.mem_mb(), 600.0);

@@ -192,7 +192,10 @@ impl ClusterState {
 
     /// Total CPU cores in the cluster.
     pub fn cpu_capacity(&self) -> u64 {
-        self.servers.iter().map(|s| u64::from(s.cpu_capacity())).sum()
+        self.servers
+            .iter()
+            .map(|s| u64::from(s.cpu_capacity()))
+            .sum()
     }
 
     /// CPU cores currently allocated.

@@ -147,8 +147,7 @@ mod tests {
     fn synthetic_cycles_models_and_slos() {
         let app = Application::synthetic(40);
         assert_eq!(app.functions().len(), 40);
-        let slos: std::collections::HashSet<_> =
-            app.functions().iter().map(|f| f.slo()).collect();
+        let slos: std::collections::HashSet<_> = app.functions().iter().map(|f| f.slo()).collect();
         assert!(slos.len() >= 4, "SLOs should vary");
     }
 }

@@ -175,13 +175,22 @@ pub fn split_rate(r: f64, windows: &[RpsWindow], alpha: f64) -> DispatchPlan {
 
     let floor = alpha * r_min + (1.0 - alpha) * r_max;
     let span = r_max - r_min;
-    let rates: Vec<f64> = if span <= f64::EPSILON {
+    // Degeneracy is relative to the magnitude of the bounds: at
+    // thousands of RPS a span of a few ULPs is still "zero width", yet
+    // far exceeds the absolute f64::EPSILON, and dividing by it below
+    // would blow the deficit up. (`max(1.0)` keeps genuinely tiny rates
+    // on the absolute-epsilon scale.)
+    let rates: Vec<f64> = if span <= f64::EPSILON * r_max.max(1.0) {
         // Degenerate windows (r_low == r_up): share proportionally to
         // r_up, clamped into the (zero-width) windows as case iii does.
         windows
             .iter()
             .map(|w| {
-                let share = if r_max > 0.0 { r * w.r_up() / r_max } else { 0.0 };
+                let share = if r_max > 0.0 {
+                    r * w.r_up() / r_max
+                } else {
+                    0.0
+                };
                 share.clamp(w.r_low(), w.r_up())
             })
             .collect()
@@ -276,7 +285,10 @@ mod tests {
         assert_eq!(at_max.rates, vec![80.0, 80.0]);
         let at_min = split_rate(56.0, &[w, w], DEFAULT_ALPHA);
         assert_eq!(at_min.rates, vec![28.0, 28.0]);
-        assert!(at_min.release_recommended, "R == R_min is below the α floor");
+        assert!(
+            at_min.release_recommended,
+            "R == R_min is below the α floor"
+        );
     }
 
     #[test]
@@ -368,6 +380,45 @@ mod tests {
                 for (rate, w) in plan.rates.iter().zip(&windows) {
                     prop_assert!((rate - w.r_up()).abs() < 1e-9);
                 }
+            }
+        }
+
+        /// Rate conservation also holds for *heterogeneous* dispatch
+        /// sets — mixed batchsizes and execution times, as left behind
+        /// by scale-down and emergency scaling — not just the cloned
+        /// windows above.
+        #[test]
+        fn prop_split_conserves_heterogeneous(
+            r in 0.0f64..3000.0,
+            mix in prop::collection::vec((10u64..95, prop::sample::select(vec![1u32, 2, 4, 8])), 1..6),
+        ) {
+            let windows: Vec<RpsWindow> = mix
+                .iter()
+                .filter_map(|&(exec_ms, b)| {
+                    RpsWindow::for_instance(
+                        SimDuration::from_millis(exec_ms),
+                        SimDuration::from_millis(200),
+                        b,
+                    )
+                })
+                .collect();
+            prop_assume!(!windows.is_empty());
+            let plan = split_rate(r, &windows, DEFAULT_ALPHA);
+            prop_assert_eq!(plan.rates.len(), windows.len());
+            for (rate, w) in plan.rates.iter().zip(&windows) {
+                prop_assert!(*rate >= w.r_low() - 1e-9);
+                prop_assert!(*rate <= w.r_up() + 1e-9);
+            }
+            let assigned: f64 = plan.rates.iter().sum();
+            // Conservation below saturation: exactly R is dispatched
+            // (case iii may over-cover via the r_low clamp); above it,
+            // assigned + residual accounts for every request.
+            let r_max: f64 = windows.iter().map(|w| w.r_up()).sum();
+            if r <= r_max {
+                prop_assert_eq!(plan.residual, 0.0);
+                prop_assert!(assigned >= r - 1e-6 * r.max(1.0));
+            } else {
+                prop_assert!((assigned + plan.residual - r).abs() < 1e-6 * r.max(1.0));
             }
         }
     }

@@ -202,15 +202,15 @@ mod tests {
 
     fn predictor(specs: &[ModelSpec]) -> CopPredictor {
         let hw = HardwareModel::default();
-        let db = ProfileDatabase::profile(&hw, specs, &ConfigGrid::standard(), 4);
+        let db = ProfileDatabase::cached(&hw, specs, &ConfigGrid::standard(), 4);
         CopPredictor::new(db, hw)
     }
 
     #[test]
     fn slo_split_is_proportional_and_exhaustive() {
         let specs = vec![
-            ModelId::Ssd.spec(),      // heavy
-            ModelId::MobileNet.spec() // light
+            ModelId::Ssd.spec(),       // heavy
+            ModelId::MobileNet.spec(), // light
         ];
         let p = predictor(&specs);
         let chain = ChainSpec::new("c", vec![0, 1], SimDuration::from_millis(400));

@@ -72,6 +72,11 @@ impl IdleTracker {
     }
 
     fn record(&mut self, now: SimTime, idle: SimDuration) {
+        // Prune on the write path too: a function that records for days
+        // but is never asked for windows must not accumulate samples
+        // beyond its retention. (`histogram` still prunes, for trackers
+        // queried long after their last record.)
+        self.prune(now);
         self.samples.push_back((now, idle.as_secs_f64()));
     }
 
@@ -208,7 +213,11 @@ impl Lsth {
     ///
     /// Panics if `gamma` is outside `[0, 1]`.
     pub fn new(gamma: f64) -> Self {
-        Self::with_durations(gamma, SimDuration::from_hours(24), SimDuration::from_hours(1))
+        Self::with_durations(
+            gamma,
+            SimDuration::from_hours(24),
+            SimDuration::from_hours(1),
+        )
     }
 
     /// Creates LSTH with custom tracking durations.
@@ -218,7 +227,10 @@ impl Lsth {
     /// Panics if `gamma` is outside `[0, 1]` or `long <= short`.
     pub fn with_durations(gamma: f64, long: SimDuration, short: SimDuration) -> Self {
         assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
-        assert!(long > short, "the long-term window must exceed the short-term one");
+        assert!(
+            long > short,
+            "the long-term window must exceed the short-term one"
+        );
         Lsth {
             long: IdleTracker::new(long),
             short: IdleTracker::new(short),
@@ -343,7 +355,8 @@ mod tests {
     fn long_retention_represents_day_scale_gaps() {
         // A 24h-retention tracker (LSTH's long histogram) can express
         // multi-hour idle periods that HHP's 4-hour range cannot.
-        let mut lsth = Lsth::with_durations(1.0, SimDuration::from_hours(48), SimDuration::from_hours(1));
+        let mut lsth =
+            Lsth::with_durations(1.0, SimDuration::from_hours(48), SimDuration::from_hours(1));
         let t = feed_regular(&mut lsth, SimDuration::from_hours(8), 6);
         let w = lsth.windows(t);
         assert!(w.pre_warm >= SimDuration::from_hours(7));
@@ -353,6 +366,24 @@ mod tests {
         let t = feed_regular(&mut hhp, SimDuration::from_hours(8), 6);
         let w = hhp.windows(t);
         assert_eq!(w.keep_alive, SimDuration::from_hours(4), "HHP cannot");
+    }
+
+    #[test]
+    fn record_alone_keeps_memory_bounded() {
+        // Recording must prune as it goes: a tracker that is fed for a
+        // long time without ever being asked for windows holds only its
+        // retention's worth of samples, not the whole history.
+        let mut tracker = IdleTracker::new(SimDuration::from_hours(1));
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            t += SimDuration::from_mins(1);
+            tracker.record(t, SimDuration::from_mins(1));
+        }
+        assert!(
+            tracker.samples.len() <= 61,
+            "1h retention of 1-min gaps must hold ~60 samples, not {}",
+            tracker.samples.len()
+        );
     }
 
     #[test]
@@ -427,7 +458,10 @@ mod tests {
         let later = t + SimDuration::from_hours(2);
         let w = lsth.windows(later);
         assert!(w.keep_alive >= SimDuration::from_mins(30));
-        assert!(w.keep_alive < SimDuration::from_hours(4), "not conservative");
+        assert!(
+            w.keep_alive < SimDuration::from_hours(4),
+            "not conservative"
+        );
     }
 
     #[test]

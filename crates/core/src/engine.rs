@@ -308,7 +308,9 @@ impl Engine {
         wait_budget: SimDuration,
         queue: &mut EventQueue<EngineEvent>,
     ) -> Result<InstanceId, PlacementError> {
-        let mem = self.hardware.instance_memory_mb(self.functions[function].spec());
+        let mem = self
+            .hardware
+            .instance_memory_mb(self.functions[function].spec());
         let placement = self
             .cluster
             .allocate_anywhere_with_memory(config.resources(), mem)?;
@@ -330,7 +332,9 @@ impl Engine {
         wait_budget: SimDuration,
         queue: &mut EventQueue<EngineEvent>,
     ) -> Result<InstanceId, PlacementError> {
-        let mem = self.hardware.instance_memory_mb(self.functions[function].spec());
+        let mem = self
+            .hardware
+            .instance_memory_mb(self.functions[function].spec());
         let placement = self
             .cluster
             .allocate_on_with_memory(server, config.resources(), mem)?;
@@ -344,15 +348,20 @@ impl Engine {
     /// Panics if the instance is busy or has queued requests — the
     /// platform must drain before retiring.
     pub fn retire(&mut self, id: InstanceId) {
-        let inst = self.instances.remove(&id).expect("retire of unknown instance");
+        let inst = self
+            .instances
+            .remove(&id)
+            .expect("retire of unknown instance");
         assert!(
-            inst.queue_len() == 0 && !matches!(inst.state(), infless_cluster::InstanceState::Busy { .. }),
+            inst.queue_len() == 0
+                && !matches!(inst.state(), infless_cluster::InstanceState::Busy { .. }),
             "retired an instance with work pending"
         );
         let function = inst.function().raw();
         self.live_by_function[function].retain(|x| *x != id);
         self.meta.remove(&id);
-        self.cluster.release(inst.config().resources(), inst.placement());
+        self.cluster
+            .release(inst.config().resources(), inst.placement());
         let (w, c, g) = self.weights(inst.config());
         self.collector.usage_delta(self.now, -w, -c, -g);
         self.collector.retire();
@@ -511,9 +520,9 @@ impl Engine {
         let len = (inst.queue_len()).min(config.batch() as usize) as u32;
         debug_assert!(len >= 1);
         let spec = self.functions[function].spec().clone();
-        let mut exec = self
-            .hardware
-            .model_latency_noisy(&spec, len, config.resources(), &mut self.rng);
+        let mut exec =
+            self.hardware
+                .model_latency_noisy(&spec, len, config.resources(), &mut self.rng);
         // MPS interference: co-resident *active* SM share on the same
         // physical device slows this batch down (shared memory
         // bandwidth / L2 behind the SM partitioning).
@@ -587,7 +596,13 @@ mod tests {
     fn full_batch_executes_immediately() {
         let (mut engine, mut queue) = engine();
         let id = engine
-            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::from_millis(30), &mut queue)
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::from_millis(30),
+                &mut queue,
+            )
             .unwrap();
         // Let the instance become ready (200ms prewarmed start).
         drain(&mut engine, &mut queue);
@@ -628,7 +643,13 @@ mod tests {
     fn cold_start_is_attributed_to_requests() {
         let (mut engine, mut queue) = engine();
         let id = engine
-            .launch_anywhere(0, cfg(), StartupKind::Cold, SimDuration::from_millis(30), &mut queue)
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::Cold,
+                SimDuration::from_millis(30),
+                &mut queue,
+            )
             .unwrap();
         // Request arrives while the instance is still starting.
         let req = engine.mint_request(0);
@@ -637,7 +658,10 @@ mod tests {
         let report = engine.finish();
         assert_eq!(report.total_completed(), 1);
         assert_eq!(report.functions[0].cold_requests, 1);
-        assert!(report.functions[0].cold_ms.mean() > 1000.0, "cold start is seconds");
+        assert!(
+            report.functions[0].cold_ms.mean() > 1000.0,
+            "cold start is seconds"
+        );
         assert_eq!(report.cold_launches, 1);
     }
 
@@ -667,7 +691,13 @@ mod tests {
         let (mut engine, mut queue) = engine();
         let before = engine.cluster().cpu_in_use();
         let id = engine
-            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::MAX, &mut queue)
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
             .unwrap();
         assert!(engine.cluster().cpu_in_use() > before);
         drain(&mut engine, &mut queue);
@@ -694,7 +724,13 @@ mod tests {
     fn usage_accounting_tracks_lifetime() {
         let (mut engine, mut queue) = engine();
         let id = engine
-            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::MAX, &mut queue)
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
             .unwrap();
         drain(&mut engine, &mut queue);
         // Hold for 10 virtual seconds, then retire.
@@ -778,7 +814,13 @@ mod tests {
     fn next_batch_starts_after_completion() {
         let (mut engine, mut queue) = engine();
         let id = engine
-            .launch_anywhere(0, cfg(), StartupKind::PreWarmed, SimDuration::from_millis(5), &mut queue)
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::from_millis(5),
+                &mut queue,
+            )
             .unwrap();
         drain(&mut engine, &mut queue);
         // Two full batches' worth of requests: 4 execute, 4 queue behind.

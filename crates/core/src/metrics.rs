@@ -6,8 +6,10 @@
 //! resource, cold-start rate, fragment statistics, …).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use infless_cluster::InstanceConfig;
+use infless_models::CacheOutcome;
 use infless_sim::stats::{Samples, TimeWeighted, Welford};
 use infless_sim::{SimDuration, SimTime};
 
@@ -121,6 +123,12 @@ pub struct RunReport {
     /// End-to-end results per declared function chain (empty unless the
     /// platform was built with chains).
     pub chains: Vec<crate::chains::ChainReport>,
+    /// Wall-clock time from platform construction to report freeze —
+    /// what the parallel bench harness reports per run.
+    pub wall_clock_seconds: f64,
+    /// How this run's COP profile database was obtained, when the
+    /// platform uses one (`None` for profile-free baselines).
+    pub profile_cache: Option<CacheOutcome>,
 }
 
 impl RunReport {
@@ -136,11 +144,7 @@ impl RunReport {
 
     /// Overall SLO violation rate (drops count as violations).
     pub fn violation_rate(&self) -> f64 {
-        let total: u64 = self
-            .functions
-            .iter()
-            .map(|f| f.completed + f.dropped)
-            .sum();
+        let total: u64 = self.functions.iter().map(|f| f.completed + f.dropped).sum();
         if total == 0 {
             return 0.0;
         }
@@ -233,6 +237,8 @@ pub struct Collector {
     sched_overhead_us: Samples,
     provisioning: Vec<(f64, f64)>,
     config_launches: HashMap<(usize, InstanceConfig), u64>,
+    started: Instant,
+    profile_cache: Option<CacheOutcome>,
 }
 
 impl Collector {
@@ -257,7 +263,22 @@ impl Collector {
             sched_overhead_us: Samples::new(),
             provisioning: Vec::new(),
             config_launches: HashMap::new(),
+            started: Instant::now(),
+            profile_cache: None,
         }
+    }
+
+    /// Records how the platform's COP profile database was obtained
+    /// (platforms without a predictor never call this).
+    pub fn set_profile_cache(&mut self, outcome: CacheOutcome) {
+        self.profile_cache = Some(outcome);
+    }
+
+    /// Backdates the wall-clock origin to `at` — platforms call this so
+    /// the reported time covers profiling done before the engine (and
+    /// this collector) existed.
+    pub fn mark_started(&mut self, at: Instant) {
+        self.started = at;
     }
 
     /// Records a completed request.
@@ -365,6 +386,8 @@ impl Collector {
             provisioning: self.provisioning,
             config_launches: self.config_launches,
             chains: Vec::new(),
+            wall_clock_seconds: self.started.elapsed().as_secs_f64(),
+            profile_cache: self.profile_cache,
         }
     }
 }
@@ -483,7 +506,13 @@ mod tests {
         let mut c = collector();
         c.usage_delta(SimTime::ZERO, 0.0, 10.0, 150.0);
         for _ in 0..500 {
-            c.complete(0, SimDuration::ZERO, SimDuration::from_millis(1), SimDuration::ZERO, 1);
+            c.complete(
+                0,
+                SimDuration::ZERO,
+                SimDuration::from_millis(1),
+                SimDuration::ZERO,
+                1,
+            );
         }
         let r = c.finish(SimTime::from_secs(10));
         assert!((r.cpus_per_100rps() - 20.0).abs() < 1e-9);

@@ -14,14 +14,18 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use infless_cluster::{ClusterSpec, InstanceId, Request, RequestId};
-use std::collections::HashMap;
-use infless_models::{profile::ConfigGrid, HardwareCalibration, HardwareModel, ModelSpec, ProfileDatabase};
+use infless_models::{
+    profile::ConfigGrid, HardwareCalibration, HardwareModel, ModelSpec, ProfileDatabase,
+};
 use infless_sim::{EventQueue, SimDuration, SimTime};
 use infless_workload::Workload;
+use std::collections::HashMap;
 
 use crate::batching::{split_rate, RpsWindow, DEFAULT_ALPHA};
 use crate::chains::{split_slo, split_slo_equal, ChainReport, ChainSpec, ChainSplit};
-use crate::coldstart::{ColdStartPolicy, FixedKeepAlive, HybridHistogram, Lsth, Windows, DEFAULT_GAMMA};
+use crate::coldstart::{
+    ColdStartPolicy, FixedKeepAlive, HybridHistogram, Lsth, Windows, DEFAULT_GAMMA,
+};
 use crate::engine::{Engine, EngineEvent, FunctionInfo};
 use crate::metrics::{RunReport, StartupKind};
 use crate::predictor::{CopPredictor, DEFAULT_OFFSET};
@@ -227,9 +231,11 @@ impl InflessPlatform {
         config: InflessConfig,
         seed: u64,
     ) -> Self {
+        let construction_started = std::time::Instant::now();
         let hardware = HardwareModel::new(config.hardware);
         let specs: Vec<ModelSpec> = functions.iter().map(|f| f.spec().clone()).collect();
-        let db = ProfileDatabase::profile(&hardware, &specs, &ConfigGrid::standard(), seed);
+        let (db, cache_outcome) =
+            ProfileDatabase::cached_with_outcome(&hardware, &specs, &ConfigGrid::standard(), seed);
         let predictor = CopPredictor::with_offset(db, hardware.clone(), config.cop_offset);
         // Chain setup: split each end-to-end SLO across its stages and
         // override the stage functions' SLOs accordingly.
@@ -250,7 +256,9 @@ impl InflessPlatform {
         }
         let scheduler = Scheduler::new(config.scheduler);
         let n = functions.len();
-        let engine = Engine::new("INFless", cluster, hardware, functions, seed);
+        let mut engine = Engine::new("INFless", cluster, hardware, functions, seed);
+        engine.collector.mark_started(construction_started);
+        engine.collector.set_profile_cache(cache_outcome);
         let fns = (0..n)
             .map(|_| FnState {
                 coldstart: config.coldstart.build(),
@@ -329,10 +337,7 @@ impl InflessPlatform {
     fn on_arrival(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
         // A gateway arrival at a chain's entry stage starts that
         // chain's end-to-end clock.
-        let chain_start = self
-            .chains
-            .entry_of(f)
-            .map(|_| self.engine.now());
+        let chain_start = self.chains.entry_of(f).map(|_| self.engine.now());
         self.deliver(f, chain_start, queue);
     }
 
@@ -340,7 +345,12 @@ impl InflessPlatform {
     /// dispatches (unparking or emergency-scaling if needed), and
     /// registers chain context. Used for gateway arrivals and for
     /// stage-to-stage chain relays alike.
-    fn deliver(&mut self, f: usize, chain_start: Option<SimTime>, queue: &mut EventQueue<EngineEvent>) {
+    fn deliver(
+        &mut self,
+        f: usize,
+        chain_start: Option<SimTime>,
+        queue: &mut EventQueue<EngineEvent>,
+    ) {
         let now = self.engine.now();
         self.observe_idle(f, now);
         let st = &mut self.fns[f];
@@ -458,8 +468,7 @@ impl InflessPlatform {
         let now = self.engine.now();
         let st = &self.fns[f];
         let has_capacity = !st.dispatch.is_empty();
-        if has_capacity && now.saturating_since(st.last_emergency) < self.config.emergency_backoff
-        {
+        if has_capacity && now.saturating_since(st.last_emergency) < self.config.emergency_backoff {
             return false;
         }
         self.fns[f].last_emergency = now;
@@ -482,7 +491,12 @@ impl InflessPlatform {
         let horizon = now.saturating_sub(SimDuration::from_secs(1));
         let mut recent = 0u64;
         let mut oldest = now;
-        for t in st.recent_arrivals.iter().rev().take_while(|t| **t >= horizon) {
+        for t in st
+            .recent_arrivals
+            .iter()
+            .rev()
+            .take_while(|t| **t >= horizon)
+        {
             recent += 1;
             oldest = *t;
         }
@@ -499,8 +513,7 @@ impl InflessPlatform {
             self.drop_dead_entries(f);
             let rps = self.observed_rps(f, now);
 
-            let windows: Vec<RpsWindow> =
-                self.fns[f].dispatch.iter().map(|e| e.window).collect();
+            let windows: Vec<RpsWindow> = self.fns[f].dispatch.iter().map(|e| e.window).collect();
             let plan = split_rate(rps, &windows, self.config.alpha);
 
             if plan.residual > 0.0 {
@@ -562,22 +575,20 @@ impl InflessPlatform {
         let function = self.engine.functions()[f].clone();
         let slo = function.slo();
         let wall = Instant::now();
-        let outcome =
-            self.scheduler
-                .schedule(&self.predictor, &function, residual, self.engine.cluster_mut());
+        let outcome = self.scheduler.schedule(
+            &self.predictor,
+            &function,
+            residual,
+            self.engine.cluster_mut(),
+        );
         let elapsed_us = wall.elapsed().as_secs_f64() * 1e6;
         self.engine.collector.sched_overhead(elapsed_us);
         let launched = outcome.instances.len();
         for si in outcome.instances {
             let budget = (slo - si.predicted_exec).max(SimDuration::from_millis(1));
-            let id = self.engine.launch_preallocated(
-                f,
-                si.config,
-                si.placement,
-                startup,
-                budget,
-                queue,
-            );
+            let id =
+                self.engine
+                    .launch_preallocated(f, si.config, si.placement, startup, budget, queue);
             self.fns[f].dispatch.push(DispatchEntry {
                 id,
                 window: si.window,
@@ -606,11 +617,13 @@ impl InflessPlatform {
         {
             return;
         }
-        let current_weight: f64 = self
-            .fns[f]
+        let current_weight: f64 = self.fns[f]
             .dispatch
             .iter()
-            .map(|e| self.engine.weighted_cost(self.engine.instance(e.id).config()))
+            .map(|e| {
+                self.engine
+                    .weighted_cost(self.engine.instance(e.id).config())
+            })
             .sum();
         let current_capacity: f64 = self.fns[f].dispatch.iter().map(|e| e.window.r_up()).sum();
         if current_weight <= 0.0 {
@@ -621,7 +634,9 @@ impl InflessPlatform {
         // Dry-run Algorithm 1 on a scratch copy of the cluster.
         let function = self.engine.functions()[f].clone();
         let mut scratch = self.engine.cluster().clone();
-        let trial = self.scheduler.schedule(&self.predictor, &function, rps, &mut scratch);
+        let trial = self
+            .scheduler
+            .schedule(&self.predictor, &function, rps, &mut scratch);
         if trial.unplaced_rps > rps * 0.05 || trial.instances.is_empty() {
             return;
         }
@@ -657,8 +672,7 @@ impl InflessPlatform {
             if self.fns[f].dispatch.len() <= 1 && rps > 0.0 {
                 break; // keep one instance while traffic flows
             }
-            let windows: Vec<RpsWindow> =
-                self.fns[f].dispatch.iter().map(|e| e.window).collect();
+            let windows: Vec<RpsWindow> = self.fns[f].dispatch.iter().map(|e| e.window).collect();
             let plan = split_rate(rps, &windows, self.config.alpha);
             if !plan.release_recommended || self.fns[f].dispatch.is_empty() {
                 // Final rates for the surviving set.
@@ -668,16 +682,19 @@ impl InflessPlatform {
                 break;
             }
             // Least efficient: lowest r_up per weighted resource.
-            let idx = self
-                .fns[f]
+            let idx = self.fns[f]
                 .dispatch
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
                     let wa = a.window.r_up()
-                        / self.engine.weighted_cost(self.engine.instance(a.id).config());
+                        / self
+                            .engine
+                            .weighted_cost(self.engine.instance(a.id).config());
                     let wb = b.window.r_up()
-                        / self.engine.weighted_cost(self.engine.instance(b.id).config());
+                        / self
+                            .engine
+                            .weighted_cost(self.engine.instance(b.id).config());
                     wa.partial_cmp(&wb).expect("finite")
                 })
                 .map(|(i, _)| i)
@@ -749,8 +766,8 @@ impl InflessPlatform {
             // Rate-limit those to one sample per 5 s of simulated time
             // (preserving the bin-0 mass), but always record long gaps —
             // they are the informative tail.
-            let rate_limited = now.saturating_since(st.last_idle_recorded)
-                < SimDuration::from_secs(5);
+            let rate_limited =
+                now.saturating_since(st.last_idle_recorded) < SimDuration::from_secs(5);
             if !idle.is_zero() && (idle >= SimDuration::from_secs(60) || !rate_limited) {
                 self.fns[f].coldstart.record_idle(now, idle);
                 self.fns[f].last_idle_recorded = now;
@@ -997,7 +1014,11 @@ mod chain_tests {
         let report = platform.run(&workload);
         assert_eq!(report.chains.len(), 1);
         let chain = &report.chains[0];
-        assert!(chain.completed > 1000, "chain completed {}", chain.completed);
+        assert!(
+            chain.completed > 1000,
+            "chain completed {}",
+            chain.completed
+        );
         // Every entry-stage completion must traverse to the second stage:
         // the classifier saw (almost) as many requests as the detector.
         let detector = report.functions[0].completed;
@@ -1009,7 +1030,7 @@ mod chain_tests {
         // End-to-end latency exceeds each stage's own latency.
         let e2e = &chain.e2e_ms;
         let e2e_p50 = e2e.quantile(0.5).unwrap();
-        let mut s0 = report.functions[0].latency_ms.clone();
+        let s0 = report.functions[0].latency_ms.clone();
         assert!(e2e_p50 > s0.quantile(0.5).unwrap());
     }
 
@@ -1102,7 +1123,10 @@ mod autoscaler_tests {
             .map(|(_, cfg)| cfg.batch())
             .max()
             .unwrap_or(0);
-        assert!(max_batch >= 8, "no large-batch consolidation: max b={max_batch}");
+        assert!(
+            max_batch >= 8,
+            "no large-batch consolidation: max b={max_batch}"
+        );
         // …and the replaced small instances must drain on the decline.
         assert!(
             report.retirements as f64 >= report.launches as f64 * 0.3,
@@ -1135,7 +1159,7 @@ mod autoscaler_tests {
         // cold-start a fresh fleet.
         let mins = 9;
         let rates: Vec<f64> = (0..mins)
-            .map(|i| if i < 3 || i >= 6 { 400.0 } else { 2.0 })
+            .map(|i| if !(3..6).contains(&i) { 400.0 } else { 2.0 })
             .collect();
         let workload = Workload::build(
             &[FunctionLoad::poisson(RateSeries::new(

@@ -14,6 +14,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use infless_models::{
     profile::ConfigGrid, HardwareModel, ModelId, ModelSpec, ProfileDatabase, ResourceConfig,
@@ -34,7 +35,9 @@ pub const DEFAULT_OFFSET: f64 = 1.10;
 ///
 /// let hw = HardwareModel::default();
 /// let specs = vec![ModelId::MobileNet.spec()];
-/// let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 1);
+/// // `cached` shares one database across every platform built with the
+/// // same ⟨calibration, model set, grid, seed⟩; `profile` also works.
+/// let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 1);
 /// let predictor = CopPredictor::new(db, hw.clone());
 ///
 /// let spec = ModelId::MobileNet.spec();
@@ -47,15 +50,19 @@ pub const DEFAULT_OFFSET: f64 = 1.10;
 /// ```
 #[derive(Debug)]
 pub struct CopPredictor {
-    db: ProfileDatabase,
+    /// Shared with the registry of [`ProfileDatabase::cached`] — many
+    /// predictors (one per platform in a parallel sweep) read the same
+    /// profiled grid without re-profiling or copying it.
+    db: Arc<ProfileDatabase>,
     hardware: HardwareModel,
     offset: f64,
     cache: RefCell<HashMap<(ModelId, u32, ResourceConfig), Option<SimDuration>>>,
 }
 
 impl CopPredictor {
-    /// Creates a predictor with the default 10 % safety offset.
-    pub fn new(db: ProfileDatabase, hardware: HardwareModel) -> Self {
+    /// Creates a predictor with the default 10 % safety offset. Accepts
+    /// an owned database or an `Arc` from [`ProfileDatabase::cached`].
+    pub fn new(db: impl Into<Arc<ProfileDatabase>>, hardware: HardwareModel) -> Self {
         Self::with_offset(db, hardware, DEFAULT_OFFSET)
     }
 
@@ -67,10 +74,14 @@ impl CopPredictor {
     ///
     /// Panics if `offset < 1.0` — deflating predictions would defeat
     /// the SLO guarantee.
-    pub fn with_offset(db: ProfileDatabase, hardware: HardwareModel, offset: f64) -> Self {
+    pub fn with_offset(
+        db: impl Into<Arc<ProfileDatabase>>,
+        hardware: HardwareModel,
+        offset: f64,
+    ) -> Self {
         assert!(offset >= 1.0, "prediction offset must not deflate");
         CopPredictor {
-            db,
+            db: db.into(),
             hardware,
             offset,
             cache: RefCell::new(HashMap::new()),
@@ -165,7 +176,7 @@ mod tests {
     fn predictor() -> (CopPredictor, HardwareModel) {
         let hw = HardwareModel::default();
         let specs: Vec<ModelSpec> = ModelId::all().iter().map(|id| id.spec()).collect();
-        let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 11);
+        let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 11);
         (CopPredictor::new(db, hw.clone()), hw)
     }
 
@@ -243,7 +254,11 @@ mod tests {
             }
         }
         let frac = f64::from(under) / f64::from(total);
-        assert!(frac < 0.20, "{:.1}% of predictions underestimate", frac * 100.0);
+        assert!(
+            frac < 0.20,
+            "{:.1}% of predictions underestimate",
+            frac * 100.0
+        );
     }
 
     #[test]
@@ -268,12 +283,7 @@ mod tests {
     #[should_panic(expected = "deflate")]
     fn deflating_offset_rejected() {
         let hw = HardwareModel::default();
-        let db = ProfileDatabase::profile(
-            &hw,
-            &[ModelId::Mnist.spec()],
-            &ConfigGrid::standard(),
-            0,
-        );
+        let db = ProfileDatabase::cached(&hw, &[ModelId::Mnist.spec()], &ConfigGrid::standard(), 0);
         CopPredictor::with_offset(db, hw, 0.9);
     }
 }

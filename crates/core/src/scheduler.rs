@@ -143,20 +143,51 @@ impl Scheduler {
             batches.reverse();
         }
 
+        let beta = predictor.beta();
         let mem_mb = predictor.instance_memory_mb(spec);
         'outer: while rk > 1e-9 {
-            for &b in &batches {
-                let candidates = self.available_config(predictor, spec, slo, b, rk);
-                if candidates.is_empty() {
-                    continue; // try the next batchsize
+            // Candidate sets per batchsize, in the configured preference
+            // order. The batch-order preference is a heuristic for the
+            // Eq. 2 objective (minimize occupied resources), and it can
+            // betray that objective: at a residual just past a small
+            // batch's r_up, the next batchsize up may be feasible only
+            // on near-server-sized configurations (the Eq. 1 saturation
+            // bound admits large batches only when t_exec is tiny).
+            // Guard against that by skipping any batchsize whose best
+            // configuration is drastically less resource-dense than the
+            // best available at any other batchsize; a second pass
+            // without the guard keeps feasibility intact when only the
+            // wasteful batches can still be placed.
+            let sets: Vec<Vec<Candidate>> = batches
+                .iter()
+                .map(|&b| self.available_config(predictor, spec, slo, b, rk))
+                .collect();
+            let density_of = |set: &[Candidate]| {
+                set.iter()
+                    .map(|c| c.density(beta, rk))
+                    .fold(0.0f64, f64::max)
+            };
+            let best_density = sets.iter().map(|s| density_of(s)).fold(0.0f64, f64::max);
+            if best_density <= 0.0 {
+                break;
+            }
+            for guarded_pass in [true, false] {
+                for set in &sets {
+                    if set.is_empty() {
+                        continue;
+                    }
+                    let passes = density_of(set) >= DENSITY_GUARD * best_density;
+                    if passes != guarded_pass {
+                        continue;
+                    }
+                    if let Some(placed) = self.place(set, cluster, beta, mem_mb, rk) {
+                        rk -= placed.window.r_up();
+                        out.instances.push(placed);
+                        continue 'outer;
+                    }
+                    // Feasible configs exist but nowhere fits: a smaller
+                    // batchsize may still fit (it admits smaller configs).
                 }
-                if let Some(placed) = self.place(&candidates, cluster, predictor.beta(), mem_mb) {
-                    rk -= placed.window.r_up();
-                    out.instances.push(placed);
-                    continue 'outer;
-                }
-                // Feasible configs exist but nowhere fits: a smaller
-                // batchsize may still fit (it admits smaller configs).
             }
             break; // nothing feasible/placeable remains
         }
@@ -202,10 +233,11 @@ impl Scheduler {
         cluster: &mut ClusterState,
         beta: f64,
         mem_mb: f64,
+        rk: f64,
     ) -> Option<ScheduledInstance> {
         let chosen: Option<(Candidate, ServerId)> = match self.config.placement {
             PlacementStrategy::Efficiency => {
-                choose_by_efficiency(candidates, cluster, beta, mem_mb)
+                choose_by_efficiency(candidates, cluster, beta, mem_mb, rk)
             }
             PlacementStrategy::MaxThroughput => {
                 // Highest-throughput config, first server it fits on.
@@ -238,12 +270,28 @@ impl Scheduler {
     }
 }
 
+/// A batchsize is skipped on the first selection pass when its best
+/// configuration delivers less than this fraction of the useful
+/// throughput per weighted resource achievable at another batchsize.
+const DENSITY_GUARD: f64 = 0.5;
+
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     batch: u32,
     cfg: ResourceConfig,
     window: RpsWindow,
     t_exec: SimDuration,
+}
+
+impl Candidate {
+    /// *Useful* throughput per weighted resource unit — the Eq. 2
+    /// objective for this scheduling round. Capacity beyond the residual
+    /// rate `rk` serves nothing, so it must not inflate a candidate's
+    /// efficiency: an over-provisioned GPU slice with a huge `r_up` is
+    /// exactly the resource waste Eq. 2 minimizes.
+    fn density(&self, beta: f64, rk: f64) -> f64 {
+        self.window.r_up().min(rk) / weighted(self.cfg, beta)
+    }
 }
 
 fn first_fit(cluster: &ClusterState, cfg: ResourceConfig, mem_mb: f64) -> Option<ServerId> {
@@ -259,18 +307,22 @@ fn choose_by_efficiency(
     cluster: &ClusterState,
     beta: f64,
     mem_mb: f64,
+    rk: f64,
 ) -> Option<(Candidate, ServerId)> {
-    // Normalizer for the RPS/resource numerator.
+    // Normalizer for the RPS/resource numerator. The numerator counts
+    // only *useful* throughput (capped at the residual rate): without
+    // the cap, a config with a massively over-provisioned r_up can
+    // out-score an adequate one purely through Eq. 10's fragment term.
     let max_density = candidates
         .iter()
-        .map(|c| c.window.r_up() / weighted(c.cfg, beta))
+        .map(|c| c.density(beta, rk))
         .fold(0.0f64, f64::max);
     if max_density <= 0.0 {
         return None;
     }
     let mut best: Option<(f64, Candidate, ServerId)> = None;
     for c in candidates {
-        let density = (c.window.r_up() / weighted(c.cfg, beta)) / max_density;
+        let density = c.density(beta, rk) / max_density;
         for server in cluster.servers() {
             if !server.fits_with_memory(c.cfg, mem_mb) {
                 continue;
@@ -305,7 +357,7 @@ mod tests {
     fn predictor() -> CopPredictor {
         let hw = HardwareModel::default();
         let specs: Vec<ModelSpec> = ModelId::all().iter().map(|id| id.spec()).collect();
-        let db = ProfileDatabase::profile(&hw, &specs, &ConfigGrid::standard(), 5);
+        let db = ProfileDatabase::cached(&hw, &specs, &ConfigGrid::standard(), 5);
         CopPredictor::new(db, hw)
     }
 
@@ -318,8 +370,12 @@ mod tests {
         let p = predictor();
         let mut cluster = ClusterSpec::testbed().build();
         let spec = ModelId::ResNet50.spec();
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 300.0, &mut cluster);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(200)),
+            300.0,
+            &mut cluster,
+        );
         assert_eq!(out.unplaced_rps, 0.0);
         let capacity: f64 = out.instances.iter().map(|i| i.window.r_up()).sum();
         assert!(capacity >= 300.0, "capacity {capacity} < residual 300");
@@ -332,8 +388,12 @@ mod tests {
         let mut cluster = ClusterSpec::testbed().build();
         let spec = ModelId::Ssd.spec();
         let slo = slo_ms(200);
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec, slo), 500.0, &mut cluster);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec, slo),
+            500.0,
+            &mut cluster,
+        );
         for inst in &out.instances {
             if inst.config.batch() > 1 {
                 assert!(inst.predicted_exec.as_secs_f64() <= slo.as_secs_f64() / 2.0 + 1e-9);
@@ -348,10 +408,22 @@ mod tests {
         let p = predictor();
         let mut cluster = ClusterSpec::testbed().build();
         let spec = ModelId::ResNet50.spec();
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 2000.0, &mut cluster);
-        let max_batch = out.instances.iter().map(|i| i.config.batch()).max().unwrap();
-        assert!(max_batch >= 8, "expected large batches, got max {max_batch}");
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(200)),
+            2000.0,
+            &mut cluster,
+        );
+        let max_batch = out
+            .instances
+            .iter()
+            .map(|i| i.config.batch())
+            .max()
+            .unwrap();
+        assert!(
+            max_batch >= 8,
+            "expected large batches, got max {max_batch}"
+        );
     }
 
     #[test]
@@ -361,8 +433,12 @@ mod tests {
         let p = predictor();
         let mut cluster = ClusterSpec::testbed().build();
         let spec = ModelId::BertV1.spec();
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 3.0, &mut cluster);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(200)),
+            3.0,
+            &mut cluster,
+        );
         assert!(!out.instances.is_empty());
         for inst in &out.instances {
             assert!(
@@ -374,6 +450,34 @@ mod tests {
     }
 
     #[test]
+    fn moderate_residual_avoids_wasteful_batch_upgrade() {
+        // Regression: at a residual just above one b=1 instance's r_up,
+        // largest-batch-first used to jump to the next batchsize — for
+        // SSD at 200 ms that batch is feasible only on near-server-sized
+        // configurations (~50 weighted units for ~14 RPS), ~20× less
+        // throughput per resource than two b=1 instances. The density
+        // guard must keep the allocation on the efficient configs.
+        let p = predictor();
+        let beta = p.beta();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::Ssd.spec();
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec, slo_ms(200)),
+            14.3,
+            &mut cluster,
+        );
+        assert!(out.unplaced_rps <= 1e-9, "14.3 RPS must be placeable");
+        let capacity: f64 = out.instances.iter().map(|i| i.window.r_up()).sum();
+        let density = capacity / cluster.weighted_in_use(beta);
+        assert!(
+            density > 5.0,
+            "wasteful batch upgrade: {capacity:.1} RPS on {:.1} weighted units",
+            cluster.weighted_in_use(beta)
+        );
+    }
+
+    #[test]
     fn disabling_batching_caps_batch_at_one() {
         let p = predictor();
         let mut cluster = ClusterSpec::testbed().build();
@@ -382,7 +486,12 @@ mod tests {
             max_batch: 1,
             ..SchedulerConfig::default()
         };
-        let out = Scheduler::new(cfg).schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 200.0, &mut cluster);
+        let out = Scheduler::new(cfg).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(200)),
+            200.0,
+            &mut cluster,
+        );
         assert!(out.instances.iter().all(|i| i.config.batch() == 1));
     }
 
@@ -401,7 +510,12 @@ mod tests {
                 max_batch,
                 ..SchedulerConfig::default()
             })
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 400.0, &mut cluster);
+            .schedule(
+                &p,
+                &FunctionInfo::new(spec.clone(), slo_ms(200)),
+                400.0,
+                &mut cluster,
+            );
             let capacity: f64 = out.instances.iter().map(|i| i.window.r_up()).sum();
             capacity / cluster.weighted_in_use(beta)
         };
@@ -426,8 +540,12 @@ mod tests {
         .build();
         let spec = ModelId::BertV1.spec();
         // BERT cannot meet 200ms on <=2 CPU cores at all.
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 100.0, &mut cluster);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(200)),
+            100.0,
+            &mut cluster,
+        );
         assert!(out.unplaced_rps > 0.0);
     }
 
@@ -437,8 +555,12 @@ mod tests {
         let spec = ModelId::TextCnn69.spec();
         let run = || {
             let mut cluster = ClusterSpec::testbed().build();
-            Scheduler::new(SchedulerConfig::default())
-                .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(50)), 800.0, &mut cluster)
+            Scheduler::new(SchedulerConfig::default()).schedule(
+                &p,
+                &FunctionInfo::new(spec.clone(), slo_ms(50)),
+                800.0,
+                &mut cluster,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -466,12 +588,13 @@ mod tests {
             });
             let mut capacity = 0.0;
             for spec in &specs {
-                let out = sched.schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(200)), 1e5, &mut cluster);
-                capacity += out
-                    .instances
-                    .iter()
-                    .map(|i| i.window.r_up())
-                    .sum::<f64>();
+                let out = sched.schedule(
+                    &p,
+                    &FunctionInfo::new(spec.clone(), slo_ms(200)),
+                    1e5,
+                    &mut cluster,
+                );
+                capacity += out.instances.iter().map(|i| i.window.r_up()).sum::<f64>();
             }
             capacity
         };
@@ -489,8 +612,12 @@ mod tests {
         let p = predictor();
         let mut cluster = ClusterSpec::testbed().build();
         let spec = ModelId::Mnist.spec();
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(50)), 0.0, &mut cluster);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(50)),
+            0.0,
+            &mut cluster,
+        );
         assert!(out.instances.is_empty());
         assert_eq!(out.unplaced_rps, 0.0);
         assert_eq!(cluster.cpu_in_use(), 0);
@@ -512,8 +639,12 @@ mod tests {
         }
         .build();
         let spec = ModelId::BertV1.spec();
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(350)), 1e4, &mut cluster);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(350)),
+            1e4,
+            &mut cluster,
+        );
         assert!(
             out.instances.len() <= 2,
             "memory allows at most 2 instances, got {}",
@@ -528,8 +659,13 @@ mod tests {
         let p = predictor();
         let mut cluster = ClusterSpec::testbed().build();
         let spec = ModelId::MobileNet.spec();
-        let out = Scheduler::new(SchedulerConfig::default())
-            .schedule(&p, &FunctionInfo::new(spec.clone(), slo_ms(50)), 300.0, &mut cluster);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(50)),
+            300.0,
+            &mut cluster,
+        );
+        assert!(!out.instances.is_empty(), "the demand must be placeable");
         let expected_cpu: u64 = out
             .instances
             .iter()
@@ -542,5 +678,23 @@ mod tests {
             .sum();
         assert_eq!(cluster.cpu_in_use(), expected_cpu);
         assert_eq!(cluster.gpu_in_use(), expected_gpu);
+        assert!(
+            cluster.mem_in_use_mb() > 0.0,
+            "placements hold model memory"
+        );
+
+        // Retiring every placed instance must return the cluster to a
+        // completely clean slate on all three resource dimensions — a
+        // leak here would starve later scale-ups of a long run.
+        for inst in &out.instances {
+            cluster.release(inst.config.resources(), inst.placement);
+        }
+        assert_eq!(cluster.cpu_in_use(), 0, "CPU cores leak after retirement");
+        assert_eq!(cluster.gpu_in_use(), 0, "GPU share leaks after retirement");
+        assert_eq!(
+            cluster.mem_in_use_mb(),
+            0.0,
+            "instance memory leaks after retirement"
+        );
     }
 }

@@ -15,7 +15,12 @@ use proptest::prelude::*;
 enum Op {
     /// Launch an instance for function `f` with batch `b` and config
     /// index `cfg` (cold or prewarmed).
-    Launch { f: usize, b: u32, cfg: usize, cold: bool },
+    Launch {
+        f: usize,
+        b: u32,
+        cfg: usize,
+        cold: bool,
+    },
     /// Mint a request for `f` and enqueue it on the `i`-th live
     /// instance of `f` (drop it if rejected or none live).
     Enqueue { f: usize, i: usize },
@@ -27,7 +32,12 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..2, prop::sample::select(vec![1u32, 2, 4, 8]), 0usize..3, any::<bool>())
+        (
+            0usize..2,
+            prop::sample::select(vec![1u32, 2, 4, 8]),
+            0usize..3,
+            any::<bool>()
+        )
             .prop_map(|(f, b, cfg, cold)| Op::Launch { f, b, cfg, cold }),
         (0usize..2, 0usize..4).prop_map(|(f, i)| Op::Enqueue { f, i }),
         Just(Op::Step),

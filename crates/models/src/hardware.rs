@@ -430,7 +430,10 @@ mod tests {
     fn beta_reflects_flops_ratio() {
         let hw = hw();
         let beta = hw.beta();
-        assert!(beta > 0.0 && beta < 1.0, "a core is worth less than 1% of a 2080Ti: {beta}");
+        assert!(
+            beta > 0.0 && beta < 1.0,
+            "a core is worth less than 1% of a 2080Ti: {beta}"
+        );
     }
 
     #[test]
@@ -439,8 +442,14 @@ mod tests {
         let small = hw.cold_start(&ModelId::Mnist.spec());
         let large = hw.cold_start(&ModelId::BertV1.spec());
         assert!(large > small);
-        assert!(small.as_secs_f64() >= 1.0, "cold start includes container boot");
-        assert!(large.as_secs_f64() < 10.0, "cold start stays in the seconds range");
+        assert!(
+            small.as_secs_f64() >= 1.0,
+            "cold start includes container boot"
+        );
+        assert!(
+            large.as_secs_f64() < 10.0,
+            "cold start stays in the seconds range"
+        );
     }
 
     #[test]

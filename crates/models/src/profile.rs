@@ -13,8 +13,18 @@
 //! (two MatMuls of nearly equal size hit the same entry) and it
 //! introduces the small, realistic profiling error that the Combined
 //! Operator Profiling evaluation (Fig. 8) measures.
+//!
+//! Profiling the standard grid takes long enough that doing it once per
+//! platform construction dominates test and bench time. The database is
+//! therefore *content-addressable*: [`ProfileDatabase::cached`] keys the
+//! result by a stable hash of ⟨hardware calibration, config grid,
+//! distinct operator set, seed⟩, shares it process-wide behind a
+//! `OnceLock` registry, and snapshots it to `target/cop-cache/` so
+//! sibling test processes reuse it too.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -187,13 +197,7 @@ impl ProfileDatabase {
         grid: &ConfigGrid,
         seed: u64,
     ) -> Self {
-        let mut signatures: Vec<OpSignature> = specs
-            .iter()
-            .flat_map(|s| s.dag().nodes().iter().map(OpSignature::of))
-            .collect();
-        signatures.sort();
-        signatures.dedup();
-
+        let signatures = Self::distinct_signatures(specs);
         let mut entries = HashMap::new();
         for sig in signatures {
             let rep = sig.representative();
@@ -255,6 +259,217 @@ impl ProfileDatabase {
         sigs.dedup();
         sigs.len()
     }
+
+    /// The sorted, deduplicated operator signatures of a model set —
+    /// exactly what [`ProfileDatabase::profile`] measures, and therefore
+    /// exactly what the cache key must cover.
+    fn distinct_signatures(specs: &[ModelSpec]) -> Vec<OpSignature> {
+        let mut signatures: Vec<OpSignature> = specs
+            .iter()
+            .flat_map(|s| s.dag().nodes().iter().map(OpSignature::of))
+            .collect();
+        signatures.sort();
+        signatures.dedup();
+        signatures
+    }
+
+    /// The content hash addressing a profiling run: every input that
+    /// [`ProfileDatabase::profile`] reads — the hardware calibration, the
+    /// grid, the distinct operator set, and the noise seed — serialized
+    /// canonically and FNV-hashed. Two calls agreeing on this key would
+    /// profile byte-identical databases. `CACHE_FORMAT_VERSION` is mixed
+    /// in so changes to the profiling procedure itself invalidate old
+    /// snapshots.
+    pub fn cache_key(
+        hardware: &HardwareModel,
+        specs: &[ModelSpec],
+        grid: &ConfigGrid,
+        seed: u64,
+    ) -> u64 {
+        let doc = serde_json::json!({
+            "version": Self::CACHE_FORMAT_VERSION,
+            "calibration": hardware.calibration(),
+            "grid": grid,
+            "signatures": Self::distinct_signatures(specs),
+            "seed": seed,
+        });
+        let text = serde_json::to_string(&doc).expect("cache-key document serializes");
+        fnv1a(text.as_bytes())
+    }
+
+    /// Content-addressed, process-wide cached profiling.
+    ///
+    /// Returns the shared database for this ⟨calibration, model set,
+    /// grid, seed⟩. Within a process each distinct key is profiled at
+    /// most once (concurrent callers of the same key block on the
+    /// winner); across processes a `target/cop-cache/<key>.json`
+    /// snapshot written by the first builder is reloaded instead of
+    /// re-profiled.
+    pub fn cached(
+        hardware: &HardwareModel,
+        specs: &[ModelSpec],
+        grid: &ConfigGrid,
+        seed: u64,
+    ) -> Arc<Self> {
+        Self::cached_with_outcome(hardware, specs, grid, seed).0
+    }
+
+    /// Like [`ProfileDatabase::cached`], also reporting how the lookup
+    /// was satisfied (platforms surface this per run through
+    /// `RunReport::profile_cache`).
+    pub fn cached_with_outcome(
+        hardware: &HardwareModel,
+        specs: &[ModelSpec],
+        grid: &ConfigGrid,
+        seed: u64,
+    ) -> (Arc<Self>, CacheOutcome) {
+        let key = Self::cache_key(hardware, specs, grid, seed);
+        // Per-key slots so concurrent builds of *different* keys proceed
+        // in parallel; the global lock is only held to fetch the slot.
+        let slot = Arc::clone(lock_registry().slots.entry(key).or_default());
+        let mut outcome = CacheOutcome::MemoryHit;
+        let db = Arc::clone(slot.get_or_init(|| {
+            if let Some(db) = load_snapshot(key, grid) {
+                outcome = CacheOutcome::DiskHit;
+                Arc::new(db)
+            } else {
+                outcome = CacheOutcome::Built;
+                let db = Arc::new(Self::profile(hardware, specs, grid, seed));
+                store_snapshot(key, &db);
+                db
+            }
+        }));
+        let mut reg = lock_registry();
+        match outcome {
+            CacheOutcome::MemoryHit => reg.stats.memory_hits += 1,
+            CacheOutcome::DiskHit => reg.stats.disk_hits += 1,
+            CacheOutcome::Built => {
+                reg.stats.builds += 1;
+                *reg.builds_per_key.entry(key).or_insert(0) += 1;
+            }
+        }
+        (db, outcome)
+    }
+
+    /// This process's registry counters.
+    pub fn cache_stats() -> CacheStats {
+        lock_registry().stats
+    }
+
+    /// How many times this process actually profiled (rather than
+    /// reused) the database addressed by `key`. The exactly-once
+    /// invariant the cache exists for is `builds_for(key) <= 1`.
+    pub fn builds_for(key: u64) -> u64 {
+        lock_registry()
+            .builds_per_key
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Bump when the profiling procedure (noise model, RNG stream
+    /// labelling, entry layout) changes: old disk snapshots no longer
+    /// describe what `profile()` would produce.
+    const CACHE_FORMAT_VERSION: u32 = 1;
+}
+
+/// How a [`ProfileDatabase::cached`] lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// Another lookup in this process already held the database.
+    MemoryHit,
+    /// A snapshot written by an earlier process was reloaded from
+    /// `target/cop-cache/`.
+    DiskHit,
+    /// The grid was profiled from scratch (and snapshotted to disk).
+    Built,
+}
+
+/// Counters of the process-wide profile registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the in-process registry.
+    pub memory_hits: u64,
+    /// Lookups served by reloading a disk snapshot.
+    pub disk_hits: u64,
+    /// Lookups that profiled from scratch.
+    pub builds: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.builds
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    /// One lazily-built slot per cache key. `OnceLock` serializes
+    /// same-key builders without holding the registry lock.
+    slots: HashMap<u64, Arc<OnceLock<Arc<ProfileDatabase>>>>,
+    builds_per_key: HashMap<u64, u64>,
+    stats: CacheStats,
+}
+
+fn lock_registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// 64-bit FNV-1a over the canonical key document.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The on-disk snapshot directory: `$COP_CACHE_DIR` when set, otherwise
+/// `target/cop-cache/` under the workspace root.
+fn cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("COP_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.join("target").join("cop-cache")
+}
+
+fn snapshot_path(key: u64) -> PathBuf {
+    cache_dir().join(format!("{key:016x}.json"))
+}
+
+fn load_snapshot(key: u64, grid: &ConfigGrid) -> Option<ProfileDatabase> {
+    let text = std::fs::read_to_string(snapshot_path(key)).ok()?;
+    let db: ProfileDatabase = serde_json::from_str(&text).ok()?;
+    // Guards against truncated writes and (vanishingly unlikely) key
+    // collisions: the snapshot must cover the grid that was asked for.
+    (db.grid == *grid && !db.is_empty()).then_some(db)
+}
+
+/// Best-effort snapshot write: a unique temp file renamed into place, so
+/// concurrent processes never observe a torn snapshot. Failures are
+/// ignored — the cache degrades to per-process profiling.
+fn store_snapshot(key: u64, db: &ProfileDatabase) {
+    let dir = cache_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let Ok(text) = serde_json::to_string(db) else {
+        return;
+    };
+    let tmp = dir.join(format!("{key:016x}.json.{}.tmp", std::process::id()));
+    if std::fs::write(&tmp, text).is_err() {
+        return;
+    }
+    let _ = std::fs::rename(&tmp, snapshot_path(key));
 }
 
 /// Standard-normal draw via Box-Muller (keeps this crate independent of
@@ -362,6 +577,114 @@ mod tests {
     #[should_panic(expected = "at least one config")]
     fn empty_grid_rejected() {
         ConfigGrid::new(vec![], vec![1]);
+    }
+
+    /// A small grid no other test shares, so these cache tests own their
+    /// keys outright.
+    fn private_grid(gpu: u32) -> ConfigGrid {
+        ConfigGrid::new(
+            vec![ResourceConfig::new(1, gpu), ResourceConfig::cpu(2)],
+            vec![1, 4],
+        )
+    }
+
+    #[test]
+    fn cached_profiles_each_key_at_most_once() {
+        let hw = HardwareModel::default();
+        let specs = [ModelId::Mnist.spec()];
+        let grid = private_grid(35);
+        let key = ProfileDatabase::cache_key(&hw, &specs, &grid, 9100);
+
+        let (a, first) = ProfileDatabase::cached_with_outcome(&hw, &specs, &grid, 9100);
+        let before = ProfileDatabase::cache_stats();
+        let (b, second) = ProfileDatabase::cached_with_outcome(&hw, &specs, &grid, 9100);
+        let after = ProfileDatabase::cache_stats();
+
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one database");
+        // Cold target/: built here (then snapshotted). Warm target/: the
+        // snapshot of an earlier run is reloaded. Either way this
+        // process never profiles the key twice.
+        assert!(matches!(first, CacheOutcome::Built | CacheOutcome::DiskHit));
+        assert_eq!(second, CacheOutcome::MemoryHit);
+        assert!(after.memory_hits > before.memory_hits);
+        assert!(ProfileDatabase::builds_for(key) <= 1);
+        assert_eq!(a.grid(), &grid);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn cached_matches_direct_profiling() {
+        let hw = HardwareModel::default();
+        let specs = [ModelId::Ssd.spec()];
+        let grid = private_grid(40);
+        let direct = ProfileDatabase::profile(&hw, &specs, &grid, 9200);
+        let cached = ProfileDatabase::cached(&hw, &specs, &grid, 9200);
+        // Identical whether built fresh or round-tripped through a JSON
+        // snapshot (f64 serialization is shortest-roundtrip exact).
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn cached_under_contention_builds_once() {
+        let hw = HardwareModel::default();
+        let specs = [ModelId::TextCnn69.spec()];
+        let grid = private_grid(45);
+        let key = ProfileDatabase::cache_key(&hw, &specs, &grid, 9300);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| ProfileDatabase::cached(&hw, &specs, &grid, 9300));
+            }
+        });
+        assert!(ProfileDatabase::builds_for(key) <= 1);
+    }
+
+    #[test]
+    fn cache_key_covers_every_profiling_input() {
+        let hw = HardwareModel::default();
+        let specs = [ModelId::Mnist.spec()];
+        let grid = ConfigGrid::standard();
+        let base = ProfileDatabase::cache_key(&hw, &specs, &grid, 1);
+
+        assert_eq!(base, ProfileDatabase::cache_key(&hw, &specs, &grid, 1));
+        assert_ne!(
+            base,
+            ProfileDatabase::cache_key(&hw, &specs, &grid, 2),
+            "seed"
+        );
+        let other_grid = private_grid(30);
+        assert_ne!(
+            base,
+            ProfileDatabase::cache_key(&hw, &specs, &other_grid, 1),
+            "grid"
+        );
+        let more_specs = [ModelId::Mnist.spec(), ModelId::ResNet50.spec()];
+        assert_ne!(
+            base,
+            ProfileDatabase::cache_key(&hw, &more_specs, &grid, 1),
+            "model set"
+        );
+        let mut cal = *hw.calibration();
+        cal.noise_sigma += 0.001;
+        let other_hw = HardwareModel::new(cal);
+        assert_ne!(
+            base,
+            ProfileDatabase::cache_key(&other_hw, &specs, &grid, 1),
+            "calibration"
+        );
+    }
+
+    #[test]
+    fn cache_key_ignores_model_duplication() {
+        // Two copies of a model profile the same operator set, so they
+        // must share the cache entry with one copy.
+        let hw = HardwareModel::default();
+        let one = [ModelId::VggNet.spec()];
+        let two = [ModelId::VggNet.spec(), ModelId::VggNet.spec()];
+        let grid = ConfigGrid::standard();
+        assert_eq!(
+            ProfileDatabase::cache_key(&hw, &one, &grid, 5),
+            ProfileDatabase::cache_key(&hw, &two, &grid, 5)
+        );
     }
 
     proptest! {

@@ -114,7 +114,11 @@ pub struct ParseModelError {
 
 impl std::fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unknown model {:?} (see ModelId::all for the zoo)", self.name)
+        write!(
+            f,
+            "unknown model {:?} (see ModelId::all for the zoo)",
+            self.name
+        )
     }
 }
 
@@ -136,7 +140,9 @@ impl std::str::FromStr for ModelId {
         ModelId::all()
             .into_iter()
             .find(|id| norm(id.name()) == wanted)
-            .ok_or_else(|| ParseModelError { name: s.to_string() })
+            .ok_or_else(|| ParseModelError {
+                name: s.to_string(),
+            })
     }
 }
 
@@ -315,10 +321,7 @@ fn dssm(id: ModelId, size_mb: f64, tower_gf: f64) -> ModelSpec {
         tails.push(tail);
     }
     let mul = b.join(op(OpKind::Mul, 0.002), &tails);
-    b.chain(
-        Some(mul),
-        [op(OpKind::Sum, 0.001), op(OpKind::Sigmoid, EW)],
-    );
+    b.chain(Some(mul), [op(OpKind::Sum, 0.001), op(OpKind::Sigmoid, EW)]);
     ModelSpec::new(id, size_mb, 2.0, b.build())
 }
 
@@ -375,10 +378,7 @@ fn deepspeech() -> ModelSpec {
         ],
     );
     let tail = b.chain(tail, (0..5).map(|_| op(OpKind::LstmCell, 0.20)));
-    b.chain(
-        tail,
-        [op(OpKind::MatMul, 0.20), op(OpKind::Softmax, EW)],
-    );
+    b.chain(tail, [op(OpKind::MatMul, 0.20), op(OpKind::Softmax, EW)]);
     ModelSpec::new(ModelId::DeepSpeech, 17.0, 100.0, b.build())
 }
 
@@ -387,10 +387,7 @@ fn ssd() -> ModelSpec {
     // VGG-style backbone.
     let mut tail: Option<NodeId> = None;
     for i in 0..10 {
-        tail = b.chain(
-            tail,
-            [op(OpKind::Conv2d, 0.15), op(OpKind::Relu, EW)],
-        );
+        tail = b.chain(tail, [op(OpKind::Conv2d, 0.15), op(OpKind::Relu, EW)]);
         if i % 3 == 2 {
             tail = b.chain(tail, [op(OpKind::MaxPool, 0.0005)]);
         }
@@ -510,10 +507,7 @@ fn vggnet() -> ModelSpec {
     let mut b = DagBuilder::new();
     let mut tail: Option<NodeId> = None;
     for i in 0..13 {
-        tail = b.chain(
-            tail,
-            [op(OpKind::Conv2d, 0.38), op(OpKind::Relu, EW)],
-        );
+        tail = b.chain(tail, [op(OpKind::Conv2d, 0.38), op(OpKind::Relu, EW)]);
         if [1, 3, 6, 9, 12].contains(&i) {
             tail = b.chain(tail, [op(OpKind::MaxPool, 0.0005)]);
         }

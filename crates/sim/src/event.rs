@@ -218,7 +218,9 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let q: EventQueue<u8> = (0..5u8).map(|i| (SimTime::from_secs(i as u64), i)).collect();
+        let q: EventQueue<u8> = (0..5u8)
+            .map(|i| (SimTime::from_secs(i as u64), i))
+            .collect();
         assert_eq!(q.len(), 5);
     }
 

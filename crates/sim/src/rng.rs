@@ -64,8 +64,14 @@ mod tests {
 
     #[test]
     fn same_inputs_same_stream() {
-        let xs: Vec<u32> = stream(1, "a").sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u32> = stream(1, "a").sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u32> = stream(1, "a")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u32> = stream(1, "a")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 

@@ -303,7 +303,8 @@ impl BinnedHistogram {
     /// conservative over-estimate), or the histogram's range bound for
     /// overflow. Returns `None` when empty.
     pub fn quantile_upper_edge(&self, q: f64) -> Option<f64> {
-        self.quantile_bin(q).map(|b| (b + 1) as f64 * self.bin_width)
+        self.quantile_bin(q)
+            .map(|b| (b + 1) as f64 * self.bin_width)
     }
 
     fn quantile_bin(&self, q: f64) -> Option<usize> {
@@ -453,7 +454,7 @@ mod tests {
 
     #[test]
     fn samples_quantiles_nearest_rank() {
-        let mut s: Samples = (1..=10).map(f64::from).collect();
+        let s: Samples = (1..=10).map(f64::from).collect();
         assert_eq!(s.quantile(0.0), Some(1.0));
         assert_eq!(s.quantile(0.1), Some(1.0));
         assert_eq!(s.quantile(0.5), Some(5.0));
@@ -548,7 +549,7 @@ mod tests {
             q2 in 0.0f64..1.0,
         ) {
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            let mut s: Samples = xs.into_iter().collect();
+            let s: Samples = xs.into_iter().collect();
             let a = s.quantile(lo).unwrap();
             let b = s.quantile(hi).unwrap();
             prop_assert!(a <= b);

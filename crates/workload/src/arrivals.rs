@@ -99,10 +99,7 @@ mod tests {
 
     #[test]
     fn silent_bins_produce_no_arrivals() {
-        let series = RateSeries::new(
-            SimDuration::from_secs(10),
-            vec![0.0, 100.0, 0.0],
-        );
+        let series = RateSeries::new(SimDuration::from_secs(10), vec![0.0, 100.0, 0.0]);
         let arrivals = poisson_arrivals(&series, 5);
         assert!(!arrivals.is_empty());
         for t in &arrivals {

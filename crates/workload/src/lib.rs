@@ -41,7 +41,7 @@ mod traces;
 mod workload;
 
 pub use arrivals::{constant_arrivals, poisson_arrivals};
-pub use trace_io::{read_csv, series_to_row, write_csv, TraceRow};
 pub use series::RateSeries;
+pub use trace_io::{read_csv, series_to_row, write_csv, TraceRow};
 pub use traces::TracePattern;
 pub use workload::{FunctionLoad, Workload};

@@ -47,7 +47,10 @@ impl TraceRow {
     ///
     /// Panics if `per_minute` is empty.
     pub fn new(name: impl Into<String>, per_minute: Vec<u64>) -> Self {
-        assert!(!per_minute.is_empty(), "a trace row needs at least one minute");
+        assert!(
+            !per_minute.is_empty(),
+            "a trace row needs at least one minute"
+        );
         TraceRow {
             name: name.into(),
             per_minute,
@@ -317,7 +320,10 @@ mod tests {
         let mut counts = vec![0u64; 100];
         counts[10] = 30;
         counts[60] = 25;
-        assert_eq!(TraceRow::new("s", counts).classify(), TracePattern::Sporadic);
+        assert_eq!(
+            TraceRow::new("s", counts).classify(),
+            TracePattern::Sporadic
+        );
         // Steady → periodic.
         assert_eq!(
             TraceRow::new("p", vec![50; 100]).classify(),

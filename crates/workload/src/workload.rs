@@ -141,7 +141,10 @@ impl Workload {
 
     /// The time of the last arrival, or zero for an empty workload.
     pub fn end_time(&self) -> SimTime {
-        self.arrivals.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO)
+        self.arrivals
+            .last()
+            .map(|(t, _)| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Observed average RPS for one function over a window — what the
@@ -230,7 +233,11 @@ mod tests {
         let ts: Vec<SimTime> = w.arrivals().iter().map(|(t, _)| *t).collect();
         assert_eq!(
             ts,
-            vec![SimTime::from_secs(1), SimTime::from_secs(5), SimTime::from_secs(9)]
+            vec![
+                SimTime::from_secs(1),
+                SimTime::from_secs(5),
+                SimTime::from_secs(9)
+            ]
         );
         // Explicit loads ignore the seed entirely.
         assert_eq!(w, Workload::build(&[FunctionLoad::explicit(ts)], 99));

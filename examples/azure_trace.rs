@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Classify and deploy one model per row.
-    let zoo = [ModelId::Ssd, ModelId::MobileNet, ModelId::ResNet20, ModelId::TextCnn69];
+    let zoo = [
+        ModelId::Ssd,
+        ModelId::MobileNet,
+        ModelId::ResNet20,
+        ModelId::TextCnn69,
+    ];
     let mut functions = Vec::new();
     let mut loads = Vec::new();
     println!("{:<20} {:>12} {:>12}", "function", "invocations", "class");

@@ -32,7 +32,10 @@ fn main() {
     let policies = [
         ("LSTH (γ=0.5)", ColdStartConfig::Lsth { gamma: 0.5 }),
         ("HHP (4h)", ColdStartConfig::Hhp),
-        ("fixed 300s", ColdStartConfig::Fixed(SimDuration::from_secs(300))),
+        (
+            "fixed 300s",
+            ColdStartConfig::Fixed(SimDuration::from_secs(300)),
+        ),
     ];
 
     println!(
@@ -44,9 +47,8 @@ fn main() {
             coldstart,
             ..InflessConfig::default()
         };
-        let report =
-            InflessPlatform::new(ClusterSpec::testbed(), functions.clone(), config, 55)
-                .run(&workload);
+        let report = InflessPlatform::new(ClusterSpec::testbed(), functions.clone(), config, 55)
+            .run(&workload);
         println!(
             "{:<14} {:>9.2}% {:>12} {:>11.2}% {:>16.0}",
             name,

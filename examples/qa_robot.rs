@@ -52,8 +52,11 @@ fn main() {
             lat.quantile(0.5).unwrap_or(0.0),
             lat.quantile(0.99).unwrap_or(0.0)
         );
-        let mut batches: Vec<(u32, u64)> =
-            f.per_batch_completed.iter().map(|(b, n)| (*b, *n)).collect();
+        let mut batches: Vec<(u32, u64)> = f
+            .per_batch_completed
+            .iter()
+            .map(|(b, n)| (*b, *n))
+            .collect();
         batches.sort_unstable();
         for (b, n) in batches {
             let share = n as f64 / f.completed.max(1) as f64 * 100.0;
@@ -65,11 +68,6 @@ fn main() {
     let mut configs: Vec<_> = report.config_launches.iter().collect();
     configs.sort_by_key(|((f, c), _)| (*f, c.batch(), c.resources().cpu_cores()));
     for ((f, cfg), n) in configs {
-        println!(
-            "  {:<11} {} x{}",
-            report.functions[*f].name,
-            cfg,
-            n
-        );
+        println!("  {:<11} {} x{}", report.functions[*f].name, cfg, n);
     }
 }

@@ -35,8 +35,13 @@ fn main() {
     let reports: Vec<RunReport> = vec![
         OpenFaasPlus::new(cluster, app.functions().to_vec(), 42).run(&workload),
         BatchPlatform::new(cluster, app.functions().to_vec(), 42).run(&workload),
-        InflessPlatform::new(cluster, app.functions().to_vec(), InflessConfig::default(), 42)
-            .run(&workload),
+        InflessPlatform::new(
+            cluster,
+            app.functions().to_vec(),
+            InflessConfig::default(),
+            42,
+        )
+        .run(&workload),
     ];
 
     let cost = CostModel::default();

@@ -7,8 +7,8 @@
 
 use std::process::ExitCode;
 
-use infless::descriptor::Scenario;
 use infless::core::RunReport;
+use infless::descriptor::Scenario;
 
 const USAGE: &str = "usage: inflessctl <scenario.json> [--seed N] [--json]
 
@@ -159,5 +159,8 @@ fn print_json(report: &RunReport) {
         "functions": functions,
         "chains": chains,
     });
-    println!("{}", serde_json::to_string_pretty(&out).expect("valid json"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&out).expect("valid json")
+    );
 }

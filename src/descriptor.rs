@@ -323,7 +323,11 @@ impl Scenario {
                             .expect("validated")
                     })
                     .collect();
-                ChainSpec::new(c.name.clone(), stages, SimDuration::from_millis(c.e2e_slo_ms))
+                ChainSpec::new(
+                    c.name.clone(),
+                    stages,
+                    SimDuration::from_millis(c.e2e_slo_ms),
+                )
             })
             .collect();
 
@@ -348,7 +352,11 @@ impl Scenario {
         Ok(report)
     }
 
-    fn build_load(&self, index: usize, f: &FunctionDescriptor) -> Result<FunctionLoad, ScenarioError> {
+    fn build_load(
+        &self,
+        index: usize,
+        f: &FunctionDescriptor,
+    ) -> Result<FunctionLoad, ScenarioError> {
         match &f.load {
             LoadDescriptor::Constant { rps, duration_secs } => Ok(FunctionLoad::constant(
                 *rps,
@@ -368,14 +376,9 @@ impl Scenario {
                 let file = fs::File::open(path)?;
                 let rows = infless_workload::read_csv(file)
                     .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
-                let row = rows
-                    .iter()
-                    .find(|r| r.name() == function)
-                    .ok_or_else(|| {
-                        ScenarioError::Invalid(format!(
-                            "trace {path:?} has no row named {function:?}"
-                        ))
-                    })?;
+                let row = rows.iter().find(|r| r.name() == function).ok_or_else(|| {
+                    ScenarioError::Invalid(format!("trace {path:?} has no row named {function:?}"))
+                })?;
                 Ok(row.to_load())
             }
             LoadDescriptor::None => Ok(FunctionLoad::explicit(Vec::new())),

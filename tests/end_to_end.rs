@@ -62,7 +62,12 @@ fn all_systems_serve_moderate_load() {
     let w = workload(&app, 30.0, 45, 2);
     for report in run_all(&app, &w, 2) {
         let total = report.total_completed() + report.total_dropped();
-        assert_eq!(total as usize, w.len(), "{}: lost requests", report.platform);
+        assert_eq!(
+            total as usize,
+            w.len(),
+            "{}: lost requests",
+            report.platform
+        );
         let served = report.total_completed() as f64 / total as f64;
         assert!(
             served > 0.95,
@@ -117,8 +122,7 @@ fn infless_uses_non_uniform_configs_batch_does_not() {
     }
     // INFless: across the app, more distinct configurations than
     // functions (non-uniform scaling, Fig. 13c).
-    let infless_distinct: std::collections::HashSet<_> =
-        infless.config_launches.keys().collect();
+    let infless_distinct: std::collections::HashSet<_> = infless.config_launches.keys().collect();
     assert!(
         infless_distinct.len() > app.functions().len(),
         "INFless used only {} distinct (fn, config) pairs",

@@ -10,12 +10,14 @@ fn shipped_scenarios_parse_and_validate() {
     for entry in std::fs::read_dir(dir).expect("scenarios/ exists") {
         let path = entry.expect("readable entry").path();
         if path.extension().is_some_and(|e| e == "json") {
-            Scenario::from_file(&path)
-                .unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
+            Scenario::from_file(&path).unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
             count += 1;
         }
     }
-    assert!(count >= 3, "expected the shipped scenario set, found {count}");
+    assert!(
+        count >= 3,
+        "expected the shipped scenario set, found {count}"
+    );
 }
 
 #[test]

@@ -169,8 +169,8 @@ fn memory_tight_cluster_degrades_gracefully() {
     };
     let loads = vec![FunctionLoad::constant(2000.0, SimDuration::from_secs(20))];
     let workload = Workload::build(&loads, 44);
-    let report = InflessPlatform::new(cluster, functions, InflessConfig::default(), 44)
-        .run(&workload);
+    let report =
+        InflessPlatform::new(cluster, functions, InflessConfig::default(), 44).run(&workload);
     let total = report.total_completed() + report.total_dropped();
     assert_eq!(total as usize, workload.len(), "every request accounted");
     assert!(report.total_completed() > 0, "some capacity fits");

@@ -1,0 +1,265 @@
+//! Vendored, minimal property-testing harness mirroring the subset of
+//! `proptest` 1.x this workspace uses. The build environment has no
+//! network access to crates.io.
+//!
+//! Semantics: each `proptest!` test runs `ProptestConfig::cases`
+//! deterministic random cases (seeded from the test's name, so runs are
+//! reproducible). There is **no shrinking** — a failing case panics with
+//! the generated inputs' debug representation instead of a minimised
+//! counterexample.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use strategy::{Just, Strategy};
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_sample(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_sample(rng: &mut StdRng) -> Self {
+        rand::Rng::gen_bool(rng, 0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_sample(rng: &mut StdRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_sample(rng: &mut StdRng) -> Self {
+        rand::Rng::gen_range(rng, -1e9..1e9)
+    }
+}
+
+/// The canonical strategy for `T` (used as `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy::new()
+}
+
+/// Seeds the per-test RNG from the test name (deterministic, FNV-1a).
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`,
+    /// `prop::sample::select`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strategy)
+/// { body } }` with an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg_pat:pat in $arg_strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::__seed_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let __values = ( $(
+                    $crate::strategy::Strategy::generate(&($arg_strat), &mut __rng),
+                )* );
+                let __debug = format!("{:?}", __values);
+                let ( $($arg_pat,)* ) = __values;
+                let __run = ::std::panic::AssertUnwindSafe(move || { $body });
+                if let Err(__panic) = ::std::panic::catch_unwind(__run) {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __debug
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            panic!(
+                "prop_assert_eq failed: `{}` == `{}` ({:?} vs {:?})",
+                stringify!($left), stringify!($right), __l, __r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            panic!(
+                "prop_assert_ne failed: `{}` != `{}` (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            );
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// (No global rejection budget: the case simply counts as passed.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the listed strategies (which may
+/// have different concrete types, as long as their `Value`s agree).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::boxed($strat) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A(u32),
+        B,
+    }
+
+    fn pick() -> impl Strategy<Value = Pick> {
+        prop_oneof![(1u32..5).prop_map(Pick::A), Just(Pick::B),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(xs in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn select_picks_members(b in prop::sample::select(vec![1u32, 2, 4, 8])) {
+            prop_assert!([1, 2, 4, 8].contains(&b));
+        }
+
+        #[test]
+        fn oneof_and_map_work(p in pick(), flag in any::<bool>()) {
+            match p {
+                Pick::A(v) => prop_assert!((1..5).contains(&v)),
+                Pick::B => prop_assert!(flag || !flag),
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn exact_vec_size(rows in prop::collection::vec(prop::collection::vec(0u64..3, 5), 1..4)) {
+            for row in &rows {
+                prop_assert_eq!(row.len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = crate::__seed_rng("some::test");
+        let mut b = crate::__seed_rng("some::test");
+        let s = 0u64..1000;
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A strategy choosing uniformly from a fixed list.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "cannot select from an empty list");
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.items.len());
+        self.items[idx].clone()
+    }
+}

@@ -1,0 +1,212 @@
+//! The `Strategy` trait and combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying a bounded number of
+    /// times (panics if the predicate is satisfied too rarely).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            strategy: self,
+            pred,
+            whence,
+        }
+    }
+
+    /// Boxes the strategy (see [`boxed`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, object-safe strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// Boxes a strategy; used by `prop_oneof!` to unify branch types.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    Box::new(strategy)
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    strategy: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.strategy.generate(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among boxed strategies (see `prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; panics if no branches are given.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.branches.len());
+        self.branches[idx].generate(rng)
+    }
+}
+
+/// See [`crate::any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> AnyStrategy<T> {
+    pub(crate) fn new() -> Self {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: crate::Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}

@@ -1,0 +1,26 @@
+//! Test-runner configuration.
+
+/// How many random cases each property test runs.
+///
+/// Upstream proptest defaults to 256; this harness defaults to 64 to
+/// keep the (simulation-heavy) suite quick while still exploring a
+/// meaningful slice of the input space. Override per block with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -1,0 +1,82 @@
+//! Distributions: the `Standard` uniform-bits distribution and the
+//! iterator adaptor returned by `Rng::sample_iter`.
+
+use core::marker::PhantomData;
+
+use crate::{unit_f64, RngCore};
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// An infinite iterator of draws, consuming `rng`.
+    fn sample_iter<R: RngCore>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        Self: Sized,
+    {
+        DistIter::new(self, rng)
+    }
+}
+
+/// The "natural" uniform distribution of each primitive: full bit range
+/// for integers, `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f64(rng) as f32
+    }
+}
+
+/// Iterator over draws from a distribution (see
+/// [`Distribution::sample_iter`]).
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    dist: D,
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(dist: D, rng: R) -> Self {
+        DistIter {
+            dist,
+            rng,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.dist.sample(&mut self.rng))
+    }
+}

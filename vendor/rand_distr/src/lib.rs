@@ -1,0 +1,113 @@
+//! Vendored, dependency-free replacement for the parts of `rand_distr`
+//! 0.4 this workspace uses (the Poisson distribution). The build
+//! environment has no network access to crates.io.
+
+use rand::{Rng, RngCore};
+
+pub use rand::distributions::Distribution;
+
+/// Error cases of [`Poisson::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoissonError {
+    /// `lambda` was not a finite positive number.
+    ShapeTooSmall,
+}
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("lambda must be a finite positive number")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// The Poisson distribution `Poisson(λ)`, sampling `f64` counts like
+/// upstream `rand_distr`.
+///
+/// Small rates use Knuth's product-of-uniforms method (exact); large
+/// rates (λ > 30) use the normal approximation with continuity
+/// correction, which is accurate to well under a percent there and keeps
+/// sampling O(1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(PoissonError::ShapeTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda <= 30.0 {
+            // Knuth: count uniforms until their product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = 1.0;
+            let mut count: u64 = 0;
+            loop {
+                product *= rng.gen_range(0.0f64..1.0);
+                if product <= limit {
+                    return count as f64;
+                }
+                count += 1;
+            }
+        } else {
+            // Normal approximation N(λ, λ) via Box-Muller.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0f64..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.lambda + self.lambda.sqrt() * z + 0.5)
+                .floor()
+                .max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(lambda: f64, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Poisson::new(lambda).unwrap();
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn small_lambda_mean_matches() {
+        let m = mean_of(3.0, 20_000);
+        assert!((m - 3.0).abs() < 0.1, "mean {m} far from 3.0");
+    }
+
+    #[test]
+    fn large_lambda_mean_matches() {
+        let m = mean_of(200.0, 20_000);
+        assert!((m - 200.0).abs() < 2.0, "mean {m} far from 200");
+    }
+
+    #[test]
+    fn samples_are_nonnegative_integers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist = Poisson::new(50.0).unwrap();
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!(x >= 0.0 && x.fract() == 0.0, "bad sample {x}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Vendored, dependency-light replacement for the subset of `serde` this
+//! workspace uses. The build environment has no network access to
+//! crates.io, so the workspace pins `serde = { path = "vendor/serde" }`.
+//!
+//! Instead of upstream serde's visitor architecture, this stub uses a
+//! concrete JSON-like data model: [`Serialize`] produces a [`Value`] tree
+//! and [`Deserialize`] consumes one. `serde_json` (also vendored) adds
+//! the text layer on top. The derive macros in the vendored
+//! `serde_derive` generate impls against these simplified traits and
+//! support the attribute subset the workspace uses: `rename_all =
+//! "lowercase"`, `deny_unknown_fields`, `default`, `default = "path"`,
+//! and `tag = "..."` internally-tagged enums.
+//!
+//! One deliberate divergence from JSON: maps serialize as arrays of
+//! `[key, value]` pairs so non-string keys (tuples, structs) round-trip
+//! losslessly without a string encoding.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Deserialization (and serialization) error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance, reporting structural mismatches as
+    /// [`Error`]s.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Namespace mirror of `serde::de` so code written against upstream
+/// paths (`serde::de::Error` bounds, etc.) keeps compiling.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}

@@ -1,0 +1,449 @@
+//! Vendored `serde_derive` replacement: generates impls of the
+//! simplified `serde::Serialize` / `serde::Deserialize` traits (see the
+//! vendored `serde` crate) for the item shapes this workspace uses —
+//! named/tuple/unit structs and enums with unit, newtype, tuple, and
+//! struct variants. Supported attributes: `#[serde(rename_all =
+//! "lowercase")]`, `#[serde(deny_unknown_fields)]`, `#[serde(default)]`
+//! (container and field), `#[serde(default = "path")]`, and
+//! `#[serde(tag = "...")]` internally-tagged enums.
+//!
+//! Parsing is hand-rolled over `proc_macro::TokenStream` (no syn/quote:
+//! the build environment is offline); generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{ContainerAttrs, Data, FieldAttrs, Input, VariantKind};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn rename(attrs: &ContainerAttrs, ident: &str) -> String {
+    if attrs.rename_all_lowercase {
+        ident.to_lowercase()
+    } else {
+        ident.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+fn generate_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut out = String::from("let mut __map = serde::Map::new();\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "__map.insert(::std::string::String::from(\"{key}\"), \
+                     serde::Serialize::serialize(&self.{field}));\n",
+                    key = f.name,
+                    field = f.name,
+                ));
+            }
+            out.push_str("serde::Value::Object(__map)");
+            out
+        }
+        Data::TupleStruct(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = rename(&item.attrs, &v.name);
+                let arm = match (&v.kind, &item.attrs.tag) {
+                    (VariantKind::Unit, None) => format!(
+                        "{name}::{v} => serde::Value::String(::std::string::String::from(\"{tag}\")),\n",
+                        v = v.name,
+                    ),
+                    (VariantKind::Unit, Some(tag_key)) => format!(
+                        "{name}::{v} => {{\n\
+                         let mut __map = serde::Map::new();\n\
+                         __map.insert(::std::string::String::from(\"{tag_key}\"), \
+                         serde::Value::String(::std::string::String::from(\"{tag}\")));\n\
+                         serde::Value::Object(__map)\n}}\n",
+                        v = v.name,
+                    ),
+                    (VariantKind::Newtype, None) => format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let mut __map = serde::Map::new();\n\
+                         __map.insert(::std::string::String::from(\"{tag}\"), \
+                         serde::Serialize::serialize(__f0));\n\
+                         serde::Value::Object(__map)\n}}\n",
+                        v = v.name,
+                    ),
+                    (VariantKind::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __map = serde::Map::new();\n\
+                             __map.insert(::std::string::String::from(\"{tag}\"), \
+                             serde::Value::Array(vec![{items}]));\n\
+                             serde::Value::Object(__map)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        )
+                    }
+                    (VariantKind::Struct(fields), tag_attr) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut __map = serde::Map::new();\n");
+                        if let Some(tag_key) = tag_attr {
+                            inner.push_str(&format!(
+                                "__map.insert(::std::string::String::from(\"{tag_key}\"), \
+                                 serde::Value::String(::std::string::String::from(\"{tag}\")));\n",
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__map.insert(::std::string::String::from(\"{key}\"), \
+                                 serde::Serialize::serialize({field}));\n",
+                                key = f.name,
+                                field = f.name,
+                            ));
+                        }
+                        if tag_attr.is_some() {
+                            inner.push_str("serde::Value::Object(__map)");
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{\n{inner}\n}}\n",
+                                v = v.name,
+                                binds = binds.join(", "),
+                            )
+                        } else {
+                            inner.push_str(&format!(
+                                "let mut __outer = serde::Map::new();\n\
+                                 __outer.insert(::std::string::String::from(\"{tag}\"), \
+                                 serde::Value::Object(__map));\n\
+                                 serde::Value::Object(__outer)",
+                            ));
+                            format!(
+                                "{name}::{v} {{ {binds} }} => {{\n{inner}\n}}\n",
+                                v = v.name,
+                                binds = binds.join(", "),
+                            )
+                        }
+                    }
+                    (VariantKind::Newtype | VariantKind::Tuple(_), Some(_)) => panic!(
+                        "serde_derive (vendored): tuple variants are not supported in \
+                         internally-tagged enums ({name}::{})",
+                        v.name
+                    ),
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+/// The `None => …` arm for a missing field.
+fn missing_field_expr(
+    container: &ContainerAttrs,
+    f_attrs: &FieldAttrs,
+    field: &str,
+    container_name: &str,
+) -> String {
+    match &f_attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::core::default::Default::default()".to_string(),
+        None if container.default => format!("__dflt.{field}"),
+        None => format!(
+            "return ::core::result::Result::Err(serde::Error::custom(\
+             \"missing field `{field}` in {container_name}\"))"
+        ),
+    }
+}
+
+/// Generates the body that parses `__obj` (a `&serde::Map`) into the
+/// given named fields, honouring defaults and unknown-field policy.
+/// `skip_key` is the enum tag key to ignore, if any.
+fn named_fields_body(
+    item_name: &str,
+    constructor: &str,
+    fields: &[parse::Field],
+    attrs: &ContainerAttrs,
+    skip_key: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    if attrs.default {
+        out.push_str(&format!(
+            "let __dflt: {item_name} = ::core::default::Default::default();\n"
+        ));
+    }
+    for (i, _f) in fields.iter().enumerate() {
+        out.push_str(&format!("let mut __f{i} = ::core::option::Option::None;\n"));
+    }
+    out.push_str("for (__key, __val) in __obj.iter() {\nmatch __key.as_str() {\n");
+    if let Some(tag_key) = skip_key {
+        out.push_str(&format!("\"{tag_key}\" => {{}}\n"));
+    }
+    for (i, f) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{key}\" => {{ __f{i} = ::core::option::Option::Some(\
+             serde::Deserialize::deserialize(__val)?); }}\n",
+            key = f.name,
+        ));
+    }
+    if attrs.deny_unknown_fields {
+        out.push_str(&format!(
+            "__other => return ::core::result::Result::Err(serde::Error::custom(\
+             format!(\"unknown field `{{}}` in {item_name}\", __other))),\n"
+        ));
+    } else {
+        out.push_str("_ => {}\n");
+    }
+    out.push_str("}\n}\n");
+    out.push_str(&format!("::core::result::Result::Ok({constructor} {{\n"));
+    for (i, f) in fields.iter().enumerate() {
+        let missing = missing_field_expr(attrs, &f.attrs, &f.name, item_name);
+        out.push_str(&format!(
+            "{field}: match __f{i} {{ ::core::option::Option::Some(__v) => __v, \
+             ::core::option::Option::None => {missing} }},\n",
+            field = f.name,
+        ));
+    }
+    out.push_str("})\n");
+    out
+}
+
+fn expect_object(what: &str) -> String {
+    format!(
+        "let __obj = match __value {{\n\
+         serde::Value::Object(__m) => __m,\n\
+         __other => return ::core::result::Result::Err(serde::Error::custom(\
+         format!(\"expected object for {what}, found {{}}\", __other.kind()))),\n\
+         }};\n"
+    )
+}
+
+fn generate_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut out = expect_object(name);
+            out.push_str(&named_fields_body(name, name, fields, &item.attrs, None));
+            out
+        }
+        Data::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(serde::Deserialize::deserialize(__value)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| serde::Error::custom(\
+                 format!(\"expected array for {name}, found {{}}\", __value.kind())))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::core::result::Result::Err(serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Data::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Data::Enum(variants) => match &item.attrs.tag {
+            Some(tag_key) => generate_tagged_enum_de(item, variants, tag_key),
+            None => generate_external_enum_de(item, variants),
+        },
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn generate_tagged_enum_de(item: &Input, variants: &[parse::Variant], tag_key: &str) -> String {
+    let name = &item.name;
+    let mut out = expect_object(name);
+    out.push_str(&format!(
+        "let __tag = __obj.get(\"{tag_key}\").and_then(|__v| __v.as_str()).ok_or_else(|| \
+         serde::Error::custom(\"missing or non-string tag `{tag_key}` in {name}\"))?;\n\
+         match __tag {{\n"
+    ));
+    for v in variants {
+        let tag = rename(&item.attrs, &v.name);
+        match &v.kind {
+            VariantKind::Unit => {
+                // Still police unknown fields next to the tag.
+                let mut inner = String::new();
+                if item.attrs.deny_unknown_fields {
+                    inner.push_str(&format!(
+                        "for (__key, _) in __obj.iter() {{\n\
+                         if __key != \"{tag_key}\" {{\n\
+                         return ::core::result::Result::Err(serde::Error::custom(\
+                         format!(\"unknown field `{{}}` in {name}::{v}\", __key)));\n\
+                         }}\n}}\n",
+                        v = v.name,
+                    ));
+                }
+                inner.push_str(&format!("::core::result::Result::Ok({name}::{})\n", v.name));
+                out.push_str(&format!("\"{tag}\" => {{\n{inner}}}\n"));
+            }
+            VariantKind::Struct(fields) => {
+                let ctor = format!("{name}::{}", v.name);
+                let body = named_fields_body(
+                    &format!("{name}::{}", v.name),
+                    &ctor,
+                    fields,
+                    &item.attrs,
+                    Some(tag_key),
+                );
+                out.push_str(&format!("\"{tag}\" => {{\n{body}}}\n"));
+            }
+            _ => panic!(
+                "serde_derive (vendored): tuple variants are not supported in \
+                 internally-tagged enums ({name}::{})",
+                v.name
+            ),
+        }
+    }
+    out.push_str(&format!(
+        "__other => ::core::result::Result::Err(serde::Error::custom(\
+         format!(\"unknown {name} variant `{{}}`\", __other))),\n}}\n"
+    ));
+    out
+}
+
+fn generate_external_enum_de(item: &Input, variants: &[parse::Variant]) -> String {
+    let name = &item.name;
+    let unit: Vec<&parse::Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let data: Vec<&parse::Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+
+    let mut out = String::from("match __value {\n");
+    if !unit.is_empty() {
+        out.push_str("serde::Value::String(__s) => match __s.as_str() {\n");
+        for v in &unit {
+            let tag = rename(&item.attrs, &v.name);
+            out.push_str(&format!(
+                "\"{tag}\" => ::core::result::Result::Ok({name}::{}),\n",
+                v.name
+            ));
+        }
+        out.push_str(&format!(
+            "__other => ::core::result::Result::Err(serde::Error::custom(\
+             format!(\"unknown {name} variant `{{}}`\", __other))),\n}},\n"
+        ));
+    }
+    if !data.is_empty() {
+        out.push_str(
+            "serde::Value::Object(__m) if __m.len() == 1 => {\n\
+             let (__k, __payload) = __m.iter().next().expect(\"len checked\");\n\
+             match __k.as_str() {\n",
+        );
+        for v in &data {
+            let tag = rename(&item.attrs, &v.name);
+            match &v.kind {
+                VariantKind::Newtype => out.push_str(&format!(
+                    "\"{tag}\" => ::core::result::Result::Ok({name}::{v}(\
+                     serde::Deserialize::deserialize(__payload)?)),\n",
+                    v = v.name,
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "\"{tag}\" => {{\n\
+                         let __items = __payload.as_array().ok_or_else(|| serde::Error::custom(\
+                         \"expected array payload for {name}::{v}\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                         return ::core::result::Result::Err(serde::Error::custom(\
+                         \"wrong tuple arity for {name}::{v}\"));\n}}\n\
+                         ::core::result::Result::Ok({name}::{v}({items}))\n}}\n",
+                        v = v.name,
+                        items = items.join(", "),
+                    ));
+                }
+                VariantKind::Struct(fields) => {
+                    let ctor = format!("{name}::{}", v.name);
+                    let mut body = String::from(
+                        "let __obj = match __payload {\n\
+                         serde::Value::Object(__m2) => __m2,\n\
+                         __other => return ::core::result::Result::Err(serde::Error::custom(\
+                         format!(\"expected object payload, found {}\", __other.kind()))),\n\
+                         };\n",
+                    );
+                    body.push_str(&named_fields_body(
+                        &format!("{name}::{}", v.name),
+                        &ctor,
+                        fields,
+                        &item.attrs,
+                        None,
+                    ));
+                    out.push_str(&format!("\"{tag}\" => {{\n{body}}}\n"));
+                }
+                VariantKind::Unit => unreachable!(),
+            }
+        }
+        out.push_str(&format!(
+            "__other => ::core::result::Result::Err(serde::Error::custom(\
+             format!(\"unknown {name} variant `{{}}`\", __other))),\n}}\n}},\n"
+        ));
+    }
+    out.push_str(&format!(
+        "__other => ::core::result::Result::Err(serde::Error::custom(\
+         format!(\"cannot deserialize {name} from {{}}\", __other.kind()))),\n}}\n"
+    ));
+    out
+}
+
+/// Shared helper for the parser module: is this token a `#`?
+pub(crate) fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Shared helper for the parser module: the group if this token is one
+/// with the given delimiter.
+pub(crate) fn as_group(tt: &TokenTree, delim: Delimiter) -> Option<TokenStream> {
+    match tt {
+        TokenTree::Group(g) if g.delimiter() == delim => Some(g.stream()),
+        _ => None,
+    }
+}

@@ -1,0 +1,324 @@
+//! A small hand-rolled parser over `proc_macro::TokenStream` for the
+//! item shapes the workspace derives serde on. Not a general Rust
+//! parser: generics are rejected, and only the `#[serde(...)]`
+//! attributes listed in the crate docs are understood.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use crate::{as_group, is_punct};
+
+/// Parsed derive input.
+pub struct Input {
+    pub name: String,
+    pub attrs: ContainerAttrs,
+    pub data: Data,
+}
+
+/// The shape of the item.
+pub enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// One named field.
+pub struct Field {
+    pub name: String,
+    pub attrs: FieldAttrs,
+}
+
+/// One enum variant.
+pub struct Variant {
+    pub name: String,
+    pub kind: VariantKind,
+}
+
+/// Payload shape of a variant.
+pub enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Container-level `#[serde(...)]` switches.
+#[derive(Default)]
+pub struct ContainerAttrs {
+    pub rename_all_lowercase: bool,
+    pub deny_unknown_fields: bool,
+    pub default: bool,
+    pub tag: Option<String>,
+}
+
+/// Field-level `#[serde(...)]` switches. `default` is `Some(None)` for
+/// bare `default` and `Some(Some(path))` for `default = "path"`.
+#[derive(Default)]
+pub struct FieldAttrs {
+    pub default: Option<Option<String>>,
+}
+
+/// Raw key/value pairs out of one `#[serde(...)]` attribute.
+#[derive(Default)]
+struct RawSerdeAttrs {
+    items: Vec<(String, Option<String>)>,
+}
+
+pub fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let mut attrs = ContainerAttrs::default();
+    for raw in collect_attrs(&tokens, &mut pos) {
+        for (key, value) in raw.items {
+            match (key.as_str(), value) {
+                ("rename_all", Some(style)) => {
+                    assert_eq!(
+                        style, "lowercase",
+                        "serde_derive (vendored): only rename_all = \"lowercase\" is supported"
+                    );
+                    attrs.rename_all_lowercase = true;
+                }
+                ("deny_unknown_fields", None) => attrs.deny_unknown_fields = true,
+                ("default", None) => attrs.default = true,
+                ("tag", Some(tag)) => attrs.tag = Some(tag),
+                (other, _) => {
+                    panic!("serde_derive (vendored): unsupported container attribute `{other}`")
+                }
+            }
+        }
+    }
+
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if pos < tokens.len() && is_punct(&tokens[pos], '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(tt) if as_group(tt, Delimiter::Brace).is_some() => {
+                let body = as_group(&tokens[pos], Delimiter::Brace).expect("checked");
+                Data::NamedStruct(parse_named_fields(body))
+            }
+            Some(tt) if as_group(tt, Delimiter::Parenthesis).is_some() => {
+                let body = as_group(&tokens[pos], Delimiter::Parenthesis).expect("checked");
+                Data::TupleStruct(count_tuple_fields(body))
+            }
+            Some(tt) if is_punct(tt, ';') => Data::UnitStruct,
+            other => panic!("serde_derive (vendored): unexpected struct body: {other:?}"),
+        },
+        "enum" => {
+            let body = tokens
+                .get(pos)
+                .and_then(|tt| as_group(tt, Delimiter::Brace))
+                .expect("serde_derive (vendored): enum must have a brace body");
+            Data::Enum(parse_variants(body))
+        }
+        other => panic!("serde_derive (vendored): cannot derive for `{other}` items"),
+    };
+
+    Input { name, attrs, data }
+}
+
+/// Collects `#[serde(...)]` attributes at `pos`, skipping every other
+/// attribute (doc comments, `#[allow]`, …).
+fn collect_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<RawSerdeAttrs> {
+    let mut found = Vec::new();
+    while *pos < tokens.len() && is_punct(&tokens[*pos], '#') {
+        let group = tokens
+            .get(*pos + 1)
+            .and_then(|tt| as_group(tt, Delimiter::Bracket))
+            .expect("`#` must be followed by a bracket group in attribute position");
+        *pos += 2;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = inner
+            .get(1)
+            .and_then(|tt| as_group(tt, Delimiter::Parenthesis))
+            .expect("#[serde] attribute must have parenthesised arguments");
+        found.push(parse_serde_args(args));
+    }
+    found
+}
+
+/// Parses `key`, `key = "value"` pairs separated by commas.
+fn parse_serde_args(args: TokenStream) -> RawSerdeAttrs {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut raw = RawSerdeAttrs::default();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let key = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive (vendored): expected attribute name, found {other}"),
+        };
+        pos += 1;
+        let value = if pos < tokens.len() && is_punct(&tokens[pos], '=') {
+            pos += 1;
+            let lit = match &tokens[pos] {
+                TokenTree::Literal(lit) => lit.to_string(),
+                other => panic!("serde_derive (vendored): expected string value, found {other}"),
+            };
+            pos += 1;
+            Some(lit.trim_matches('"').to_string())
+        } else {
+            None
+        };
+        raw.items.push((key, value));
+        if pos < tokens.len() {
+            assert!(
+                is_punct(&tokens[pos], ','),
+                "serde_derive (vendored): expected `,` between attribute arguments"
+            );
+            pos += 1;
+        }
+    }
+    raw
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if tokens
+            .get(*pos)
+            .and_then(|tt| as_group(tt, Delimiter::Parenthesis))
+            .is_some()
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips tokens until a top-level `,` (angle-bracket depth aware, since
+/// generic arguments contain commas outside any token group).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i64 = 0;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            tt if is_punct(tt, '<') => angle_depth += 1,
+            tt if is_punct(tt, '>') => angle_depth -= 1,
+            tt if is_punct(tt, ',') && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        for raw in collect_attrs(&tokens, &mut pos) {
+            for (key, value) in raw.items {
+                match key.as_str() {
+                    "default" => attrs.default = Some(value),
+                    other => {
+                        panic!("serde_derive (vendored): unsupported field attribute `{other}`")
+                    }
+                }
+            }
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        assert!(
+            pos < tokens.len() && is_punct(&tokens[pos], ':'),
+            "serde_derive (vendored): expected `:` after field `{name}`"
+        );
+        pos += 1;
+        skip_type(&tokens, &mut pos);
+        if pos < tokens.len() && is_punct(&tokens[pos], ',') {
+            pos += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts tuple-struct / tuple-variant fields (top-level commas at
+/// angle-bracket depth zero).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        // Skip per-field attributes and visibility, then the type.
+        let mut field_attr_pos = pos;
+        let _ = collect_attrs(&tokens, &mut field_attr_pos);
+        pos = field_attr_pos;
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if pos < tokens.len() && is_punct(&tokens[pos], ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        // Variant-level serde attributes are not supported; doc comments
+        // and other attributes are skipped.
+        for raw in collect_attrs(&tokens, &mut pos) {
+            if !raw.items.is_empty() {
+                panic!("serde_derive (vendored): variant-level serde attributes are unsupported");
+            }
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(tt) if as_group(tt, Delimiter::Brace).is_some() => {
+                let fields =
+                    parse_named_fields(as_group(&tokens[pos], Delimiter::Brace).expect("checked"));
+                pos += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(tt) if as_group(tt, Delimiter::Parenthesis).is_some() => {
+                let n = count_tuple_fields(
+                    as_group(&tokens[pos], Delimiter::Parenthesis).expect("checked"),
+                );
+                pos += 1;
+                if n == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(n)
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if pos < tokens.len() && is_punct(&tokens[pos], '=') {
+            pos += 1;
+            while pos < tokens.len() && !is_punct(&tokens[pos], ',') {
+                pos += 1;
+            }
+        }
+        if pos < tokens.len() && is_punct(&tokens[pos], ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}

@@ -1,0 +1,104 @@
+//! Vendored, minimal replacement for the parts of `serde_json` this
+//! workspace uses: `Value`/`Map` (re-exported from the vendored
+//! `serde`, which defines the data model), `json!`, `from_str`,
+//! `to_string`, `to_string_pretty`, and `to_value`.
+//!
+//! Divergence from upstream: maps with non-string keys serialize as
+//! arrays of `[key, value]` pairs (see the vendored `serde` crate docs);
+//! non-finite floats render as `null` like upstream serde_json.
+
+mod read;
+mod write;
+
+pub use read::from_str;
+pub use serde::{Error, Map, Number, Value};
+pub use write::{to_string, to_string_pretty};
+
+/// Namespace mirror of `serde_json::value`.
+pub mod value {
+    pub use serde::{Map, Number, Value};
+}
+
+/// Serializes any [`serde::Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Deserializes a [`Value`] tree into any [`serde::Deserialize`] type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Keys must be string
+/// literals; values may be `null`, nested `[...]` / `{...}` literals, or
+/// any Rust expression whose type implements `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $( __map.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let rows = vec![1u32, 2, 3];
+        let v = json!({ "name": "x", "rows": rows, "none": Option::<f64>::None });
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            v.get("rows").and_then(Value::as_array).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("none"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({
+            "a": 1u64,
+            "b": -2i64,
+            "c": 1.5f64,
+            "s": "quo\"te\n",
+            "arr": vec![true, false],
+            "nested": json!({ "x": 9u8 })
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parses_plain_json() {
+        let v: Value = from_str(r#"{"k": [1, 2.5, "s", null, true], "neg": -7}"#).unwrap();
+        assert_eq!(v.get("neg").and_then(Value::as_i64), Some(-7));
+        let arr = v.get("k").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[3], Value::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("{\"a\": 1} trailing").is_err());
+        assert!(from_str::<Value>("{'a': 1}").is_err());
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let v: Value = from_str(r#""aA\n\t\\\"b""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\t\\\"b"));
+    }
+}
