@@ -18,6 +18,7 @@
 //! * **Fixed keep-alive** — no pre-warming, constant keep-alive window.
 
 use infless_cluster::{ClusterSpec, InstanceConfig, InstanceId, ServerId};
+use infless_faults::FaultSchedule;
 use infless_models::{profile::ConfigGrid, HardwareModel, ModelSpec, ProfileDatabase};
 use infless_sim::{EventQueue, SimDuration, SimTime};
 use infless_workload::Workload;
@@ -118,6 +119,7 @@ pub struct BatchPlatform {
     engine: Engine,
     config: BatchConfig,
     fns: Vec<FnState>,
+    faults: FaultSchedule,
 }
 
 impl BatchPlatform {
@@ -160,7 +162,15 @@ impl BatchPlatform {
             engine,
             config,
             fns,
+            faults: FaultSchedule::empty(),
         }
+    }
+
+    /// Attaches a fault schedule to inject during [`Self::run`]. The
+    /// default (an empty schedule) changes nothing.
+    pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The uniform batchsize chosen for function `f` (None if no
@@ -180,6 +190,12 @@ impl BatchPlatform {
         if !workload.is_empty() {
             queue.schedule(SimTime::ZERO + self.config.tick, EngineEvent::ScalerTick);
         }
+        // Scheduled last so arrivals win equal-timestamp ties; an empty
+        // schedule leaves the run bit-identical.
+        let faults = std::mem::take(&mut self.faults);
+        for &(t, ev) in faults.events() {
+            queue.schedule(t, EngineEvent::Fault(ev));
+        }
         while let Some((t, ev)) = queue.pop() {
             self.engine.advance(t);
             match ev {
@@ -196,8 +212,11 @@ impl BatchPlatform {
                 }
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
-                    let done = self.engine.on_batch_complete(id, &mut queue);
-                    self.pump(done.function, &mut queue);
+                    // Stale if a fault killed the instance mid-batch.
+                    if self.engine.is_live(id) {
+                        let done = self.engine.on_batch_complete(id, &mut queue);
+                        self.pump(done.function, &mut queue);
+                    }
                 }
                 EngineEvent::ScalerTick => {
                     self.tick(t, &mut queue);
@@ -205,9 +224,49 @@ impl BatchPlatform {
                         queue.schedule(t + self.config.tick, EngineEvent::ScalerTick);
                     }
                 }
+                EngineEvent::Fault(fault) => self.handle_fault(fault, &mut queue),
             }
         }
         self.engine.finish()
+    }
+
+    /// Applies one injected fault. Displaced requests whose SLO budget
+    /// survives (and that still fit the admission cap) re-enter the
+    /// front of the OTP buffer — they arrived first — and the affected
+    /// functions are pumped immediately; replacement capacity itself
+    /// only appears at the next scaling tick, as BATCH's OTP layer
+    /// cannot react faster than its control loop.
+    fn handle_fault(
+        &mut self,
+        fault: infless_faults::FaultEvent,
+        queue: &mut EventQueue<EngineEvent>,
+    ) {
+        let outcome = self.engine.on_fault(fault);
+        if outcome.killed.is_empty() && outcome.displaced.is_empty() {
+            return;
+        }
+        let now = self.engine.now();
+        // Reverse order + push_front keeps the buffer arrival-ordered.
+        for req in outcome.displaced.into_iter().rev() {
+            let f = req.function.raw();
+            let slo = self.engine.functions()[f].slo();
+            let within_budget = now.saturating_since(req.arrival) < slo;
+            if within_budget
+                && self.fns[f].plan.is_some()
+                && self.fns[f].buffer.len() < self.buffer_cap(f)
+            {
+                self.fns[f].buffer.push_front(req);
+                self.engine.collector.retried();
+            } else {
+                self.engine.shed_request(&req);
+            }
+        }
+        let mut affected: Vec<usize> = outcome.killed.iter().map(|&(f, _)| f).collect();
+        affected.sort_unstable();
+        affected.dedup();
+        for f in affected {
+            self.pump(f, queue);
+        }
     }
 
     fn on_arrival(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {

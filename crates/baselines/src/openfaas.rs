@@ -7,7 +7,8 @@
 //! purely reactive (a request with no free instance triggers a launch),
 //! and idle instances die after a fixed 300-second keep-alive.
 
-use infless_cluster::{ClusterSpec, InstanceConfig, InstanceId, InstanceState};
+use infless_cluster::{ClusterSpec, InstanceConfig, InstanceId, InstanceState, Request};
+use infless_faults::FaultSchedule;
 use infless_models::{HardwareModel, ResourceConfig};
 use infless_sim::{EventQueue, SimDuration, SimTime};
 use infless_workload::Workload;
@@ -66,6 +67,7 @@ impl Default for OpenFaasConfig {
 pub struct OpenFaasPlus {
     engine: Engine,
     config: OpenFaasConfig,
+    faults: FaultSchedule,
 }
 
 impl OpenFaasPlus {
@@ -88,7 +90,18 @@ impl OpenFaasPlus {
             functions,
             seed,
         );
-        OpenFaasPlus { engine, config }
+        OpenFaasPlus {
+            engine,
+            config,
+            faults: FaultSchedule::empty(),
+        }
+    }
+
+    /// Attaches a fault schedule to inject during [`Self::run`]. The
+    /// default (an empty schedule) changes nothing.
+    pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs the workload to completion.
@@ -104,6 +117,12 @@ impl OpenFaasPlus {
                 EngineEvent::ScalerTick,
             );
         }
+        // Scheduled last so arrivals win equal-timestamp ties; an empty
+        // schedule leaves the run bit-identical.
+        let faults = std::mem::take(&mut self.faults);
+        for &(t, ev) in faults.events() {
+            queue.schedule(t, EngineEvent::Fault(ev));
+        }
         while let Some((t, ev)) = queue.pop() {
             self.engine.advance(t);
             match ev {
@@ -111,13 +130,34 @@ impl OpenFaasPlus {
                 EngineEvent::InstanceReady(id) => self.engine.on_instance_ready(id, &mut queue),
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
-                    self.engine.on_batch_complete(id, &mut queue);
+                    // Stale if a fault killed the instance mid-batch.
+                    if self.engine.is_live(id) {
+                        self.engine.on_batch_complete(id, &mut queue);
+                    }
                 }
                 EngineEvent::ScalerTick => {
                     self.reap(t);
                     self.sample(t);
                     if t < tick_horizon {
                         queue.schedule(t + self.config.reap_period, EngineEvent::ScalerTick);
+                    }
+                }
+                EngineEvent::Fault(fault) => {
+                    // Reactive recovery: displaced requests with SLO
+                    // budget left re-enter placement (which launches
+                    // replacement pods exactly as a fresh arrival
+                    // would); the rest are shed.
+                    let outcome = self.engine.on_fault(fault);
+                    for req in outcome.displaced {
+                        let f = req.function.raw();
+                        let slo = self.engine.functions()[f].slo();
+                        let now = self.engine.now();
+                        if now.saturating_since(req.arrival) < slo && self.place(f, req, &mut queue)
+                        {
+                            self.engine.collector.retried();
+                        } else {
+                            self.engine.shed_request(&req);
+                        }
                     }
                 }
             }
@@ -130,12 +170,20 @@ impl OpenFaasPlus {
     /// the platform's scaling rate limit, beyond which the request
     /// queues one-deep behind a busy/starting pod or is rejected.
     fn on_arrival(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
-        let now = self.engine.now();
         let req = self.engine.mint_request(f);
+        if !self.place(f, req, queue) {
+            self.engine.drop_request(&req);
+        }
+    }
+
+    /// Tries to place `req` (an arrival or a fault-displaced retry);
+    /// returns `false` when it could not be accepted anywhere.
+    fn place(&mut self, f: usize, req: Request, queue: &mut EventQueue<EngineEvent>) -> bool {
+        let now = self.engine.now();
         if let Some(id) = self.free_instance(f, now) {
             let accepted = self.engine.enqueue(id, req, queue);
             debug_assert!(accepted, "a free instance always accepts one request");
-            return;
+            return true;
         }
         // Reactive scale-out: one instance per unserved request. The
         // stock platform has no pre-warming: every pod pays the full
@@ -155,7 +203,7 @@ impl OpenFaasPlus {
             {
                 let accepted = self.engine.enqueue(id, req, queue);
                 debug_assert!(accepted);
-                return;
+                return true;
             }
         }
         // Rate-limited (or cluster full): queue one-deep behind any pod
@@ -164,10 +212,10 @@ impl OpenFaasPlus {
         ids.sort_by_key(|id| self.engine.instance(*id).queue_len());
         for id in ids {
             if self.engine.enqueue(id, req, queue) {
-                return;
+                return true;
             }
         }
-        self.engine.drop_request(&req);
+        false
     }
 
     fn free_instance(&self, f: usize, now: SimTime) -> Option<InstanceId> {

@@ -1,0 +1,105 @@
+//! Extension experiment: SLO violation under injected failures.
+//!
+//! The paper evaluates INFless on healthy clusters; this experiment
+//! asks how much of its SLO advantage survives when machines crash,
+//! instances die, cold starts fail and stragglers appear. All three
+//! systems face the *identical* seeded fault schedule at each
+//! intensity, so the gaps are recovery-policy gaps:
+//!
+//! * INFless re-runs its Eq. 10 greedy placement for the displaced
+//!   throughput and retries displaced requests against the rebuilt
+//!   dispatch set within their remaining SLO budget;
+//! * OpenFaaS+ retries reactively (a displaced request triggers the
+//!   same rate-limited pod launches a fresh arrival would);
+//! * BATCH re-buffers displaced requests but cannot add capacity until
+//!   its next scaling tick.
+//!
+//! Reported per (system, intensity): SLO violation rate (shed requests
+//! count as violations), requests shed, and mean time-to-recapacity —
+//! how long the cluster ran short of the weighted capacity lost to
+//! each fault.
+
+use infless_bench::{header, maybe_quick, pattern_workload, quick, record, run_parallel, System};
+use infless_cluster::ClusterSpec;
+use infless_core::apps::Application;
+use infless_faults::FaultPlan;
+use infless_sim::SimDuration;
+use infless_workload::TracePattern;
+
+fn main() {
+    let cluster = ClusterSpec::testbed();
+    let duration = maybe_quick(SimDuration::from_mins(8));
+    let app = Application::qa_robot();
+    let intensities: &[f64] = if quick() {
+        &[0.0, 2.0]
+    } else {
+        &[0.0, 0.5, 1.0, 2.0, 4.0]
+    };
+
+    header(
+        "fig_failure_slo",
+        "extension (fault injection)",
+        "SLO violation / shed / time-to-recapacity under a failure-intensity sweep",
+    );
+    let workload = pattern_workload(
+        app.functions().len(),
+        TracePattern::Bursty,
+        80.0,
+        duration,
+        42,
+    );
+
+    let mut jobs = Vec::new();
+    for &intensity in intensities {
+        for sys in System::trio() {
+            let functions = app.functions().to_vec();
+            let workload = &workload;
+            jobs.push(move || {
+                let plan = FaultPlan::sweep(intensity);
+                sys.run_with_faults(cluster, &functions, workload, 42, &plan)
+            });
+        }
+    }
+    let reports = run_parallel(jobs);
+
+    println!(
+        "{:<10} {:<10} {:>9} {:>9} {:>9} {:>9} {:>12} {:>12}",
+        "intensity", "system", "viol %", "shed", "retried", "crashes", "recap ms", "completed"
+    );
+    let mut rows = Vec::new();
+    for (i, &intensity) in intensities.iter().enumerate() {
+        for (s, sys) in System::trio().iter().enumerate() {
+            let r = &reports[i * System::trio().len() + s];
+            let recap = r.failures.mean_time_to_recapacity_ms();
+            println!(
+                "{:<10} {:<10} {:>8.2}% {:>9} {:>9} {:>9} {:>12} {:>12}",
+                intensity,
+                sys.name(),
+                r.violation_rate() * 100.0,
+                r.failures.requests_shed,
+                r.failures.requests_retried,
+                r.failures.server_crashes,
+                recap.map_or_else(|| "-".into(), |m| format!("{m:.0}")),
+                r.total_completed(),
+            );
+            rows.push(serde_json::json!({
+                "intensity": intensity,
+                "system": sys.name(),
+                "violation_rate": r.violation_rate(),
+                "requests_shed": r.failures.requests_shed,
+                "requests_retried": r.failures.requests_retried,
+                "requests_displaced": r.failures.requests_displaced,
+                "server_crashes": r.failures.server_crashes,
+                "server_recoveries": r.failures.server_recoveries,
+                "instances_killed": r.failures.instances_killed,
+                "stragglers": r.failures.stragglers,
+                "mean_time_to_recapacity_ms": recap,
+                "completed": r.total_completed(),
+                "dropped": r.total_dropped(),
+            }));
+        }
+        println!();
+    }
+
+    record("fig_failure_slo", serde_json::json!({ "sweep": rows }));
+}

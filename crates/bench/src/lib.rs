@@ -24,6 +24,7 @@ use infless_cluster::ClusterSpec;
 use infless_core::engine::FunctionInfo;
 use infless_core::metrics::RunReport;
 use infless_core::platform::{InflessConfig, InflessPlatform};
+use infless_faults::{FaultPlan, FaultSchedule};
 use infless_models::CacheOutcome;
 use infless_sim::SimDuration;
 use infless_workload::{FunctionLoad, TracePattern, Workload};
@@ -137,6 +138,50 @@ impl System {
     ) -> RunReport {
         InflessPlatform::new(cluster, functions.to_vec(), InflessConfig::default(), seed)
             .run(workload)
+    }
+
+    /// Like [`System::run`], but with faults injected from `plan`. The
+    /// schedule is generated once from `(plan, cluster, workload span,
+    /// seed)` — every system invoked with the same arguments faces the
+    /// *identical* sequence of crashes, kills and stragglers, so
+    /// differences in the resulting reports are recovery-policy
+    /// differences, not luck.
+    pub fn run_with_faults(
+        self,
+        cluster: ClusterSpec,
+        functions: &[FunctionInfo],
+        workload: &Workload,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> RunReport {
+        let horizon = workload
+            .end_time()
+            .saturating_since(infless_sim::SimTime::ZERO);
+        let schedule = FaultSchedule::generate(plan, cluster.servers, horizon, seed);
+        match self {
+            System::OpenFaasPlus => OpenFaasPlus::new(cluster, functions.to_vec(), seed)
+                .with_fault_schedule(schedule)
+                .run(workload),
+            System::Batch => BatchPlatform::new(cluster, functions.to_vec(), seed)
+                .with_fault_schedule(schedule)
+                .run(workload),
+            System::BatchRs => BatchPlatform::with_config(
+                cluster,
+                functions.to_vec(),
+                BatchConfig {
+                    placement: BatchPlacement::BestFit,
+                    ..BatchConfig::default()
+                },
+                seed,
+            )
+            .with_fault_schedule(schedule)
+            .run(workload),
+            System::Infless => {
+                InflessPlatform::new(cluster, functions.to_vec(), InflessConfig::default(), seed)
+                    .with_fault_schedule(schedule)
+                    .run(workload)
+            }
+        }
     }
 }
 

@@ -230,6 +230,14 @@ impl Instance {
         true
     }
 
+    /// Drains and returns every queued request, closing the batch
+    /// window. Used when an instance dies (fault injection): the queue
+    /// is displaced to the platform for SLO-budgeted retry.
+    pub fn take_queue(&mut self) -> Vec<Request> {
+        self.queue_opened_at = None;
+        self.queue.drain(..).collect()
+    }
+
     /// `true` if a full batch is waiting.
     pub fn batch_full(&self) -> bool {
         self.queue.len() >= self.config.batch as usize

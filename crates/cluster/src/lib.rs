@@ -23,5 +23,5 @@ mod state;
 
 pub use ids::{FunctionId, InstanceId, RequestId, ServerId};
 pub use instance::{Instance, InstanceConfig, InstanceState, Request};
-pub use server::{Placement, Server};
+pub use server::{Placement, Server, ServerHealth};
 pub use state::{ClusterSpec, ClusterState, PlacementError};

@@ -33,6 +33,24 @@ impl Placement {
     }
 }
 
+/// Liveness of a server under the fault model (PR 3).
+///
+/// Only [`ServerHealth::Up`] servers accept placements; a crashed
+/// ([`ServerHealth::Down`]) or rebooting ([`ServerHealth::Recovering`])
+/// server is skipped by every placement path (Algorithm 1, first-fit,
+/// spread, best-fit) because [`Server::fits_with_memory`] and
+/// [`Server::allocate_with_memory`] refuse while unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ServerHealth {
+    /// Healthy: accepts placements.
+    #[default]
+    Up,
+    /// Crashed: all instances died; accepts nothing.
+    Down,
+    /// Outage over, still booting; accepts nothing yet.
+    Recovering,
+}
+
 /// One server's capacity and free-resource accounting.
 ///
 /// GPU shares must fit within a single physical device — a 60 % slice
@@ -61,6 +79,9 @@ pub struct Server {
     mem_capacity_mb: f64,
     mem_free_mb: f64,
     instances: usize,
+    // Defaulted so pre-fault-model serialized servers still load.
+    #[serde(default)]
+    health: ServerHealth,
 }
 
 impl Server {
@@ -107,6 +128,7 @@ impl Server {
             mem_capacity_mb,
             mem_free_mb: mem_capacity_mb,
             instances: 0,
+            health: ServerHealth::Up,
         }
     }
 
@@ -156,6 +178,18 @@ impl Server {
         self.instances > 0
     }
 
+    /// The server's health under the fault model.
+    pub fn health(&self) -> ServerHealth {
+        self.health
+    }
+
+    /// Sets the server's health. Accounting is untouched: a crash
+    /// releases its instances' allocations one by one as the engine
+    /// kills them, so the books stay exact through the transition.
+    pub fn set_health(&mut self, health: ServerHealth) {
+        self.health = health;
+    }
+
     /// Checks whether `cfg` fits without allocating. A GPU share must
     /// fit within a single device.
     pub fn fits(&self, cfg: ResourceConfig) -> bool {
@@ -164,6 +198,9 @@ impl Server {
 
     /// [`Self::fits`] with an additional memory demand in MB.
     pub fn fits_with_memory(&self, cfg: ResourceConfig, mem_mb: f64) -> bool {
+        if self.health != ServerHealth::Up {
+            return false;
+        }
         if cfg.cpu_cores() > self.cpu_free || mem_mb > self.mem_free_mb {
             return false;
         }
@@ -186,6 +223,9 @@ impl Server {
     /// Panics if `mem_mb` is negative or non-finite.
     pub fn allocate_with_memory(&mut self, cfg: ResourceConfig, mem_mb: f64) -> Option<Placement> {
         assert!(mem_mb >= 0.0 && mem_mb.is_finite(), "bad memory demand");
+        if self.health != ServerHealth::Up {
+            return None;
+        }
         if cfg.cpu_cores() > self.cpu_free || mem_mb > self.mem_free_mb {
             return None;
         }
@@ -217,32 +257,38 @@ impl Server {
     /// Releases an allocation made by [`Self::allocate`] /
     /// [`Self::allocate_with_memory`].
     ///
+    /// A double release (e.g. a crash-forced release racing a normal
+    /// retirement) is flagged with `debug_assert!` in debug builds; in
+    /// release builds the books saturate at capacity instead of
+    /// overflowing, so a slipped-through accounting bug degrades into a
+    /// bounded over-count rather than corruption.
+    ///
     /// # Panics
     ///
-    /// Panics if the release does not match an outstanding allocation
-    /// (double free, wrong server, or capacity overflow) — these are
-    /// accounting bugs that must never be ignored.
+    /// Panics if the placement belongs to a different server or its GPU
+    /// share does not match the config — those are type-level misuse,
+    /// not races. Debug builds additionally panic on double release.
     pub fn release(&mut self, cfg: ResourceConfig, placement: Placement) {
         assert_eq!(placement.server, self.id, "release on the wrong server");
-        assert!(self.instances > 0, "release with no instances placed");
-        self.cpu_free += cfg.cpu_cores();
-        self.mem_free_mb = (self.mem_free_mb + placement.mem_mb).min(self.mem_capacity_mb);
-        assert!(
-            self.cpu_free <= self.cpu_capacity,
+        debug_assert!(self.instances > 0, "release with no instances placed");
+        debug_assert!(
+            self.cpu_free + cfg.cpu_cores() <= self.cpu_capacity,
             "CPU release exceeds capacity"
         );
+        self.cpu_free = (self.cpu_free + cfg.cpu_cores()).min(self.cpu_capacity);
+        self.mem_free_mb = (self.mem_free_mb + placement.mem_mb).min(self.mem_capacity_mb);
         match (placement.gpu_index, cfg.gpu_pct()) {
             (None, 0) => {}
             (Some(i), pct) if pct > 0 => {
-                self.gpu_free[i] += pct;
-                assert!(
-                    self.gpu_free[i] <= self.gpu_capacity[i],
+                debug_assert!(
+                    self.gpu_free[i] + pct <= self.gpu_capacity[i],
                     "GPU release exceeds device capacity"
                 );
+                self.gpu_free[i] = (self.gpu_free[i] + pct).min(self.gpu_capacity[i]);
             }
             _ => panic!("placement/config GPU mismatch"),
         }
-        self.instances -= 1;
+        self.instances = self.instances.saturating_sub(1);
     }
 
     /// Weighted free fraction `((β·cpu_free + gpu_free) / (β·C + G))`
@@ -321,6 +367,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "exceeds capacity")]
     fn double_release_panics() {
         let mut s = Server::new(ServerId::new(0), 4, &[]);
@@ -329,6 +376,48 @@ mod tests {
         // Fake instance count so we hit the capacity assertion.
         let p2 = s.allocate(ResourceConfig::cpu(1)).unwrap();
         s.release(ResourceConfig::cpu(2), p2);
+    }
+
+    /// Regression for the double-release guard: whether or not the
+    /// debug assertion fires, the books saturate at capacity instead of
+    /// overflowing (a crash-forced release racing a normal retirement
+    /// must never corrupt accounting).
+    #[test]
+    fn double_release_saturates_books() {
+        let mut s = Server::new(ServerId::new(0), 4, &[100]);
+        let p = s.allocate(ResourceConfig::new(2, 50)).unwrap();
+        s.release(ResourceConfig::new(2, 50), p);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut again = s.clone();
+            again.release(ResourceConfig::new(2, 50), p);
+            again
+        }));
+        if cfg!(debug_assertions) {
+            // Debug build: the double release is flagged loudly.
+            assert!(result.is_err(), "debug build must panic on double release");
+        } else {
+            // Release build: the books clamp, nothing overflows.
+            let again = result.expect("release build must not panic on double release");
+            assert_eq!(again.cpu_free(), again.cpu_capacity());
+            assert_eq!(again.gpu_free_total(), again.gpu_capacity_total());
+            assert_eq!(again.instance_count(), 0);
+        }
+    }
+
+    #[test]
+    fn unhealthy_server_rejects_placements() {
+        let mut s = server();
+        let cfg = ResourceConfig::new(2, 40);
+        assert_eq!(s.health(), ServerHealth::Up);
+        s.set_health(ServerHealth::Down);
+        assert!(!s.fits(cfg));
+        assert!(s.allocate(cfg).is_none());
+        s.set_health(ServerHealth::Recovering);
+        assert!(!s.fits(cfg));
+        assert!(s.allocate(cfg).is_none());
+        s.set_health(ServerHealth::Up);
+        assert!(s.fits(cfg));
+        assert!(s.allocate(cfg).is_some());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::ids::ServerId;
-use crate::server::{Placement, Server};
+use crate::server::{Placement, Server, ServerHealth};
 
 /// Shape of a cluster to build.
 ///
@@ -136,6 +136,26 @@ impl ClusterState {
     /// Mutable access to a server by id.
     pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
         &mut self.servers[id.raw()]
+    }
+
+    /// The health of a server under the fault model.
+    pub fn health(&self, id: ServerId) -> ServerHealth {
+        self.servers[id.raw()].health()
+    }
+
+    /// Sets the health of a server. Unhealthy servers are skipped by
+    /// every placement path ([`Server::fits_with_memory`] refuses), so
+    /// no caller needs to re-check health itself.
+    pub fn set_health(&mut self, id: ServerId, health: ServerHealth) {
+        self.servers[id.raw()].set_health(health);
+    }
+
+    /// Number of servers currently accepting placements.
+    pub fn up_servers(&self) -> usize {
+        self.servers
+            .iter()
+            .filter(|s| s.health() == ServerHealth::Up)
+            .count()
     }
 
     /// Tries to allocate `cfg` on a specific server.
@@ -323,6 +343,22 @@ mod tests {
         c.allocate_anywhere(cfg).unwrap();
         let ratio = c.fragment_ratio(0.13);
         assert!(ratio > 0.3 && ratio < 0.7, "half-full server: {ratio}");
+    }
+
+    #[test]
+    fn down_servers_are_skipped_by_placement() {
+        let mut c = ClusterSpec::large(2).build();
+        assert_eq!(c.up_servers(), 2);
+        c.set_health(ServerId::new(0), ServerHealth::Down);
+        assert_eq!(c.up_servers(), 1);
+        let cfg = ResourceConfig::new(4, 50);
+        // First-fit skips the crashed server 0 and lands on server 1.
+        let p = c.allocate_anywhere(cfg).unwrap();
+        assert_eq!(p.server(), ServerId::new(1));
+        // Targeted placement on the crashed server is refused outright.
+        assert!(c.allocate_on(ServerId::new(0), cfg).is_err());
+        c.set_health(ServerId::new(0), ServerHealth::Up);
+        assert!(c.allocate_on(ServerId::new(0), cfg).is_ok());
     }
 
     #[test]

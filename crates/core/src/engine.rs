@@ -13,12 +13,13 @@
 //! (that is where systems differ), everything else is handled by the
 //! engine's `on_*` methods.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use infless_cluster::{
     ClusterSpec, ClusterState, FunctionId, Instance, InstanceConfig, InstanceId, PlacementError,
-    Request, RequestId, ServerId,
+    Request, RequestId, ServerHealth, ServerId,
 };
+use infless_faults::FaultEvent;
 use infless_models::{HardwareModel, ModelSpec};
 use infless_sim::{EventQueue, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -94,6 +95,22 @@ pub enum EngineEvent {
     BatchComplete(InstanceId),
     /// Periodic auto-scaler invocation.
     ScalerTick,
+    /// An injected fault fires (see [`infless_faults`]).
+    Fault(FaultEvent),
+}
+
+/// What a delivered fault did, as reported by [`Engine::on_fault`]. The
+/// platform owns the policy response: re-placing lost throughput,
+/// retrying the displaced requests within their SLO budget, and
+/// shedding what cannot be saved.
+#[derive(Debug, Default)]
+pub struct FaultOutcome {
+    /// Requests displaced from killed instances (in-flight batch first,
+    /// then the queued remainder), oldest first.
+    pub displaced: Vec<Request>,
+    /// `(function, instance)` pairs killed by the fault, in
+    /// deterministic (function-major, launch-order) order.
+    pub killed: Vec<(usize, InstanceId)>,
 }
 
 /// Shared serving mechanics. See the [module docs](self).
@@ -109,6 +126,12 @@ pub struct Engine {
     /// Active (executing) SM share per physical GPU device, for the MPS
     /// interference model.
     gpu_busy_pct: HashMap<(ServerId, usize), u32>,
+    /// Per-server straggler episodes: `(until, slowdown factor)`.
+    /// Batches started on a listed server before `until` run slower.
+    straggle: HashMap<ServerId, (SimTime, f64)>,
+    /// Outstanding capacity-loss probes for the time-to-recapacity
+    /// metric, oldest first.
+    recapacity: VecDeque<RecapacityProbe>,
     next_instance: u64,
     next_request: u64,
     rng: StdRng,
@@ -130,6 +153,13 @@ struct InFlight {
     started: SimTime,
     exec: SimDuration,
     batch: Vec<Request>,
+}
+
+/// Weighted capacity lost to a fault, awaiting replacement launches.
+#[derive(Debug, Clone, Copy)]
+struct RecapacityProbe {
+    since: SimTime,
+    remaining: f64,
 }
 
 impl Engine {
@@ -160,6 +190,8 @@ impl Engine {
             meta: HashMap::new(),
             in_flight: HashMap::new(),
             gpu_busy_pct: HashMap::new(),
+            straggle: HashMap::new(),
+            recapacity: VecDeque::new(),
             next_instance: 0,
             next_request: 0,
             rng: infless_sim::rng::stream(seed, &format!("engine/{platform_name}")),
@@ -289,6 +321,26 @@ impl Engine {
         self.collector.launch(function, config, startup);
         let (w, c, g) = self.weights(config);
         self.collector.usage_delta(self.now, w, c, g);
+        // Credit outstanding capacity-loss probes: time-to-recapacity
+        // measures how long until the platform brings up replacement
+        // weighted capacity equal to what a fault destroyed, whichever
+        // launches supply it.
+        if !self.recapacity.is_empty() {
+            let mut credit = w;
+            while credit > 0.0 {
+                let Some(front) = self.recapacity.front_mut() else {
+                    break;
+                };
+                let used = credit.min(front.remaining);
+                front.remaining -= used;
+                credit -= used;
+                if front.remaining <= 1e-9 {
+                    let probe = self.recapacity.pop_front().expect("probe exists");
+                    self.collector
+                        .recapacity_sample(ready_at.saturating_since(probe.since).as_millis_f64());
+                }
+            }
+        }
         if ready_at > self.now {
             queue.schedule(ready_at, EngineEvent::InstanceReady(id));
         }
@@ -473,6 +525,163 @@ impl Engine {
         self.collector.drop_request(request.function.raw());
     }
 
+    /// Records a displaced request shed by the recovery path (deadline
+    /// blown or no residual capacity). Counts as a drop for SLO
+    /// purposes *and* in the failure section's shed tally.
+    pub fn shed_request(&mut self, request: &Request) {
+        self.collector.shed(request.function.raw());
+    }
+
+    /// Handles [`EngineEvent::Fault`]: applies the mechanical effect of
+    /// the fault (kills instances, force-releases their allocations,
+    /// flips server health, arms straggler slowdowns) and returns the
+    /// displaced work for the platform's recovery policy. Events that
+    /// no longer apply (crash of an already-down server, kill with no
+    /// live instances) are no-ops.
+    pub fn on_fault(&mut self, ev: FaultEvent) -> FaultOutcome {
+        let mut outcome = FaultOutcome::default();
+        match ev {
+            FaultEvent::ServerCrash { server } => {
+                if self.cluster.health(server) != ServerHealth::Up {
+                    return outcome;
+                }
+                // Victims in deterministic order: function-major, then
+                // launch order (live_by_function preserves both).
+                let victims: Vec<(usize, InstanceId)> = self
+                    .live_by_function
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(f, ids)| {
+                        ids.iter()
+                            .filter(|id| self.instances[id].placement().server() == server)
+                            .map(move |id| (f, *id))
+                    })
+                    .collect();
+                let mut lost = 0.0;
+                for &(f, id) in &victims {
+                    lost += self.weighted_cost(self.instances[&id].config());
+                    let displaced = self.kill_instance(id);
+                    outcome.killed.push((f, id));
+                    outcome.displaced.extend(displaced);
+                }
+                self.cluster.set_health(server, ServerHealth::Down);
+                self.collector.server_crash();
+                if lost > 0.0 {
+                    self.recapacity.push_back(RecapacityProbe {
+                        since: self.now,
+                        remaining: lost,
+                    });
+                }
+            }
+            FaultEvent::ServerRecoveryBegin { server } => {
+                if self.cluster.health(server) == ServerHealth::Down {
+                    self.cluster.set_health(server, ServerHealth::Recovering);
+                }
+            }
+            FaultEvent::ServerUp { server } => {
+                if self.cluster.health(server) == ServerHealth::Recovering {
+                    self.cluster.set_health(server, ServerHealth::Up);
+                    self.collector.server_recovered();
+                }
+            }
+            FaultEvent::InstanceKill { selector } => {
+                let candidates: Vec<(usize, InstanceId)> = self
+                    .live_by_function
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(f, ids)| ids.iter().map(move |id| (f, *id)))
+                    .collect();
+                if candidates.is_empty() {
+                    return outcome;
+                }
+                let (f, id) = candidates[(selector % candidates.len() as u64) as usize];
+                self.kill_one(f, id, &mut outcome);
+            }
+            FaultEvent::ColdStartFailure { selector } => {
+                let now = self.now;
+                let candidates: Vec<(usize, InstanceId)> = self
+                    .live_by_function
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(f, ids)| {
+                        ids.iter()
+                            .filter(|id| self.instances[id].is_starting(now))
+                            .map(move |id| (f, *id))
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    return outcome;
+                }
+                let (f, id) = candidates[(selector % candidates.len() as u64) as usize];
+                self.kill_one(f, id, &mut outcome);
+            }
+            FaultEvent::StragglerStart {
+                server,
+                slowdown_pct,
+                duration,
+            } => {
+                let factor = 1.0 + f64::from(slowdown_pct) / 100.0;
+                self.straggle.insert(server, (self.now + duration, factor));
+                self.collector.straggler();
+            }
+        }
+        if !outcome.displaced.is_empty() {
+            self.collector.displaced(outcome.displaced.len() as u64);
+        }
+        outcome
+    }
+
+    /// Kills a single instance and books a recapacity probe for it.
+    fn kill_one(&mut self, function: usize, id: InstanceId, outcome: &mut FaultOutcome) {
+        let lost = self.weighted_cost(self.instances[&id].config());
+        let displaced = self.kill_instance(id);
+        outcome.killed.push((function, id));
+        outcome.displaced.extend(displaced);
+        if lost > 0.0 {
+            self.recapacity.push_back(RecapacityProbe {
+                since: self.now,
+                remaining: lost,
+            });
+        }
+    }
+
+    /// Forcibly removes an instance: unwinds any in-flight batch,
+    /// drains the queue, releases the allocation, and returns the
+    /// displaced requests (in-flight batch first, then the queue).
+    /// The dangling `BatchComplete`/`InstanceReady`/`BatchTimeout`
+    /// events become no-ops via the platforms' `is_live` guards.
+    fn kill_instance(&mut self, id: InstanceId) -> Vec<Request> {
+        let mut inst = self
+            .instances
+            .remove(&id)
+            .expect("kill of unknown instance");
+        let function = inst.function().raw();
+        self.live_by_function[function].retain(|x| *x != id);
+        self.meta.remove(&id);
+        let was_starting = inst.is_starting(self.now);
+        let config = inst.config();
+        let placement = inst.placement();
+        let mut displaced = Vec::new();
+        if let Some(fl) = self.in_flight.remove(&id) {
+            let (w, _, _) = self.weights(config);
+            self.collector.busy_delta(self.now, -w);
+            if let Some(gpu) = placement.gpu_index() {
+                let busy = self
+                    .gpu_busy_pct
+                    .get_mut(&(placement.server(), gpu))
+                    .expect("device was marked busy at batch start");
+                *busy -= config.resources().gpu_pct();
+            }
+            displaced.extend(fl.batch);
+        }
+        displaced.extend(inst.take_queue());
+        self.cluster.release(config.resources(), placement);
+        let (w, c, g) = self.weights(config);
+        self.collector.usage_delta(self.now, -w, -c, -g);
+        self.collector.instance_killed(was_starting);
+        displaced
+    }
+
     /// Weighted resource cost `β·c + g` of a configuration.
     pub fn weighted_cost(&self, config: InstanceConfig) -> f64 {
         self.weights(config).0
@@ -534,6 +743,20 @@ impl Engine {
             exec = exec.mul_f64(1.0 + k * f64::from(others) / 100.0);
             *self.gpu_busy_pct.entry(key).or_insert(0) += config.resources().gpu_pct();
         }
+        // Straggler episode: batches started on a straggling server run
+        // slower. Guarded on emptiness so fault-free runs never touch
+        // the map (zero-cost when disabled).
+        if !self.straggle.is_empty() {
+            let server = placement.server();
+            if let Some(&(until_t, factor)) = self.straggle.get(&server) {
+                if now < until_t {
+                    exec = exec.mul_f64(factor);
+                    self.collector.straggled_batch();
+                } else {
+                    self.straggle.remove(&server);
+                }
+            }
+        }
         let until = now + exec;
         let inst = self.instances.get_mut(&id).expect("unknown instance");
         let batch = inst.begin_batch(now, until);
@@ -585,7 +808,14 @@ mod tests {
                 EngineEvent::InstanceReady(id) => engine.on_instance_ready(id, queue),
                 EngineEvent::BatchTimeout(id) => engine.on_batch_timeout(id, queue),
                 EngineEvent::BatchComplete(id) => {
-                    engine.on_batch_complete(id, queue);
+                    // Faults can kill an instance mid-batch; its
+                    // completion event is then stale.
+                    if engine.is_live(id) {
+                        engine.on_batch_complete(id, queue);
+                    }
+                }
+                EngineEvent::Fault(f) => {
+                    engine.on_fault(f);
                 }
                 EngineEvent::Arrival(_) | EngineEvent::ScalerTick => {}
             }
@@ -808,6 +1038,195 @@ mod tests {
         // And the device book-keeping drains back to zero.
         let req = engine.mint_request(0);
         assert!(engine.enqueue(a, req, &mut queue));
+    }
+
+    #[test]
+    fn instance_kill_displaces_work_and_releases_resources() {
+        let (mut engine, mut queue) = engine();
+        let before = engine.cluster().cpu_in_use();
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::from_millis(30),
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        // Two queued requests (partial batch, timeout pending).
+        let r1 = engine.mint_request(0);
+        let r2 = engine.mint_request(0);
+        assert!(engine.enqueue(id, r1, &mut queue));
+        assert!(engine.enqueue(id, r2, &mut queue));
+        let outcome = engine.on_fault(FaultEvent::InstanceKill { selector: 7 });
+        assert_eq!(outcome.killed, vec![(0, id)]);
+        assert_eq!(outcome.displaced, vec![r1, r2]);
+        assert!(!engine.is_live(id));
+        assert_eq!(engine.cluster().cpu_in_use(), before);
+        // The pending BatchTimeout for the dead instance is a no-op.
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.failures.instances_killed, 1);
+        assert_eq!(report.failures.requests_displaced, 2);
+        assert_eq!(report.total_completed(), 0);
+    }
+
+    #[test]
+    fn kill_unwinds_in_flight_batch_and_gpu_books() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        // The full batch started executing; kill mid-flight.
+        let outcome = engine.on_fault(FaultEvent::InstanceKill { selector: 0 });
+        assert_eq!(outcome.displaced.len(), 4);
+        // Relaunch on the same device: the busy books were unwound, so
+        // a fresh batch sees no phantom interference and can start.
+        let id2 = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id2, req, &mut queue));
+        }
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 4);
+        assert_eq!(report.failures.instances_killed, 1);
+    }
+
+    #[test]
+    fn server_crash_kills_residents_and_gates_placement() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        let server = engine.instance(id).placement().server();
+        let outcome = engine.on_fault(FaultEvent::ServerCrash { server });
+        assert_eq!(outcome.killed.len(), 1);
+        assert!(!engine.is_live(id));
+        assert_eq!(engine.cluster().health(server), ServerHealth::Down);
+        // Crashing an already-down server is a no-op.
+        let again = engine.on_fault(FaultEvent::ServerCrash { server });
+        assert!(again.killed.is_empty());
+        engine.on_fault(FaultEvent::ServerRecoveryBegin { server });
+        assert_eq!(engine.cluster().health(server), ServerHealth::Recovering);
+        engine.on_fault(FaultEvent::ServerUp { server });
+        assert_eq!(engine.cluster().health(server), ServerHealth::Up);
+        let report = engine.finish();
+        assert_eq!(report.failures.server_crashes, 1);
+        assert_eq!(report.failures.server_recoveries, 1);
+    }
+
+    #[test]
+    fn recapacity_clock_stops_when_replacement_is_ready() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        let t_kill = engine.now();
+        engine.on_fault(FaultEvent::InstanceKill { selector: 0 });
+        let _ = id;
+        // Replacement with the same config: the probe is fully credited
+        // at its ready time (prewarmed start = 200 ms).
+        engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        let report = engine.finish();
+        let mean = report.failures.mean_time_to_recapacity_ms().unwrap();
+        let _ = t_kill;
+        assert!(
+            (mean - 200.0).abs() < 1.0,
+            "recapacity should equal the prewarmed startup delay, got {mean}ms"
+        );
+    }
+
+    #[test]
+    fn straggler_slows_batches_only_during_episode() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        let server = engine.instance(id).placement().server();
+        // Baseline batch.
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        let t0 = engine.now();
+        let (done, _) = queue.pop().unwrap();
+        engine.advance(done);
+        engine.on_batch_complete(id, &mut queue);
+        let base = done - t0;
+        // Straggling batch: 100% slowdown doubles execution.
+        engine.on_fault(FaultEvent::StragglerStart {
+            server,
+            slowdown_pct: 100,
+            duration: SimDuration::from_secs(3600),
+        });
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        let t1 = engine.now();
+        let (done, _) = queue.pop().unwrap();
+        engine.advance(done);
+        engine.on_batch_complete(id, &mut queue);
+        let slow = done - t1;
+        // Execution noise is a few percent; a 2x factor dominates it.
+        assert!(
+            slow.as_secs_f64() > base.as_secs_f64() * 1.5,
+            "straggled batch {slow} should be ~2x baseline {base}"
+        );
+        let report = engine.finish();
+        assert_eq!(report.failures.stragglers, 1);
+        assert_eq!(report.failures.straggled_batches, 1);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use infless_cluster::InstanceConfig;
 use infless_models::CacheOutcome;
 use infless_sim::stats::{Samples, TimeWeighted, Welford};
 use infless_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// How an instance came up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +87,59 @@ impl FunctionReport {
     }
 }
 
+/// Failure-injection and recovery accounting for one run (PR 3).
+///
+/// All-zero when the run had no fault schedule. Serialized behind
+/// `#[serde(default)]` so reports written before the fault model
+/// existed still deserialize (and a default section serializes to
+/// plain zeros that old readers can ignore).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FailureReport {
+    /// Whole-server crashes injected (and applied).
+    pub server_crashes: u64,
+    /// Servers that completed the Down → Recovering → Up cycle.
+    pub server_recoveries: u64,
+    /// Instances killed by any fault (crash, kill, cold-start failure).
+    pub instances_killed: u64,
+    /// Instance deaths that struck while the victim was still starting.
+    pub coldstart_failures: u64,
+    /// Straggler episodes injected.
+    pub stragglers: u64,
+    /// Batches that ran slowed-down under a straggler episode.
+    pub straggled_batches: u64,
+    /// Requests displaced from killed instances (queued or in-flight).
+    pub requests_displaced: u64,
+    /// Displaced requests successfully re-dispatched within SLO budget.
+    pub requests_retried: u64,
+    /// Displaced requests shed (deadline already blown or no capacity).
+    /// Shed requests are also counted in the per-function `dropped`
+    /// tallies, so `violation_rate` reflects them.
+    pub requests_shed: u64,
+    /// Time from each capacity-losing fault until replacement capacity
+    /// was ready, milliseconds.
+    pub recapacity_ms: Vec<f64>,
+}
+
+impl FailureReport {
+    /// `true` when the run experienced any fault.
+    pub fn any(&self) -> bool {
+        self.server_crashes > 0
+            || self.instances_killed > 0
+            || self.stragglers > 0
+            || self.requests_displaced > 0
+    }
+
+    /// Mean time-to-recapacity in milliseconds, or `None` when no
+    /// capacity-losing fault was (yet) compensated.
+    pub fn mean_time_to_recapacity_ms(&self) -> Option<f64> {
+        if self.recapacity_ms.is_empty() {
+            return None;
+        }
+        Some(self.recapacity_ms.iter().sum::<f64>() / self.recapacity_ms.len() as f64)
+    }
+}
+
 /// The frozen result of one platform run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -129,6 +183,9 @@ pub struct RunReport {
     /// How this run's COP profile database was obtained, when the
     /// platform uses one (`None` for profile-free baselines).
     pub profile_cache: Option<CacheOutcome>,
+    /// Fault-injection and recovery accounting (all-zero without a
+    /// fault schedule).
+    pub failures: FailureReport,
 }
 
 impl RunReport {
@@ -239,6 +296,7 @@ pub struct Collector {
     config_launches: HashMap<(usize, InstanceConfig), u64>,
     started: Instant,
     profile_cache: Option<CacheOutcome>,
+    failures: FailureReport,
 }
 
 impl Collector {
@@ -265,6 +323,7 @@ impl Collector {
             config_launches: HashMap::new(),
             started: Instant::now(),
             profile_cache: None,
+            failures: FailureReport::default(),
         }
     }
 
@@ -360,6 +419,64 @@ impl Collector {
         self.weighted_usage.current()
     }
 
+    /// Read access to the failure tallies so far (platforms use this to
+    /// assert invariants mid-run in tests).
+    pub fn failures(&self) -> &FailureReport {
+        &self.failures
+    }
+
+    /// Records an applied whole-server crash.
+    pub fn server_crash(&mut self) {
+        self.failures.server_crashes += 1;
+    }
+
+    /// Records a server completing recovery (back to `Up`).
+    pub fn server_recovered(&mut self) {
+        self.failures.server_recoveries += 1;
+    }
+
+    /// Records an instance killed by a fault. `was_starting` marks a
+    /// cold-start failure (the victim had not finished booting).
+    pub fn instance_killed(&mut self, was_starting: bool) {
+        self.failures.instances_killed += 1;
+        if was_starting {
+            self.failures.coldstart_failures += 1;
+        }
+    }
+
+    /// Records an injected straggler episode.
+    pub fn straggler(&mut self) {
+        self.failures.stragglers += 1;
+    }
+
+    /// Records a batch that executed under a straggler slowdown.
+    pub fn straggled_batch(&mut self) {
+        self.failures.straggled_batches += 1;
+    }
+
+    /// Records `n` requests displaced from killed instances.
+    pub fn displaced(&mut self, n: u64) {
+        self.failures.requests_displaced += n;
+    }
+
+    /// Records a displaced request successfully re-dispatched.
+    pub fn retried(&mut self) {
+        self.failures.requests_retried += 1;
+    }
+
+    /// Records a displaced request shed. Also tallies it as dropped for
+    /// `function`, so SLO violation rates account for shed load.
+    pub fn shed(&mut self, function: usize) {
+        self.failures.requests_shed += 1;
+        self.functions[function].dropped += 1;
+    }
+
+    /// Records one time-to-recapacity sample (fault until replacement
+    /// capacity ready), milliseconds.
+    pub fn recapacity_sample(&mut self, ms: f64) {
+        self.failures.recapacity_ms.push(ms);
+    }
+
     /// Freezes the collector into a report covering `[0, end]`.
     pub fn finish(mut self, end: SimTime) -> RunReport {
         // Pre-sort the latency samples so report consumers read
@@ -388,6 +505,7 @@ impl Collector {
             chains: Vec::new(),
             wall_clock_seconds: self.started.elapsed().as_secs_f64(),
             profile_cache: self.profile_cache,
+            failures: self.failures,
         }
     }
 }
@@ -517,6 +635,57 @@ mod tests {
         let r = c.finish(SimTime::from_secs(10));
         assert!((r.cpus_per_100rps() - 20.0).abs() < 1e-9);
         assert!((r.gpus_per_100rps() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_counters_feed_the_report() {
+        let mut c = collector();
+        c.server_crash();
+        c.instance_killed(false);
+        c.instance_killed(true);
+        c.straggler();
+        c.straggled_batch();
+        c.displaced(3);
+        c.retried();
+        c.retried();
+        c.shed(0);
+        c.recapacity_sample(120.0);
+        c.recapacity_sample(80.0);
+        c.server_recovered();
+        let r = c.finish(SimTime::from_secs(1));
+        let f = &r.failures;
+        assert!(f.any());
+        assert_eq!(f.server_crashes, 1);
+        assert_eq!(f.server_recoveries, 1);
+        assert_eq!(f.instances_killed, 2);
+        assert_eq!(f.coldstart_failures, 1);
+        assert_eq!(f.stragglers, 1);
+        assert_eq!(f.straggled_batches, 1);
+        assert_eq!(f.requests_displaced, 3);
+        assert_eq!(f.requests_retried, 2);
+        assert_eq!(f.requests_shed, 1);
+        assert_eq!(f.mean_time_to_recapacity_ms(), Some(100.0));
+        // Shed requests count as drops, so they bite the violation rate.
+        assert_eq!(r.total_dropped(), 1);
+        assert_eq!(r.violation_rate(), 1.0);
+    }
+
+    /// Satellite 6: old serialized reports (no failure section) must
+    /// keep deserializing, and a fault-free section is all defaults.
+    #[test]
+    fn failure_report_deserializes_from_empty_object() {
+        let f: FailureReport = serde_json::from_str("{}").unwrap();
+        assert_eq!(f, FailureReport::default());
+        assert!(!f.any());
+        assert_eq!(f.mean_time_to_recapacity_ms(), None);
+        let partial: FailureReport =
+            serde_json::from_str("{\"requests_shed\": 7, \"recapacity_ms\": [5.0]}").unwrap();
+        assert_eq!(partial.requests_shed, 7);
+        assert_eq!(partial.mean_time_to_recapacity_ms(), Some(5.0));
+        // Round-trip.
+        let json = serde_json::to_string(&partial).unwrap();
+        let back: FailureReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, partial);
     }
 
     #[test]

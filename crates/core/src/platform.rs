@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use infless_cluster::{ClusterSpec, InstanceId, Request, RequestId};
+use infless_faults::{FaultEvent, FaultSchedule};
 use infless_models::{
     profile::ConfigGrid, HardwareCalibration, HardwareModel, ModelSpec, ProfileDatabase,
 };
@@ -198,6 +199,7 @@ pub struct InflessPlatform {
     config: InflessConfig,
     fns: Vec<FnState>,
     chains: ChainCtx,
+    faults: FaultSchedule,
 }
 
 impl InflessPlatform {
@@ -284,7 +286,16 @@ impl InflessPlatform {
             config,
             fns,
             chains,
+            faults: FaultSchedule::empty(),
         }
+    }
+
+    /// Attaches a fault schedule to inject during [`Self::run`]. The
+    /// default (an empty schedule) leaves the run bit-identical to a
+    /// platform built without the fault subsystem.
+    pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Access to the COP predictor (for the Fig. 8 experiment).
@@ -305,6 +316,15 @@ impl InflessPlatform {
                 EngineEvent::ScalerTick,
             );
         }
+        // Fault events are scheduled last, so at equal timestamps any
+        // arrival pops before the fault (the request reaches the
+        // gateway an instant before the machine dies). An empty
+        // schedule adds zero events — sequence numbers, and therefore
+        // the whole run, stay bit-identical.
+        let faults = std::mem::take(&mut self.faults);
+        for &(t, ev) in faults.events() {
+            queue.schedule(t, EngineEvent::Fault(ev));
+        }
         while let Some((t, ev)) = queue.pop() {
             self.engine.advance(t);
             match ev {
@@ -312,9 +332,13 @@ impl InflessPlatform {
                 EngineEvent::InstanceReady(id) => self.engine.on_instance_ready(id, &mut queue),
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
-                    let done = self.engine.on_batch_complete(id, &mut queue);
-                    self.fns[done.function].last_activity = t;
-                    self.relay_chain_stages(&done, &mut queue);
+                    // A fault may have killed the instance mid-batch;
+                    // its completion event is then stale.
+                    if self.engine.is_live(id) {
+                        let done = self.engine.on_batch_complete(id, &mut queue);
+                        self.fns[done.function].last_activity = t;
+                        self.relay_chain_stages(&done, &mut queue);
+                    }
                 }
                 EngineEvent::ScalerTick => {
                     self.scaler_tick(&mut queue);
@@ -322,6 +346,7 @@ impl InflessPlatform {
                         queue.schedule(t + self.config.scaler_period, EngineEvent::ScalerTick);
                     }
                 }
+                EngineEvent::Fault(fault) => self.handle_fault(fault, &mut queue),
             }
         }
         let mut report = self.engine.finish();
@@ -597,6 +622,75 @@ impl InflessPlatform {
             });
         }
         launched
+    }
+
+    // --- fault handling & recovery -----------------------------------------
+
+    /// Applies one injected fault and runs the INFless recovery policy:
+    /// forget dead instances, re-run Algorithm 1 for the throughput they
+    /// carried, then retry each displaced request against the rebuilt
+    /// dispatch set (shedding only when the SLO budget is already
+    /// exhausted or no capacity can take it).
+    fn handle_fault(&mut self, ev: FaultEvent, queue: &mut EventQueue<EngineEvent>) {
+        let outcome = self.engine.on_fault(ev);
+        if outcome.killed.is_empty() && outcome.displaced.is_empty() {
+            return;
+        }
+        // Drop dead instances from the routing tables, tallying the
+        // dispatch throughput each function lost.
+        let mut lost = vec![0.0f64; self.fns.len()];
+        for &(f, id) in &outcome.killed {
+            let st = &mut self.fns[f];
+            if let Some(pos) = st.dispatch.iter().position(|e| e.id == id) {
+                lost[f] += st.dispatch[pos].window.r_up();
+                st.dispatch.remove(pos);
+            } else {
+                st.parked.retain(|(pid, _)| *pid != id);
+            }
+        }
+        // Recapture the lost throughput with fresh Eq. 10 placements.
+        for (f, rate) in lost.iter().enumerate() {
+            if *rate > 0.0 {
+                let startup = if self.image_warm(f) {
+                    StartupKind::PreWarmed
+                } else {
+                    StartupKind::Cold
+                };
+                self.scale_out(f, *rate, startup, queue);
+            }
+        }
+        for req in outcome.displaced {
+            self.retry_or_shed(req, queue);
+        }
+    }
+
+    /// Re-dispatches a request displaced by a fault if its SLO budget
+    /// still has room, otherwise sheds it. Displaced requests are not
+    /// re-counted as arrivals: the load monitors already saw them once.
+    fn retry_or_shed(&mut self, req: Request, queue: &mut EventQueue<EngineEvent>) {
+        let f = req.function.raw();
+        let now = self.engine.now();
+        let slo = self.engine.functions()[f].slo();
+        if now.saturating_since(req.arrival) >= slo {
+            self.shed_displaced(req);
+            return;
+        }
+        if self.dispatch(f, req, queue) || (self.unpark_one(f) && self.dispatch(f, req, queue)) {
+            self.engine.collector.retried();
+            return;
+        }
+        self.shed_displaced(req);
+    }
+
+    /// Sheds a displaced request, mirroring the chain bookkeeping of the
+    /// gateway drop path.
+    fn shed_displaced(&mut self, req: Request) {
+        self.engine.shed_request(&req);
+        if let Some(chain) = self.chains.chain_of(req.function.raw()) {
+            if self.chains.starts.remove(&req.id).is_some() {
+                self.chains.reports[chain].lost += 1;
+            }
+        }
     }
 
     /// Non-uniform re-tuning (§3.1 ❺: the engine "adaptively tunes the
@@ -1187,5 +1281,136 @@ mod autoscaler_tests {
             report.cold_launches
         );
         assert!(report.violation_rate() < 0.05);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::apps::Application;
+    use infless_faults::FaultPlan;
+    use infless_workload::FunctionLoad;
+
+    fn constant_workload(app: &Application, rps: f64, secs: u64) -> Workload {
+        let loads: Vec<FunctionLoad> = app
+            .functions()
+            .iter()
+            .map(|_| FunctionLoad::constant(rps, SimDuration::from_secs(secs)))
+            .collect();
+        Workload::build(&loads, 17)
+    }
+
+    fn platform(app: &Application) -> InflessPlatform {
+        InflessPlatform::new(
+            ClusterSpec::testbed(),
+            app.functions().to_vec(),
+            InflessConfig::default(),
+            17,
+        )
+    }
+
+    fn faulted_run(seed: u64) -> RunReport {
+        let app = Application::qa_robot();
+        let workload = constant_workload(&app, 40.0, 40);
+        let schedule = FaultSchedule::generate(
+            &FaultPlan::sweep(2.0),
+            ClusterSpec::testbed().servers,
+            SimDuration::from_secs(40),
+            seed,
+        );
+        platform(&app).with_fault_schedule(schedule).run(&workload)
+    }
+
+    /// Deterministic fingerprint of the per-function results. HashMap
+    /// debug order varies between two maps built in the same process,
+    /// so order-dependent fields are sorted before formatting.
+    fn fn_fingerprint(report: &RunReport) -> String {
+        use std::collections::BTreeMap;
+        report
+            .functions
+            .iter()
+            .map(|f| {
+                let batches: BTreeMap<u32, u64> = f
+                    .per_batch_completed
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                format!(
+                    "{} {:?} {} {} {} {} {:?} {:?} {:?} {:?} {:?};",
+                    f.name,
+                    f.slo,
+                    f.completed,
+                    f.dropped,
+                    f.violations,
+                    f.cold_requests,
+                    f.latency_ms,
+                    f.queue_ms,
+                    f.exec_ms,
+                    f.cold_ms,
+                    batches
+                )
+            })
+            .collect()
+    }
+
+    /// The zero-cost-when-disabled acceptance gate: attaching an empty
+    /// schedule must leave the run bit-identical to a platform that
+    /// never heard of the fault subsystem (deterministic fields only —
+    /// wall-clock timings naturally differ between runs).
+    #[test]
+    fn empty_schedule_is_bit_identical() {
+        let app = Application::qa_robot();
+        let workload = constant_workload(&app, 30.0, 20);
+        let plain = platform(&app).run(&workload);
+        let faultless = platform(&app)
+            .with_fault_schedule(FaultSchedule::empty())
+            .run(&workload);
+        assert_eq!(fn_fingerprint(&plain), fn_fingerprint(&faultless));
+        assert_eq!(plain.launches, faultless.launches);
+        assert_eq!(plain.cold_launches, faultless.cold_launches);
+        assert_eq!(plain.prewarmed_launches, faultless.prewarmed_launches);
+        assert_eq!(plain.retirements, faultless.retirements);
+        assert_eq!(
+            plain.weighted_resource_seconds.to_bits(),
+            faultless.weighted_resource_seconds.to_bits()
+        );
+        assert_eq!(
+            format!("{:?}", plain.provisioning),
+            format!("{:?}", faultless.provisioning)
+        );
+        assert_eq!(plain.config_launches, faultless.config_launches);
+        assert_eq!(plain.failures, faultless.failures);
+        assert!(!plain.failures.any());
+    }
+
+    /// Faulted runs are reproducible: same seeds, same report.
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let a = faulted_run(99);
+        let b = faulted_run(99);
+        assert_eq!(fn_fingerprint(&a), fn_fingerprint(&b));
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.launches, b.launches);
+    }
+
+    /// Under an aggressive sweep the platform actually exercises the
+    /// recovery path, and every displaced request reaches exactly one
+    /// terminal outcome.
+    #[test]
+    fn recovery_conserves_displaced_requests() {
+        let report = faulted_run(99);
+        let f = &report.failures;
+        assert!(f.any(), "sweep injected nothing");
+        assert!(
+            f.server_crashes > 0 || f.instances_killed > 0,
+            "no capacity-losing fault fired: {f:?}"
+        );
+        assert_eq!(
+            f.requests_displaced,
+            f.requests_retried + f.requests_shed,
+            "displaced requests leaked: {f:?}"
+        );
+        // The run still terminates with every request accounted for.
+        assert!(report.total_completed() > 0);
     }
 }

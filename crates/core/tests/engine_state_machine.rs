@@ -119,6 +119,9 @@ proptest! {
                                 engine.on_batch_complete(id, &mut queue);
                             }
                             EngineEvent::Arrival(_) | EngineEvent::ScalerTick => {}
+                            EngineEvent::Fault(f) => {
+                                engine.on_fault(f);
+                            }
                         }
                     }
                 }
@@ -152,6 +155,9 @@ proptest! {
                     engine.on_batch_complete(id, &mut queue);
                 }
                 EngineEvent::Arrival(_) | EngineEvent::ScalerTick => {}
+                EngineEvent::Fault(f) => {
+                    engine.on_fault(f);
+                }
             }
         }
         // Remaining queued requests (on instances whose timeout budget

@@ -1,0 +1,416 @@
+//! Deterministic fault injection for the INFless simulation.
+//!
+//! The paper assumes every server, instance launch, and cold start
+//! succeeds. This crate supplies the missing failure model: a
+//! seed-driven [`FaultSchedule`] sampled up front from a [`FaultPlan`],
+//! so a run with faults is exactly as reproducible as a run without.
+//! Four fault classes are modelled:
+//!
+//! * whole-server crashes with an outage and a recovery boot delay
+//!   ([`FaultEvent::ServerCrash`] → `ServerRecoveryBegin` → `ServerUp`),
+//! * individual instance deaths ([`FaultEvent::InstanceKill`]),
+//! * cold-start failures — an instance dies while still starting
+//!   ([`FaultEvent::ColdStartFailure`]),
+//! * execution stragglers — a server runs batches slower for a while
+//!   ([`FaultEvent::StragglerStart`]).
+//!
+//! Events carry *selectors* rather than concrete instance ids because
+//! the schedule is generated before the run: the platform resolves a
+//! selector against the set of live instances at delivery time, in a
+//! deterministic order. All sampling goes through
+//! [`infless_sim::rng::stream`] on `"faults/..."` labels, so adding a
+//! fault schedule never perturbs the arrival or execution-noise
+//! streams: an empty plan yields a bit-identical run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use infless_cluster::ServerId;
+use infless_sim::rng::stream;
+use infless_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Rates and shapes of the faults to inject, the unit the scenario
+/// files and benches configure. All rates are cluster-wide Poisson
+/// rates; a rate of zero disables that fault class.
+///
+/// # Example
+///
+/// ```
+/// use infless_faults::{FaultPlan, FaultSchedule};
+/// use infless_sim::SimDuration;
+///
+/// let plan = FaultPlan::none();
+/// assert!(plan.is_empty());
+/// let schedule = FaultSchedule::generate(&plan, 8, SimDuration::from_mins(10), 42);
+/// assert!(schedule.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default, deny_unknown_fields)]
+pub struct FaultPlan {
+    /// Whole-server crashes per hour across the cluster.
+    pub server_crashes_per_hour: f64,
+    /// Mean outage after a crash (exponentially distributed, floored at
+    /// one second), seconds.
+    pub crash_outage_secs: f64,
+    /// Fixed boot delay between `ServerRecoveryBegin` and `ServerUp`,
+    /// seconds.
+    pub recovery_boot_secs: f64,
+    /// Individual instance deaths per hour across the cluster.
+    pub instance_kills_per_hour: f64,
+    /// Cold-start failures per hour across the cluster (each kills one
+    /// currently-starting instance, if any).
+    pub coldstart_failures_per_hour: f64,
+    /// Straggler episodes per hour across the cluster.
+    pub stragglers_per_hour: f64,
+    /// Execution slowdown during a straggler episode, percent added on
+    /// top of the modelled latency (100 ⇒ batches take 2×).
+    pub straggler_slowdown_pct: u32,
+    /// Length of one straggler episode, seconds.
+    pub straggler_duration_secs: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            server_crashes_per_hour: 0.0,
+            crash_outage_secs: 60.0,
+            recovery_boot_secs: 10.0,
+            instance_kills_per_hour: 0.0,
+            coldstart_failures_per_hour: 0.0,
+            stragglers_per_hour: 0.0,
+            straggler_slowdown_pct: 100,
+            straggler_duration_secs: 20.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when every fault class is disabled.
+    pub fn is_empty(&self) -> bool {
+        self.server_crashes_per_hour <= 0.0
+            && self.instance_kills_per_hour <= 0.0
+            && self.coldstart_failures_per_hour <= 0.0
+            && self.stragglers_per_hour <= 0.0
+    }
+
+    /// The reference failure sweep used by the `fig_failure_slo` bench:
+    /// all four classes scaled together by `intensity` (1.0 ≈ a rough
+    /// but busy day; 0.0 ⇒ no faults).
+    pub fn sweep(intensity: f64) -> Self {
+        FaultPlan {
+            server_crashes_per_hour: 20.0 * intensity,
+            crash_outage_secs: 60.0,
+            recovery_boot_secs: 10.0,
+            instance_kills_per_hour: 60.0 * intensity,
+            coldstart_failures_per_hour: 30.0 * intensity,
+            stragglers_per_hour: 30.0 * intensity,
+            straggler_slowdown_pct: 150,
+            straggler_duration_secs: 20.0,
+        }
+    }
+}
+
+/// One injected fault, delivered through the platform's event queue.
+///
+/// All payloads are integers so the enum stays `Copy + Eq`, matching
+/// the other engine events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A server fails: every instance on it dies, its allocations are
+    /// force-released, and it accepts no placements until `ServerUp`.
+    ServerCrash {
+        /// The crashed server.
+        server: ServerId,
+    },
+    /// The outage ends and the server begins rebooting.
+    ServerRecoveryBegin {
+        /// The recovering server.
+        server: ServerId,
+    },
+    /// The server is healthy again and accepts placements.
+    ServerUp {
+        /// The recovered server.
+        server: ServerId,
+    },
+    /// One live instance dies. `selector` is resolved modulo the number
+    /// of live instances at delivery time (deterministic order).
+    InstanceKill {
+        /// Pre-sampled selector for the victim instance.
+        selector: u64,
+    },
+    /// One currently-starting instance fails to boot. No-op if nothing
+    /// is starting when the event fires.
+    ColdStartFailure {
+        /// Pre-sampled selector for the victim instance.
+        selector: u64,
+    },
+    /// A server starts straggling: batches begun on it while the
+    /// episode lasts run `1 + slowdown_pct/100` times slower.
+    StragglerStart {
+        /// The straggling server.
+        server: ServerId,
+        /// Added execution latency, percent.
+        slowdown_pct: u32,
+        /// Episode length.
+        duration: SimDuration,
+    },
+}
+
+/// A fully materialised, time-sorted fault schedule for one run.
+///
+/// Generated once before the simulation starts; the platform feeds the
+/// events into its [`infless_sim::EventQueue`] alongside arrivals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no events (faults disabled).
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Samples a schedule over `[0, horizon)` for a cluster of
+    /// `servers` machines. Each fault class draws from its own labelled
+    /// RNG stream derived from `seed`, so two classes never perturb
+    /// each other and the same `(plan, servers, horizon, seed)` always
+    /// yields the same schedule.
+    pub fn generate(plan: &FaultPlan, servers: usize, horizon: SimDuration, seed: u64) -> Self {
+        let mut events: Vec<(SimTime, FaultEvent)> = Vec::new();
+        let horizon_secs = horizon.as_secs_f64();
+        if servers == 0 || horizon_secs <= 0.0 || plan.is_empty() {
+            return FaultSchedule { events };
+        }
+
+        // Server crashes: keep at most one outstanding outage per
+        // server (a crash sampled while the machine is already down is
+        // skipped), so the Down → Recovering → Up transitions never
+        // interleave on one machine.
+        if plan.server_crashes_per_hour > 0.0 {
+            let mut rng = stream(seed, "faults/server-crash");
+            let rate = plan.server_crashes_per_hour / 3600.0;
+            let boot = plan.recovery_boot_secs.max(0.0);
+            let mut down_until = vec![0.0f64; servers];
+            let mut t = 0.0;
+            loop {
+                t += exp_sample(&mut rng, rate);
+                if t >= horizon_secs {
+                    break;
+                }
+                let victim = (rng.gen::<u64>() % servers as u64) as usize;
+                let outage = exp_sample(&mut rng, 1.0 / plan.crash_outage_secs.max(1.0)).max(1.0);
+                if t < down_until[victim] {
+                    continue;
+                }
+                down_until[victim] = t + outage + boot;
+                let server = ServerId::new(victim);
+                events.push((at(t), FaultEvent::ServerCrash { server }));
+                events.push((at(t + outage), FaultEvent::ServerRecoveryBegin { server }));
+                events.push((at(t + outage + boot), FaultEvent::ServerUp { server }));
+            }
+        }
+
+        if plan.instance_kills_per_hour > 0.0 {
+            let mut rng = stream(seed, "faults/instance-kill");
+            let rate = plan.instance_kills_per_hour / 3600.0;
+            let mut t = 0.0;
+            loop {
+                t += exp_sample(&mut rng, rate);
+                if t >= horizon_secs {
+                    break;
+                }
+                let selector = rng.gen::<u64>();
+                events.push((at(t), FaultEvent::InstanceKill { selector }));
+            }
+        }
+
+        if plan.coldstart_failures_per_hour > 0.0 {
+            let mut rng = stream(seed, "faults/coldstart-failure");
+            let rate = plan.coldstart_failures_per_hour / 3600.0;
+            let mut t = 0.0;
+            loop {
+                t += exp_sample(&mut rng, rate);
+                if t >= horizon_secs {
+                    break;
+                }
+                let selector = rng.gen::<u64>();
+                events.push((at(t), FaultEvent::ColdStartFailure { selector }));
+            }
+        }
+
+        if plan.stragglers_per_hour > 0.0 && plan.straggler_slowdown_pct > 0 {
+            let mut rng = stream(seed, "faults/straggler");
+            let rate = plan.stragglers_per_hour / 3600.0;
+            let duration = SimDuration::from_secs_f64(plan.straggler_duration_secs.max(0.0));
+            let mut t = 0.0;
+            loop {
+                t += exp_sample(&mut rng, rate);
+                if t >= horizon_secs {
+                    break;
+                }
+                let server = ServerId::new((rng.gen::<u64>() % servers as u64) as usize);
+                events.push((
+                    at(t),
+                    FaultEvent::StragglerStart {
+                        server,
+                        slowdown_pct: plan.straggler_slowdown_pct,
+                        duration,
+                    },
+                ));
+            }
+        }
+
+        // Stable sort: classes were generated in a fixed order, so
+        // equal-timestamp events keep a deterministic relative order.
+        events.sort_by_key(|(t, _)| *t);
+        FaultSchedule { events }
+    }
+
+    /// The schedule, sorted by delivery time.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// `true` when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Inverse-CDF exponential sample with mean `1/rate_per_sec`.
+fn exp_sample(rng: &mut StdRng, rate_per_sec: f64) -> f64 {
+    // The vendored rand_distr only ships Poisson, so draw the
+    // exponential inter-arrival directly: u ∈ [0, 1) ⇒ 1-u ∈ (0, 1].
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate_per_sec
+}
+
+fn at(secs: f64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs_f64(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn busy_plan() -> FaultPlan {
+        FaultPlan {
+            server_crashes_per_hour: 120.0,
+            instance_kills_per_hour: 240.0,
+            coldstart_failures_per_hour: 120.0,
+            stragglers_per_hour: 120.0,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn empty_plan_generates_no_events() {
+        let s = FaultSchedule::generate(&FaultPlan::none(), 8, SimDuration::from_hours(1), 7);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s, FaultSchedule::empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let plan = busy_plan();
+        let a = FaultSchedule::generate(&plan, 8, SimDuration::from_mins(30), 42);
+        let b = FaultSchedule::generate(&plan, 8, SimDuration::from_mins(30), 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultSchedule::generate(&plan, 8, SimDuration::from_mins(30), 43);
+        assert_ne!(a, c, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn schedule_is_time_sorted() {
+        let s = FaultSchedule::generate(&busy_plan(), 8, SimDuration::from_mins(30), 1);
+        for w in s.events().windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn crash_transitions_never_interleave_per_server() {
+        let plan = FaultPlan {
+            server_crashes_per_hour: 600.0, // force skipped overlaps
+            crash_outage_secs: 120.0,
+            ..FaultPlan::default()
+        };
+        let s = FaultSchedule::generate(&plan, 2, SimDuration::from_mins(30), 5);
+        // Per server, the event sequence must be a clean repetition of
+        // Crash, RecoveryBegin, Up.
+        for sv in 0..2 {
+            let server = ServerId::new(sv);
+            let mut phase = 0u8; // 0 = up, 1 = down, 2 = recovering
+            for (_, ev) in s.events() {
+                match ev {
+                    FaultEvent::ServerCrash { server: s } if *s == server => {
+                        assert_eq!(phase, 0, "crash while not up");
+                        phase = 1;
+                    }
+                    FaultEvent::ServerRecoveryBegin { server: s } if *s == server => {
+                        assert_eq!(phase, 1, "recovery while not down");
+                        phase = 2;
+                    }
+                    FaultEvent::ServerUp { server: s } if *s == server => {
+                        assert_eq!(phase, 2, "up while not recovering");
+                        phase = 0;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_scales_rates() {
+        assert!(FaultPlan::sweep(0.0).is_empty());
+        let one = FaultPlan::sweep(1.0);
+        let two = FaultPlan::sweep(2.0);
+        assert!((two.server_crashes_per_hour - 2.0 * one.server_crashes_per_hour).abs() < 1e-12);
+        assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn plan_deserializes_with_defaults() {
+        let plan: FaultPlan = serde_json::from_str("{\"server_crashes_per_hour\": 5.0}").unwrap();
+        assert!((plan.server_crashes_per_hour - 5.0).abs() < 1e-12);
+        assert!((plan.recovery_boot_secs - 10.0).abs() < 1e-12);
+        assert!(!plan.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every sampled event lands inside the horizon (recovery
+        /// events may spill past it — outages end when they end).
+        #[test]
+        fn prop_primary_events_within_horizon(seed in 0u64..1000, mins in 1u64..60) {
+            let horizon = SimDuration::from_mins(mins);
+            let s = FaultSchedule::generate(&busy_plan(), 4, horizon, seed);
+            let end = SimTime::ZERO + horizon;
+            for (t, ev) in s.events() {
+                match ev {
+                    FaultEvent::ServerRecoveryBegin { .. } | FaultEvent::ServerUp { .. } => {}
+                    _ => prop_assert!(*t < end, "{ev:?} at {t:?} past horizon {end:?}"),
+                }
+            }
+        }
+    }
+}

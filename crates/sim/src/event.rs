@@ -195,6 +195,29 @@ mod tests {
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
+    /// Pins the tie-break contract the fault subsystem depends on:
+    /// among equal-timestamp events, delivery order is *insertion*
+    /// order — even when popping is interleaved with new same-instant
+    /// scheduling, and regardless of heap internals. Recovery
+    /// correctness needs this: a crash scheduled before a dispatch at
+    /// the same tick must be delivered before that dispatch.
+    #[test]
+    fn same_instant_fifo_survives_interleaved_scheduling() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, "crash");
+        q.schedule(t, "dispatch");
+        assert_eq!(q.pop(), Some((t, "crash")));
+        // Handling the crash schedules more work at the same instant; it
+        // must land *behind* the already-pending dispatch.
+        q.schedule(t, "rescale");
+        q.schedule(t, "retry");
+        assert_eq!(q.pop(), Some((t, "dispatch")));
+        assert_eq!(q.pop(), Some((t, "rescale")));
+        assert_eq!(q.pop(), Some((t, "retry")));
+        assert!(q.is_empty());
+    }
+
     #[test]
     fn peek_does_not_consume() {
         let mut q = EventQueue::new();
@@ -236,6 +259,28 @@ mod tests {
             while let Some((t, _)) = q.pop() {
                 prop_assert!(t >= last);
                 last = t;
+            }
+        }
+
+        /// FIFO among equal timestamps for arbitrary time vectors: for
+        /// any pair delivered at the same instant, the one scheduled
+        /// first pops first.
+        #[test]
+        fn prop_equal_time_events_pop_in_insertion_order(
+            times in prop::collection::vec(0u64..50, 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    if lt == t {
+                        prop_assert!(li < i, "seq {li} and {i} swapped at {t}");
+                    }
+                }
+                last = Some((t, i));
             }
         }
 

@@ -81,12 +81,32 @@ fn print_table(report: &RunReport) {
         report.violation_rate() * 100.0
     );
     println!(
-        "throughput/resource {:.3}   cold-start rate {:.3}%   launches {}   retirements {}\n",
+        "throughput/resource {:.3}   cold-start rate {:.3}%   launches {}   retirements {}",
         report.throughput_per_resource(),
         report.cold_request_rate() * 100.0,
         report.launches,
         report.retirements
     );
+    let f = &report.failures;
+    if f.any() {
+        println!(
+            "faults: {} crashes ({} recovered), {} instances killed, {} cold-start failures, \
+             {} stragglers; displaced {} = retried {} + shed {}{}",
+            f.server_crashes,
+            f.server_recoveries,
+            f.instances_killed,
+            f.coldstart_failures,
+            f.stragglers,
+            f.requests_displaced,
+            f.requests_retried,
+            f.requests_shed,
+            f.mean_time_to_recapacity_ms()
+                .map_or_else(String::new, |m| format!(
+                    "; mean time-to-recapacity {m:.0} ms"
+                )),
+        );
+    }
+    println!();
     println!(
         "{:<14} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "function", "completed", "p50 ms", "p99 ms", "viol %", "cold %"
@@ -156,6 +176,7 @@ fn print_json(report: &RunReport) {
         "violation_rate": report.violation_rate(),
         "throughput_per_resource": report.throughput_per_resource(),
         "cold_request_rate": report.cold_request_rate(),
+        "failures": report.failures,
         "functions": functions,
         "chains": chains,
     });

@@ -41,6 +41,7 @@ use infless_core::chains::ChainSpec;
 use infless_core::engine::FunctionInfo;
 use infless_core::metrics::RunReport;
 use infless_core::platform::{ColdStartConfig, InflessConfig, InflessPlatform};
+use infless_faults::{FaultPlan, FaultSchedule};
 use infless_models::ModelId;
 use infless_sim::SimDuration;
 use infless_workload::{FunctionLoad, TracePattern, Workload};
@@ -172,6 +173,11 @@ pub struct Scenario {
     /// Function chains (INFless platform only).
     #[serde(default)]
     pub chains: Vec<ChainDescriptor>,
+    /// Optional fault-injection plan (per-hour rates for server
+    /// crashes, instance kills, cold-start failures and stragglers).
+    /// Omitted or all-zero means a healthy cluster.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 fn default_seed() -> u64 {
@@ -332,6 +338,17 @@ impl Scenario {
             .collect();
 
         let cluster = self.cluster.to_spec();
+        // One schedule per scenario: every platform run from the same
+        // file faces the identical fault sequence.
+        let schedule = match &self.faults {
+            Some(plan) => {
+                let horizon = workload
+                    .end_time()
+                    .saturating_since(infless_sim::SimTime::ZERO);
+                FaultSchedule::generate(plan, cluster.servers, horizon, self.seed)
+            }
+            None => FaultSchedule::empty(),
+        };
         let report = match self.platform {
             PlatformKind::Infless => InflessPlatform::with_chains(
                 cluster,
@@ -343,11 +360,14 @@ impl Scenario {
                 },
                 self.seed,
             )
+            .with_fault_schedule(schedule)
             .run(&workload),
-            PlatformKind::Openfaas => {
-                OpenFaasPlus::new(cluster, functions, self.seed).run(&workload)
-            }
-            PlatformKind::Batch => BatchPlatform::new(cluster, functions, self.seed).run(&workload),
+            PlatformKind::Openfaas => OpenFaasPlus::new(cluster, functions, self.seed)
+                .with_fault_schedule(schedule)
+                .run(&workload),
+            PlatformKind::Batch => BatchPlatform::new(cluster, functions, self.seed)
+                .with_fault_schedule(schedule)
+                .run(&workload),
         };
         Ok(report)
     }
