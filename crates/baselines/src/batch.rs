@@ -173,6 +173,13 @@ impl BatchPlatform {
         self
     }
 
+    /// Attaches a telemetry sink (the default no-op sink records
+    /// nothing and changes nothing).
+    pub fn with_telemetry(mut self, sink: Box<dyn infless_telemetry::TelemetrySink>) -> Self {
+        self.engine.set_telemetry(sink);
+        self
+    }
+
     /// The uniform batchsize chosen for function `f` (None if no
     /// feasible configuration exists).
     pub fn uniform_batch(&self, f: usize) -> Option<u32> {
@@ -256,7 +263,7 @@ impl BatchPlatform {
                 && self.fns[f].buffer.len() < self.buffer_cap(f)
             {
                 self.fns[f].buffer.push_front(req);
-                self.engine.collector.retried();
+                self.engine.record_retry(&req);
             } else {
                 self.engine.shed_request(&req);
             }
@@ -379,6 +386,7 @@ impl BatchPlatform {
         self.engine.collector.fragment_sample(frag);
         let used = self.engine.cluster().weighted_in_use(beta);
         self.engine.collector.provision_point(now, used);
+        self.engine.sample_telemetry();
     }
 
     fn launch(

@@ -104,6 +104,13 @@ impl OpenFaasPlus {
         self
     }
 
+    /// Attaches a telemetry sink (the default no-op sink records
+    /// nothing and changes nothing).
+    pub fn with_telemetry(mut self, sink: Box<dyn infless_telemetry::TelemetrySink>) -> Self {
+        self.engine.set_telemetry(sink);
+        self
+    }
+
     /// Runs the workload to completion.
     pub fn run(mut self, workload: &Workload) -> RunReport {
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
@@ -154,7 +161,7 @@ impl OpenFaasPlus {
                         let now = self.engine.now();
                         if now.saturating_since(req.arrival) < slo && self.place(f, req, &mut queue)
                         {
-                            self.engine.collector.retried();
+                            self.engine.record_retry(&req);
                         } else {
                             self.engine.shed_request(&req);
                         }
@@ -243,6 +250,7 @@ impl OpenFaasPlus {
         self.engine.collector.fragment_sample(frag);
         let used = self.engine.cluster().weighted_in_use(beta);
         self.engine.collector.provision_point(now, used);
+        self.engine.sample_telemetry();
     }
 }
 

@@ -19,11 +19,14 @@
 //! how long the cluster ran short of the weighted capacity lost to
 //! each fault.
 
-use infless_bench::{header, maybe_quick, pattern_workload, quick, record, run_parallel, System};
+use infless_bench::{
+    header, maybe_quick, pattern_workload, quick, record, run_parallel, timeseries_json, System,
+};
 use infless_cluster::ClusterSpec;
 use infless_core::apps::Application;
 use infless_faults::FaultPlan;
 use infless_sim::SimDuration;
+use infless_telemetry::{MemorySink, SpanKind};
 use infless_workload::TracePattern;
 
 fn main() {
@@ -96,10 +99,54 @@ fn main() {
                 "mean_time_to_recapacity_ms": recap,
                 "completed": r.total_completed(),
                 "dropped": r.total_dropped(),
+                "timeseries": timeseries_json(r),
             }));
         }
         println!();
     }
 
-    record("fig_failure_slo", serde_json::json!({ "sweep": rows }));
+    // Trace audit: re-run INFless at the top intensity with an
+    // in-memory span sink and recompute the fault accounting from the
+    // spans alone — it must agree with the collector's counters.
+    let top = *intensities.last().expect("non-empty sweep");
+    let sink = MemorySink::new();
+    let audited = System::Infless.run_with_faults_traced(
+        cluster,
+        app.functions(),
+        &workload,
+        42,
+        &FaultPlan::sweep(top),
+        Box::new(sink.clone()),
+    );
+    let store = sink.store();
+    let count = |k: SpanKind| store.spans.iter().filter(|s| s.kind == k).count() as u64;
+    let (displaced, retried, shed) = (
+        count(SpanKind::Displaced),
+        count(SpanKind::Retried),
+        count(SpanKind::Shed),
+    );
+    println!(
+        "trace audit (INFless @ intensity {top}): {} spans; displaced {displaced} = retried \
+         {retried} + shed {shed} ({})",
+        store.spans.len(),
+        if displaced == retried + shed && displaced == audited.failures.requests_displaced {
+            "consistent with collector"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    record(
+        "fig_failure_slo",
+        serde_json::json!({
+            "sweep": rows,
+            "trace_audit": serde_json::json!({
+                "intensity": top,
+                "spans": store.spans.len(),
+                "displaced": displaced,
+                "retried": retried,
+                "shed": shed,
+            }),
+        }),
+    );
 }

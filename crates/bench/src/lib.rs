@@ -154,6 +154,29 @@ impl System {
         seed: u64,
         plan: &FaultPlan,
     ) -> RunReport {
+        self.run_with_faults_traced(
+            cluster,
+            functions,
+            workload,
+            seed,
+            plan,
+            Box::new(infless_telemetry::NullSink),
+        )
+    }
+
+    /// As [`System::run_with_faults`], but attaches `sink` so the run
+    /// emits per-request lifecycle spans and time-series gauges.
+    /// Passing [`infless_telemetry::NullSink`] is bit-identical to
+    /// [`System::run_with_faults`].
+    pub fn run_with_faults_traced(
+        self,
+        cluster: ClusterSpec,
+        functions: &[FunctionInfo],
+        workload: &Workload,
+        seed: u64,
+        plan: &FaultPlan,
+        sink: Box<dyn infless_telemetry::TelemetrySink>,
+    ) -> RunReport {
         let horizon = workload
             .end_time()
             .saturating_since(infless_sim::SimTime::ZERO);
@@ -161,9 +184,11 @@ impl System {
         match self {
             System::OpenFaasPlus => OpenFaasPlus::new(cluster, functions.to_vec(), seed)
                 .with_fault_schedule(schedule)
+                .with_telemetry(sink)
                 .run(workload),
             System::Batch => BatchPlatform::new(cluster, functions.to_vec(), seed)
                 .with_fault_schedule(schedule)
+                .with_telemetry(sink)
                 .run(workload),
             System::BatchRs => BatchPlatform::with_config(
                 cluster,
@@ -175,10 +200,12 @@ impl System {
                 seed,
             )
             .with_fault_schedule(schedule)
+            .with_telemetry(sink)
             .run(workload),
             System::Infless => {
                 InflessPlatform::new(cluster, functions.to_vec(), InflessConfig::default(), seed)
                     .with_fault_schedule(schedule)
+                    .with_telemetry(sink)
                     .run(workload)
             }
         }
@@ -254,6 +281,12 @@ pub fn print_timings<'a>(runs: impl IntoIterator<Item = (&'a str, &'a RunReport)
     for (label, report) in runs {
         println!("{}", timing_line(label, report));
     }
+}
+
+/// The run's time-series gauge summary as a JSON value, for embedding
+/// in `record()` payloads.
+pub fn timeseries_json(report: &RunReport) -> serde_json::Value {
+    serde_json::to_value(&report.timeseries_summary)
 }
 
 /// A compact one-line summary used by several benches.

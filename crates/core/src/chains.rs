@@ -18,8 +18,8 @@
 //!    the end-to-end latency of the final stage is measured exactly.
 
 use infless_models::ModelSpec;
-use infless_sim::stats::Samples;
 use infless_sim::SimDuration;
+use infless_telemetry::Log2Histogram;
 
 use crate::predictor::CopPredictor;
 
@@ -168,8 +168,9 @@ pub struct ChainReport {
     pub violations: u64,
     /// Requests lost mid-chain (a stage dropped the relayed request).
     pub lost: u64,
-    /// End-to-end latency of completed traversals, milliseconds.
-    pub e2e_ms: Samples,
+    /// End-to-end latency of completed traversals, milliseconds
+    /// (log2-bucketed; quantile error ≤ 2⁻⁷ relative).
+    pub e2e_ms: Log2Histogram,
 }
 
 impl ChainReport {
@@ -180,7 +181,7 @@ impl ChainReport {
             completed: 0,
             violations: 0,
             lost: 0,
-            e2e_ms: Samples::new(),
+            e2e_ms: Log2Histogram::new(),
         }
     }
 

@@ -22,6 +22,9 @@ use infless_cluster::{
 use infless_faults::FaultEvent;
 use infless_models::{HardwareModel, ModelSpec};
 use infless_sim::{EventQueue, SimDuration, SimTime};
+use infless_telemetry::{
+    FaultTag, GaugeRow, NullSink, SpanEvent, SpanKind, TelemetrySink, TraceMeta,
+};
 use rand::rngs::StdRng;
 
 use crate::metrics::{Collector, StartupKind};
@@ -139,6 +142,11 @@ pub struct Engine {
     /// The metrics recorder (public so platforms can add their own
     /// samples, e.g. fragment ratios at scaler ticks).
     pub collector: Collector,
+    /// Where lifecycle spans and gauge rows go. [`NullSink`] by
+    /// default: emission is gated on `enabled()`, draws no randomness,
+    /// and schedules no events, so a sink-less run is bit-identical to
+    /// one that predates the telemetry subsystem.
+    telemetry: Box<dyn TelemetrySink>,
     now: SimTime,
 }
 
@@ -197,8 +205,24 @@ impl Engine {
             rng: infless_sim::rng::stream(seed, &format!("engine/{platform_name}")),
             beta,
             collector,
+            telemetry: Box::new(NullSink),
             now: SimTime::ZERO,
         }
+    }
+
+    /// Attaches a telemetry sink, announcing the run's identity to it.
+    /// Spans and gauge rows flow to the sink from then on; attach
+    /// before driving the event loop to capture the whole run.
+    pub fn set_telemetry(&mut self, mut sink: Box<dyn TelemetrySink>) {
+        sink.begin(&TraceMeta {
+            platform: self.collector.platform().to_string(),
+            functions: self
+                .functions
+                .iter()
+                .map(|f| f.spec().name().to_string())
+                .collect(),
+        });
+        self.telemetry = sink;
     }
 
     /// The current simulated instant.
@@ -278,11 +302,41 @@ impl Engine {
         assert!(arrival <= self.now, "requests cannot arrive in the future");
         let id = RequestId::new(self.next_request);
         self.next_request += 1;
-        Request {
+        let request = Request {
             id,
             function: FunctionId::new(function),
             arrival,
+        };
+        if self.telemetry.enabled() {
+            // Timestamped at the gateway arrival, which the BATCH
+            // baseline backdates relative to "now".
+            self.emit(SpanKind::Arrival, arrival, &request, -1, -1, 0);
         }
+        request
+    }
+
+    /// Builds and records one span (`instance`/`server` are raw ids or
+    /// -1). Callers gate on `telemetry.enabled()` so the disabled path
+    /// never constructs a [`SpanEvent`].
+    fn emit(
+        &mut self,
+        kind: SpanKind,
+        t: SimTime,
+        request: &Request,
+        instance: i64,
+        server: i64,
+        batch: u32,
+    ) {
+        self.telemetry.record(SpanEvent {
+            t_s: t.as_secs_f64(),
+            kind,
+            request: request.id.raw(),
+            function: request.function.raw() as u32,
+            instance,
+            server,
+            batch,
+            fault: FaultTag::None,
+        });
     }
 
     /// Launches an instance whose resources were already allocated on
@@ -435,10 +489,22 @@ impl Engine {
         if !inst.enqueue(request, now) {
             return false;
         }
+        let server = inst.placement().server().raw() as i64;
+        let full = inst.batch_full();
+        if self.telemetry.enabled() {
+            self.emit(
+                SpanKind::Enqueued,
+                now,
+                &request,
+                id.raw() as i64,
+                server,
+                0,
+            );
+        }
         if was_empty && budget < SimDuration::MAX {
             queue.schedule(now + budget, EngineEvent::BatchTimeout(id));
         }
-        if inst.batch_full() {
+        if full {
             self.try_start(id, queue);
         }
         true
@@ -494,6 +560,7 @@ impl Engine {
                 .expect("device was marked busy at batch start");
             *busy -= config.resources().gpu_pct();
         }
+        let telemetry_on = self.telemetry.enabled();
         for req in &fl.batch {
             let wait = fl.started - req.arrival;
             let cold = if was_cold && ready_at > req.arrival {
@@ -503,6 +570,16 @@ impl Engine {
             };
             self.collector
                 .complete(function, wait, fl.exec, cold, batch_setting);
+            if telemetry_on {
+                self.emit(
+                    SpanKind::Complete,
+                    self.now,
+                    req,
+                    id.raw() as i64,
+                    placement.server().raw() as i64,
+                    fl.batch.len() as u32,
+                );
+            }
         }
         // Leftover requests may already form a startable batch.
         self.try_start(id, queue);
@@ -523,6 +600,9 @@ impl Engine {
     /// Records a dropped request.
     pub fn drop_request(&mut self, request: &Request) {
         self.collector.drop_request(request.function.raw());
+        if self.telemetry.enabled() {
+            self.emit(SpanKind::Dropped, self.now, request, -1, -1, 0);
+        }
     }
 
     /// Records a displaced request shed by the recovery path (deadline
@@ -530,6 +610,18 @@ impl Engine {
     /// purposes *and* in the failure section's shed tally.
     pub fn shed_request(&mut self, request: &Request) {
         self.collector.shed(request.function.raw());
+        if self.telemetry.enabled() {
+            self.emit(SpanKind::Shed, self.now, request, -1, -1, 0);
+        }
+    }
+
+    /// Records a displaced request successfully re-dispatched by the
+    /// platform's recovery policy.
+    pub fn record_retry(&mut self, request: &Request) {
+        self.collector.retried();
+        if self.telemetry.enabled() {
+            self.emit(SpanKind::Retried, self.now, request, -1, -1, 0);
+        }
     }
 
     /// Handles [`EngineEvent::Fault`]: applies the mechanical effect of
@@ -540,6 +632,12 @@ impl Engine {
     /// live instances) are no-ops.
     pub fn on_fault(&mut self, ev: FaultEvent) -> FaultOutcome {
         let mut outcome = FaultOutcome::default();
+        let fault_tag = match ev {
+            FaultEvent::ServerCrash { .. } => FaultTag::ServerCrash,
+            FaultEvent::InstanceKill { .. } => FaultTag::InstanceKill,
+            FaultEvent::ColdStartFailure { .. } => FaultTag::ColdStartFailure,
+            _ => FaultTag::None,
+        };
         match ev {
             FaultEvent::ServerCrash { server } => {
                 if self.cluster.health(server) != ServerHealth::Up {
@@ -627,6 +725,20 @@ impl Engine {
         }
         if !outcome.displaced.is_empty() {
             self.collector.displaced(outcome.displaced.len() as u64);
+            if self.telemetry.enabled() {
+                for req in &outcome.displaced {
+                    self.telemetry.record(SpanEvent {
+                        t_s: self.now.as_secs_f64(),
+                        kind: SpanKind::Displaced,
+                        request: req.id.raw(),
+                        function: req.function.raw() as u32,
+                        instance: -1,
+                        server: -1,
+                        batch: 0,
+                        fault: fault_tag,
+                    });
+                }
+            }
         }
         outcome
     }
@@ -687,8 +799,68 @@ impl Engine {
         self.weights(config).0
     }
 
-    /// Ends the run: freezes metrics at the current instant.
-    pub fn finish(self) -> crate::metrics::RunReport {
+    /// Samples the run's gauges (instance counts, occupancy, queue
+    /// depth, in-flight batches). Platforms call this from their
+    /// periodic tick. The constant-size [`TimeseriesSummary`] in the
+    /// collector is always updated; the full [`GaugeRow`] (which
+    /// allocates a per-function vector) is built only for an enabled
+    /// sink.
+    ///
+    /// [`TimeseriesSummary`]: infless_telemetry::TimeseriesSummary
+    pub fn sample_telemetry(&mut self) {
+        let now = self.now;
+        let instances = self.instances.len() as u64;
+        let mut starting = 0u64;
+        let mut queue_depth = 0u64;
+        for inst in self.instances.values() {
+            if inst.is_starting(now) {
+                starting += 1;
+            }
+            queue_depth += inst.queue_len() as u64;
+        }
+        let cpu_cap = self.cluster.cpu_capacity();
+        let gpu_cap = self.cluster.gpu_capacity();
+        let cpu_occupancy = if cpu_cap == 0 {
+            0.0
+        } else {
+            self.cluster.cpu_in_use() as f64 / cpu_cap as f64
+        };
+        let gpu_occupancy = if gpu_cap == 0 {
+            0.0
+        } else {
+            self.cluster.gpu_in_use() as f64 / gpu_cap as f64
+        };
+        let in_flight_batches = self.in_flight.len() as u64;
+        self.collector.observe_gauges(
+            instances,
+            cpu_occupancy,
+            gpu_occupancy,
+            queue_depth,
+            in_flight_batches,
+        );
+        if self.telemetry.enabled() {
+            let per_function_instances = self
+                .live_by_function
+                .iter()
+                .map(|ids| ids.len() as u64)
+                .collect();
+            self.telemetry.sample(&GaugeRow {
+                t_s: now.as_secs_f64(),
+                instances,
+                starting,
+                cpu_occupancy,
+                gpu_occupancy,
+                queue_depth,
+                in_flight_batches,
+                per_function_instances,
+            });
+        }
+    }
+
+    /// Ends the run: flushes the telemetry sink and freezes metrics at
+    /// the current instant.
+    pub fn finish(mut self) -> crate::metrics::RunReport {
+        self.telemetry.finish();
         self.collector.finish(self.now)
     }
 
@@ -760,6 +932,17 @@ impl Engine {
         let until = now + exec;
         let inst = self.instances.get_mut(&id).expect("unknown instance");
         let batch = inst.begin_batch(now, until);
+        if self.telemetry.enabled() {
+            let blen = batch.len() as u32;
+            let inst_raw = id.raw() as i64;
+            let srv = placement.server().raw() as i64;
+            for req in &batch {
+                self.emit(SpanKind::BatchFormed, now, req, inst_raw, srv, blen);
+            }
+            // One exec-start per batch, keyed by its first request.
+            let first = batch[0];
+            self.emit(SpanKind::ExecStart, now, &first, inst_raw, srv, blen);
+        }
         let (w, _, _) = self.weights(config);
         self.collector.busy_delta(now, w);
         self.in_flight.insert(

@@ -12,6 +12,7 @@ use infless_cluster::InstanceConfig;
 use infless_models::CacheOutcome;
 use infless_sim::stats::{Samples, TimeWeighted, Welford};
 use infless_sim::{SimDuration, SimTime};
+use infless_telemetry::{Log2Histogram, TimeseriesSummary};
 use serde::{Deserialize, Serialize};
 
 /// How an instance came up.
@@ -38,8 +39,20 @@ pub struct FunctionReport {
     pub violations: u64,
     /// Completed requests that experienced a cold-start wait.
     pub cold_requests: u64,
-    /// End-to-end latency of completed requests, milliseconds.
-    pub latency_ms: Samples,
+    /// End-to-end latency of completed requests, milliseconds, as a
+    /// log2-bucketed histogram (quantile error ≤ 2⁻⁷ relative, exact at
+    /// the extremes — see [`Log2Histogram`]).
+    pub latency_ms: Log2Histogram,
+    /// Folded latency percentiles (ms), computed from `latency_ms` at
+    /// freeze time; 0.0 when no request completed.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency (ms); see `latency_p50_ms`.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile latency (ms); see `latency_p50_ms`.
+    pub latency_p99_ms: f64,
+    /// Serving batchsize of completed requests as a histogram (the
+    /// distribution view of `per_batch_completed`).
+    pub batch_sizes: Log2Histogram,
     /// Batch-queueing component (ms).
     pub queue_ms: Welford,
     /// Execution component (ms).
@@ -59,7 +72,11 @@ impl FunctionReport {
             dropped: 0,
             violations: 0,
             cold_requests: 0,
-            latency_ms: Samples::new(),
+            latency_ms: Log2Histogram::new(),
+            latency_p50_ms: 0.0,
+            latency_p95_ms: 0.0,
+            latency_p99_ms: 0.0,
+            batch_sizes: Log2Histogram::new(),
             queue_ms: Welford::new(),
             exec_ms: Welford::new(),
             cold_ms: Welford::new(),
@@ -186,6 +203,12 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting (all-zero without a
     /// fault schedule).
     pub failures: FailureReport,
+    /// Digest of the tick-sampled gauge stream (peak/mean instance
+    /// count, peak occupancy, max queue depth). All-zero when the
+    /// platform never called `Engine::sample_telemetry`. Serialized
+    /// behind `#[serde(default)]` on its own type, so JSON snapshots
+    /// written before the telemetry subsystem keep deserializing.
+    pub timeseries_summary: TimeseriesSummary,
 }
 
 impl RunReport {
@@ -297,6 +320,7 @@ pub struct Collector {
     started: Instant,
     profile_cache: Option<CacheOutcome>,
     failures: FailureReport,
+    timeseries: TimeseriesSummary,
 }
 
 impl Collector {
@@ -324,7 +348,13 @@ impl Collector {
             started: Instant::now(),
             profile_cache: None,
             failures: FailureReport::default(),
+            timeseries: TimeseriesSummary::default(),
         }
+    }
+
+    /// The platform name this collector was created for.
+    pub fn platform(&self) -> &str {
+        &self.platform
     }
 
     /// Records how the platform's COP profile database was obtained
@@ -363,7 +393,27 @@ impl Collector {
         if !cold.is_zero() {
             f.cold_requests += 1;
         }
+        f.batch_sizes.add(f64::from(batch_setting));
         *f.per_batch_completed.entry(batch_setting).or_insert(0) += 1;
+    }
+
+    /// Folds one tick's gauge readings into the run's time-series
+    /// summary (see `Engine::sample_telemetry`).
+    pub fn observe_gauges(
+        &mut self,
+        instances: u64,
+        cpu_occupancy: f64,
+        gpu_occupancy: f64,
+        queue_depth: u64,
+        in_flight_batches: u64,
+    ) {
+        self.timeseries.observe(
+            instances,
+            cpu_occupancy,
+            gpu_occupancy,
+            queue_depth,
+            in_flight_batches,
+        );
     }
 
     /// Records a dropped request.
@@ -479,10 +529,11 @@ impl Collector {
 
     /// Freezes the collector into a report covering `[0, end]`.
     pub fn finish(mut self, end: SimTime) -> RunReport {
-        // Pre-sort the latency samples so report consumers read
-        // quantiles as index lookups.
+        // Fold the latency histograms into the headline percentiles.
         for f in &mut self.functions {
-            f.latency_ms.sort();
+            f.latency_p50_ms = f.latency_ms.quantile(0.50).unwrap_or(0.0);
+            f.latency_p95_ms = f.latency_ms.quantile(0.95).unwrap_or(0.0);
+            f.latency_p99_ms = f.latency_ms.quantile(0.99).unwrap_or(0.0);
         }
         let usage = self.weighted_usage.integral_until(end);
         let busy = self.weighted_busy.integral_until(end);
@@ -506,6 +557,7 @@ impl Collector {
             wall_clock_seconds: self.started.elapsed().as_secs_f64(),
             profile_cache: self.profile_cache,
             failures: self.failures,
+            timeseries_summary: self.timeseries,
         }
     }
 }
@@ -686,6 +738,64 @@ mod tests {
         let json = serde_json::to_string(&partial).unwrap();
         let back: FailureReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, partial);
+    }
+
+    /// Headline percentiles are folded from the latency histogram at
+    /// freeze time, within the histogram's documented 2⁻⁷ relative
+    /// error bound.
+    #[test]
+    fn finish_folds_latency_percentiles() {
+        let mut c = collector();
+        for i in 1..=100u64 {
+            c.complete(
+                0,
+                SimDuration::from_millis(i),
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                1,
+            );
+        }
+        let r = c.finish(SimTime::from_secs(10));
+        let f = &r.functions[0];
+        assert!((f.latency_p50_ms - 50.0).abs() / 50.0 <= 1.0 / 128.0);
+        assert!((f.latency_p95_ms - 95.0).abs() / 95.0 <= 1.0 / 128.0);
+        assert!((f.latency_p99_ms - 99.0).abs() / 99.0 <= 1.0 / 128.0);
+        assert_eq!(f.latency_ms.len() as u64, f.completed);
+        // The batch-size histogram mirrors per_batch_completed.
+        assert_eq!(f.batch_sizes.len(), 100);
+        assert_eq!(f.batch_sizes.quantile(1.0), Some(1.0));
+    }
+
+    /// Satellite: old serialized reports (no time-series section) must
+    /// keep deserializing, mirroring the FailureReport pattern above.
+    #[test]
+    fn timeseries_summary_deserializes_from_empty_object() {
+        let t: TimeseriesSummary = serde_json::from_str("{}").unwrap();
+        assert_eq!(t, TimeseriesSummary::default());
+        assert!(!t.any());
+        let partial: TimeseriesSummary =
+            serde_json::from_str("{\"samples\": 3, \"peak_instances\": 9}").unwrap();
+        assert_eq!(partial.samples, 3);
+        assert_eq!(partial.peak_instances, 9);
+        assert_eq!(partial.max_queue_depth, 0);
+        let json = serde_json::to_string(&partial).unwrap();
+        let back: TimeseriesSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, partial);
+    }
+
+    #[test]
+    fn observed_gauges_reach_the_report() {
+        let mut c = collector();
+        c.observe_gauges(4, 0.5, 0.25, 7, 2);
+        c.observe_gauges(6, 0.75, 0.5, 3, 1);
+        let r = c.finish(SimTime::from_secs(1));
+        let t = &r.timeseries_summary;
+        assert!(t.any());
+        assert_eq!(t.samples, 2);
+        assert_eq!(t.peak_instances, 6);
+        assert_eq!(t.max_queue_depth, 7);
+        assert!((t.mean_instances - 5.0).abs() < 1e-12);
+        assert!((t.peak_cpu_occupancy - 0.75).abs() < 1e-12);
     }
 
     #[test]

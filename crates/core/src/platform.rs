@@ -298,6 +298,16 @@ impl InflessPlatform {
         self
     }
 
+    /// Attaches a telemetry sink. The default ([`NullSink`]) records
+    /// nothing and leaves the run bit-identical to a platform built
+    /// before the telemetry subsystem existed.
+    ///
+    /// [`NullSink`]: infless_telemetry::NullSink
+    pub fn with_telemetry(mut self, sink: Box<dyn infless_telemetry::TelemetrySink>) -> Self {
+        self.engine.set_telemetry(sink);
+        self
+    }
+
     /// Access to the COP predictor (for the Fig. 8 experiment).
     pub fn predictor(&self) -> &CopPredictor {
         &self.predictor
@@ -351,9 +361,6 @@ impl InflessPlatform {
         }
         let mut report = self.engine.finish();
         report.chains = self.chains.reports;
-        for c in &mut report.chains {
-            c.e2e_ms.sort();
-        }
         report
     }
 
@@ -586,6 +593,7 @@ impl InflessPlatform {
         self.engine.collector.fragment_sample(frag);
         let used = self.engine.cluster().weighted_in_use(beta);
         self.engine.collector.provision_point(now, used);
+        self.engine.sample_telemetry();
     }
 
     /// Runs Algorithm 1 for `residual` RPS and launches the resulting
@@ -676,7 +684,7 @@ impl InflessPlatform {
             return;
         }
         if self.dispatch(f, req, queue) || (self.unpark_one(f) && self.dispatch(f, req, queue)) {
-            self.engine.collector.retried();
+            self.engine.record_retry(&req);
             return;
         }
         self.shed_displaced(req);
@@ -1324,7 +1332,7 @@ mod fault_tests {
     /// Deterministic fingerprint of the per-function results. HashMap
     /// debug order varies between two maps built in the same process,
     /// so order-dependent fields are sorted before formatting.
-    fn fn_fingerprint(report: &RunReport) -> String {
+    pub(super) fn fn_fingerprint(report: &RunReport) -> String {
         use std::collections::BTreeMap;
         report
             .functions
@@ -1412,5 +1420,189 @@ mod fault_tests {
         );
         // The run still terminates with every request accounted for.
         assert!(report.total_completed() > 0);
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::apps::Application;
+    use infless_faults::FaultPlan;
+    use infless_telemetry::{FaultTag, MemorySink, NullSink, SpanKind};
+    use infless_workload::FunctionLoad;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn constant_workload(app: &Application, rps: f64, secs: u64) -> Workload {
+        let loads: Vec<FunctionLoad> = app
+            .functions()
+            .iter()
+            .map(|_| FunctionLoad::constant(rps, SimDuration::from_secs(secs)))
+            .collect();
+        Workload::build(&loads, 17)
+    }
+
+    fn platform(app: &Application) -> InflessPlatform {
+        InflessPlatform::new(
+            ClusterSpec::testbed(),
+            app.functions().to_vec(),
+            InflessConfig::default(),
+            17,
+        )
+    }
+
+    /// The disabled-telemetry acceptance gate, mirroring the
+    /// empty-fault-schedule invariant: a run with the default no-op
+    /// sink is bit-identical to one that never heard of telemetry —
+    /// and, because span emission is purely passive (no RNG draws, no
+    /// event scheduling), so is a run with a *recording* sink attached.
+    #[test]
+    fn telemetry_sinks_are_bit_identical() {
+        let app = Application::qa_robot();
+        let workload = constant_workload(&app, 30.0, 20);
+        let plain = platform(&app).run(&workload);
+        let null = platform(&app)
+            .with_telemetry(Box::new(NullSink))
+            .run(&workload);
+        let sink = MemorySink::new();
+        let recorded = platform(&app)
+            .with_telemetry(Box::new(sink.clone()))
+            .run(&workload);
+        for other in [&null, &recorded] {
+            assert_eq!(
+                super::fault_tests::fn_fingerprint(&plain),
+                super::fault_tests::fn_fingerprint(other)
+            );
+            assert_eq!(plain.launches, other.launches);
+            assert_eq!(plain.retirements, other.retirements);
+            assert_eq!(
+                plain.weighted_resource_seconds.to_bits(),
+                other.weighted_resource_seconds.to_bits()
+            );
+            assert_eq!(
+                format!("{:?}", plain.provisioning),
+                format!("{:?}", other.provisioning)
+            );
+        }
+        // The recording run actually captured the lifecycle.
+        let store = sink.store();
+        assert!(store.meta.as_ref().is_some_and(|m| m.platform == "INFless"));
+        let arrivals = store
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Arrival)
+            .count() as u64;
+        assert_eq!(arrivals, plain.total_completed() + plain.total_dropped());
+        assert!(!store.rows.is_empty(), "no gauge rows sampled");
+    }
+
+    /// Under faults, displaced spans carry their fault annotation and
+    /// the displacement accounting recomputed from spans alone agrees
+    /// with the collector's counters.
+    #[test]
+    fn displaced_spans_carry_fault_tags() {
+        let app = Application::qa_robot();
+        let workload = constant_workload(&app, 40.0, 40);
+        let schedule = FaultSchedule::generate(
+            &FaultPlan::sweep(2.0),
+            ClusterSpec::testbed().servers,
+            SimDuration::from_secs(40),
+            99,
+        );
+        let sink = MemorySink::new();
+        let report = platform(&app)
+            .with_fault_schedule(schedule)
+            .with_telemetry(Box::new(sink.clone()))
+            .run(&workload);
+        let store = sink.store();
+        let count = |k: SpanKind| store.spans.iter().filter(|s| s.kind == k).count() as u64;
+        assert!(
+            report.failures.requests_displaced > 0,
+            "sweep displaced nothing"
+        );
+        assert_eq!(
+            count(SpanKind::Displaced),
+            report.failures.requests_displaced
+        );
+        assert_eq!(count(SpanKind::Retried), report.failures.requests_retried);
+        assert_eq!(
+            count(SpanKind::Displaced),
+            count(SpanKind::Retried) + count(SpanKind::Shed)
+        );
+        assert!(
+            store
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Displaced)
+                .all(|s| s.fault != FaultTag::None),
+            "a displaced span lost its fault annotation"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Span conservation over workload x fault intensity x seed:
+        /// every arrival terminates in exactly one of completed /
+        /// dropped / shed, and each request's span timestamps are
+        /// monotone.
+        #[test]
+        fn spans_conserve_every_arrival(
+            rps in 5.0f64..40.0,
+            intensity in 0.0f64..4.0,
+            seed in 0u64..1000,
+        ) {
+            let app = Application::qa_robot();
+            let workload = constant_workload(&app, rps, 15);
+            let schedule = FaultSchedule::generate(
+                &FaultPlan::sweep(intensity),
+                ClusterSpec::testbed().servers,
+                SimDuration::from_secs(15),
+                seed,
+            );
+            let sink = MemorySink::new();
+            platform(&app)
+                .with_fault_schedule(schedule)
+                .with_telemetry(Box::new(sink.clone()))
+                .run(&workload);
+            let store = sink.store();
+            let mut arrived: HashMap<u64, bool> = HashMap::new();
+            let mut terminals: HashMap<u64, u32> = HashMap::new();
+            let mut last_t: HashMap<u64, f64> = HashMap::new();
+            for s in &store.spans {
+                let prev = last_t.entry(s.request).or_insert(s.t_s);
+                prop_assert!(
+                    s.t_s >= *prev,
+                    "request {} went back in time: {} < {}",
+                    s.request, s.t_s, prev
+                );
+                *prev = s.t_s;
+                match s.kind {
+                    SpanKind::Arrival => {
+                        prop_assert!(
+                            arrived.insert(s.request, true).is_none(),
+                            "request {} arrived twice",
+                            s.request
+                        );
+                    }
+                    SpanKind::Complete | SpanKind::Dropped | SpanKind::Shed => {
+                        *terminals.entry(s.request).or_insert(0) += 1;
+                    }
+                    _ => {}
+                }
+            }
+            for &req in arrived.keys() {
+                prop_assert_eq!(
+                    terminals.get(&req).copied().unwrap_or(0), 1,
+                    "request {} did not terminate exactly once", req
+                );
+            }
+            for &req in terminals.keys() {
+                prop_assert!(
+                    arrived.contains_key(&req),
+                    "request {} terminated without arriving", req
+                );
+            }
+        }
     }
 }

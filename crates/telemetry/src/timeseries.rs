@@ -1,0 +1,102 @@
+//! Tick-sampled time-series gauges and their run-level summary.
+
+use serde::{Deserialize, Serialize};
+
+/// One sampled gauge row (one scaler tick).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeRow {
+    /// Simulated timestamp, seconds.
+    pub t_s: f64,
+    /// Live instances across all functions (including starting ones).
+    pub instances: u64,
+    /// Instances still cold/pre-warm starting.
+    pub starting: u64,
+    /// Fraction of cluster CPU cores allocated, `[0, 1]`.
+    pub cpu_occupancy: f64,
+    /// Fraction of cluster GPU SM share allocated, `[0, 1]`.
+    pub gpu_occupancy: f64,
+    /// Requests waiting in batch queues across all instances.
+    pub queue_depth: u64,
+    /// Batches currently executing.
+    pub in_flight_batches: u64,
+    /// Live instance count per function index.
+    pub per_function_instances: Vec<u64>,
+}
+
+/// Constant-size digest of the gauge stream, folded into the run
+/// report. Always maintained (a few max/mean updates per tick), so a
+/// run does not need a sink attached to report it.
+///
+/// Serialized behind `#[serde(default)]` so reports written before the
+/// telemetry subsystem existed still deserialize.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct TimeseriesSummary {
+    /// Gauge samples taken (scaler ticks observed).
+    pub samples: u64,
+    /// Peak live instance count.
+    pub peak_instances: u64,
+    /// Mean live instance count over the sampled ticks.
+    pub mean_instances: f64,
+    /// Peak CPU occupancy, `[0, 1]`.
+    pub peak_cpu_occupancy: f64,
+    /// Peak GPU occupancy, `[0, 1]`.
+    pub peak_gpu_occupancy: f64,
+    /// Deepest total batch-queue backlog observed.
+    pub max_queue_depth: u64,
+    /// Most batches observed executing at once.
+    pub peak_in_flight_batches: u64,
+}
+
+impl TimeseriesSummary {
+    /// Folds one tick's gauges into the summary.
+    pub fn observe(
+        &mut self,
+        instances: u64,
+        cpu_occupancy: f64,
+        gpu_occupancy: f64,
+        queue_depth: u64,
+        in_flight_batches: u64,
+    ) {
+        self.samples += 1;
+        self.peak_instances = self.peak_instances.max(instances);
+        self.mean_instances += (instances as f64 - self.mean_instances) / self.samples as f64;
+        self.peak_cpu_occupancy = self.peak_cpu_occupancy.max(cpu_occupancy);
+        self.peak_gpu_occupancy = self.peak_gpu_occupancy.max(gpu_occupancy);
+        self.max_queue_depth = self.max_queue_depth.max(queue_depth);
+        self.peak_in_flight_batches = self.peak_in_flight_batches.max(in_flight_batches);
+    }
+
+    /// `true` once at least one tick has been observed.
+    pub fn any(&self) -> bool {
+        self.samples > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_tracks_peaks_and_mean() {
+        let mut s = TimeseriesSummary::default();
+        s.observe(2, 0.1, 0.5, 3, 1);
+        s.observe(6, 0.4, 0.2, 1, 4);
+        s.observe(4, 0.2, 0.3, 9, 2);
+        assert!(s.any());
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.peak_instances, 6);
+        assert!((s.mean_instances - 4.0).abs() < 1e-12);
+        assert!((s.peak_cpu_occupancy - 0.4).abs() < 1e-12);
+        assert!((s.peak_gpu_occupancy - 0.5).abs() < 1e-12);
+        assert_eq!(s.max_queue_depth, 9);
+        assert_eq!(s.peak_in_flight_batches, 4);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let s = TimeseriesSummary::default();
+        assert!(!s.any());
+        assert_eq!(s.mean_instances, 0.0);
+    }
+}

@@ -3,24 +3,47 @@
 //! ```sh
 //! cargo run --release --bin inflessctl -- scenarios/osvt.json
 //! cargo run --release --bin inflessctl -- scenarios/osvt.json --seed 7 --json
+//! cargo run --release --bin inflessctl -- scenarios/failure_sweep.json \
+//!     --trace-out trace.jsonl --timeseries-out gauges.csv
+//! cargo run --release --bin inflessctl -- trace summary trace.jsonl
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use infless::core::RunReport;
 use infless::descriptor::Scenario;
+use infless::telemetry::{summarize_file, FileSink, NullSink, TelemetrySink};
 
 const USAGE: &str = "usage: inflessctl <scenario.json> [--seed N] [--json]
+                  [--trace-out <path.jsonl>] [--timeseries-out <path.csv>]
+       inflessctl trace summary <trace.jsonl>
 
 Runs a deployment scenario (see scenarios/ for examples) and prints the
 run report. --seed overrides the scenario's seed; --json emits the
-summary as JSON instead of a table.";
+summary as JSON instead of a table.
+
+--trace-out streams per-request lifecycle spans (arrival, enqueued,
+batch_formed, exec_start, complete, dropped, shed, displaced, retried)
+to a JSONL file; --timeseries-out streams per-tick gauges (instances,
+occupancy, queue depth, in-flight batches) to a CSV.
+
+`trace summary` validates a span trace and prints conservation and
+fault-displacement accounting recomputed from the spans alone; it exits
+nonzero on a malformed or inconsistent trace.";
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        return trace_command(&argv[1..]);
+    }
+
+    let mut args = argv.into_iter();
     let mut path: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut json = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut timeseries_out: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => match args.next().map(|v| v.parse::<u64>()) {
@@ -28,6 +51,14 @@ fn main() -> ExitCode {
                 _ => return usage("--seed needs an integer"),
             },
             "--json" => json = true,
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => return usage("--trace-out needs a path"),
+            },
+            "--timeseries-out" => match args.next() {
+                Some(p) => timeseries_out = Some(PathBuf::from(p)),
+                None => return usage("--timeseries-out needs a path"),
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -50,7 +81,18 @@ fn main() -> ExitCode {
     if let Some(seed) = seed {
         scenario.seed = seed;
     }
-    match scenario.run() {
+    let sink: Box<dyn TelemetrySink> = if trace_out.is_some() || timeseries_out.is_some() {
+        match FileSink::create(trace_out.as_deref(), timeseries_out.as_deref()) {
+            Ok(sink) => Box::new(sink),
+            Err(e) => {
+                eprintln!("error: failed to open telemetry output: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Box::new(NullSink)
+    };
+    match scenario.run_with_telemetry(sink) {
         Ok(report) => {
             if json {
                 print_json(&report);
@@ -63,6 +105,43 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `inflessctl trace summary <path.jsonl>` — validate and summarize a
+/// span trace.
+fn trace_command(args: &[String]) -> ExitCode {
+    match args {
+        [sub, path] if sub == "summary" => match summarize_file(std::path::Path::new(path)) {
+            Ok(summary) => {
+                print!("{summary}");
+                let mut ok = true;
+                if !summary.conserved() {
+                    eprintln!(
+                        "error: span conservation violated: {} arrivals != {} completed + {} dropped + {} shed",
+                        summary.arrivals, summary.completed, summary.dropped, summary.shed
+                    );
+                    ok = false;
+                }
+                if !summary.displacement_balanced() {
+                    eprintln!(
+                        "error: displacement accounting violated: {} displaced != {} retried + {} shed",
+                        summary.displaced, summary.retried, summary.shed
+                    );
+                    ok = false;
+                }
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage("trace subcommand is: trace summary <trace.jsonl>"),
     }
 }
 
@@ -106,19 +185,32 @@ fn print_table(report: &RunReport) {
                 )),
         );
     }
+    let ts = &report.timeseries_summary;
+    if ts.any() {
+        println!(
+            "timeseries: {} samples; peak {} instances (mean {:.1}), peak occupancy cpu {:.1}% \
+             gpu {:.1}%, max queue depth {}, peak in-flight batches {}",
+            ts.samples,
+            ts.peak_instances,
+            ts.mean_instances,
+            ts.peak_cpu_occupancy * 100.0,
+            ts.peak_gpu_occupancy * 100.0,
+            ts.max_queue_depth,
+            ts.peak_in_flight_batches
+        );
+    }
     println!();
     println!(
         "{:<14} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "function", "completed", "p50 ms", "p99 ms", "viol %", "cold %"
     );
     for f in &report.functions {
-        let lat = &f.latency_ms;
         println!(
             "{:<14} {:>10} {:>9.1} {:>9.1} {:>9.2} {:>9.2}",
             f.name,
             f.completed,
-            lat.quantile(0.5).unwrap_or(0.0),
-            lat.quantile(0.99).unwrap_or(0.0),
+            f.latency_p50_ms,
+            f.latency_p99_ms,
             f.violation_rate() * 100.0,
             f.cold_rate() * 100.0
         );
@@ -141,13 +233,13 @@ fn print_json(report: &RunReport) {
         .functions
         .iter()
         .map(|f| {
-            let lat = &f.latency_ms;
             serde_json::json!({
                 "name": f.name,
                 "completed": f.completed,
                 "dropped": f.dropped,
-                "p50_ms": lat.quantile(0.5),
-                "p99_ms": lat.quantile(0.99),
+                "p50_ms": f.latency_p50_ms,
+                "p95_ms": f.latency_p95_ms,
+                "p99_ms": f.latency_p99_ms,
                 "violation_rate": f.violation_rate(),
                 "cold_rate": f.cold_rate(),
             })
@@ -177,6 +269,7 @@ fn print_json(report: &RunReport) {
         "throughput_per_resource": report.throughput_per_resource(),
         "cold_request_rate": report.cold_request_rate(),
         "failures": report.failures,
+        "timeseries_summary": report.timeseries_summary,
         "functions": functions,
         "chains": chains,
     });

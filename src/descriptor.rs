@@ -294,6 +294,21 @@ impl Scenario {
     /// Returns [`ScenarioError`] if a CSV load cannot be read or a
     /// referenced row is missing.
     pub fn run(&self) -> Result<RunReport, ScenarioError> {
+        self.run_with_telemetry(Box::new(infless_telemetry::NullSink))
+    }
+
+    /// As [`Scenario::run`], but attaches `sink` to the platform so the
+    /// run emits per-request lifecycle spans and time-series gauges.
+    /// Passing [`infless_telemetry::NullSink`] is equivalent to
+    /// [`Scenario::run`] — bit-identical, not merely statistically so.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::run`].
+    pub fn run_with_telemetry(
+        &self,
+        sink: Box<dyn infless_telemetry::TelemetrySink>,
+    ) -> Result<RunReport, ScenarioError> {
         let functions: Vec<FunctionInfo> = self
             .functions
             .iter()
@@ -361,12 +376,15 @@ impl Scenario {
                 self.seed,
             )
             .with_fault_schedule(schedule)
+            .with_telemetry(sink)
             .run(&workload),
             PlatformKind::Openfaas => OpenFaasPlus::new(cluster, functions, self.seed)
                 .with_fault_schedule(schedule)
+                .with_telemetry(sink)
                 .run(&workload),
             PlatformKind::Batch => BatchPlatform::new(cluster, functions, self.seed)
                 .with_fault_schedule(schedule)
+                .with_telemetry(sink)
                 .run(&workload),
         };
         Ok(report)

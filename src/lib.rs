@@ -13,4 +13,5 @@ pub use infless_cluster as cluster;
 pub use infless_core as core;
 pub use infless_models as models;
 pub use infless_sim as sim;
+pub use infless_telemetry as telemetry;
 pub use infless_workload as workload;

@@ -1,0 +1,117 @@
+//! End-to-end checks of the telemetry subsystem against the shipped
+//! failure scenario: the JSONL trace a real run writes must parse,
+//! conserve every arrival, annotate displaced requests with their
+//! fault, and let `displaced == retried + shed` be recomputed from the
+//! spans alone. The CSV time-series must carry the documented header
+//! and one row per scaler tick.
+
+use std::fs;
+use std::io::BufRead;
+
+use infless::descriptor::Scenario;
+use infless::telemetry::{summarize_file, FileSink, MemorySink, NullSink, SpanKind};
+
+fn scenario() -> Scenario {
+    Scenario::from_file("scenarios/failure_sweep.json").expect("shipped scenario parses")
+}
+
+#[test]
+fn failure_sweep_trace_is_parseable_and_consistent() {
+    let dir = std::env::temp_dir().join("infless-telemetry-e2e");
+    fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let gauges = dir.join("gauges.csv");
+
+    let sink = FileSink::create(Some(&trace), Some(&gauges)).unwrap();
+    let report = scenario().run_with_telemetry(Box::new(sink)).unwrap();
+
+    let summary = summarize_file(&trace).expect("trace parses and validates");
+    assert_eq!(summary.platform, "INFless");
+    assert!(summary.conserved(), "spans lost an arrival: {summary}");
+    assert!(
+        summary.displacement_balanced(),
+        "displaced != retried + shed from spans alone: {summary}"
+    );
+    // The spans agree with the collector's counters.
+    assert_eq!(summary.completed, report.total_completed());
+    assert_eq!(summary.dropped + summary.shed, report.total_dropped());
+    assert_eq!(summary.displaced, report.failures.requests_displaced);
+    assert_eq!(summary.retried, report.failures.requests_retried);
+    // Faults actually fired, and every displacement names its fault.
+    assert!(summary.displaced > 0, "scenario displaced nothing");
+    assert_eq!(
+        summary.displaced_by_fault.values().sum::<u64>(),
+        summary.displaced
+    );
+    assert!(!summary.displaced_by_fault.contains_key("none"));
+
+    // CSV schema: documented header, then one numeric row per sample.
+    let csv = fs::read_to_string(&gauges).unwrap();
+    let mut lines = csv.lines();
+    let header = lines.next().expect("non-empty csv");
+    assert!(header.starts_with(
+        "t_s,instances,starting,cpu_occupancy,gpu_occupancy,queue_depth,in_flight_batches"
+    ));
+    let cols = header.split(',').count();
+    let mut rows = 0usize;
+    for line in lines {
+        assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        for field in line.split(',') {
+            field.parse::<f64>().expect("numeric field");
+        }
+        rows += 1;
+    }
+    assert!(rows > 0, "no gauge rows written");
+    assert_eq!(rows as u64, report.timeseries_summary.samples);
+}
+
+#[test]
+fn trace_latency_histogram_matches_report_percentiles() {
+    let sink = MemorySink::new();
+    let report = scenario()
+        .run_with_telemetry(Box::new(sink.clone()))
+        .unwrap();
+    let store = sink.store();
+    // Completion spans equal the report's completed count, so the
+    // trace alone reproduces the latency distribution.
+    let completes = store
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Complete)
+        .count() as u64;
+    assert_eq!(completes, report.total_completed());
+}
+
+#[test]
+fn null_sink_run_matches_plain_run() {
+    let plain = scenario().run().unwrap();
+    let nulled = scenario().run_with_telemetry(Box::new(NullSink)).unwrap();
+    assert_eq!(plain.total_completed(), nulled.total_completed());
+    assert_eq!(plain.total_dropped(), nulled.total_dropped());
+    assert_eq!(plain.launches, nulled.launches);
+    assert_eq!(plain.failures, nulled.failures);
+    assert_eq!(
+        plain.weighted_resource_seconds.to_bits(),
+        nulled.weighted_resource_seconds.to_bits()
+    );
+}
+
+#[test]
+fn every_jsonl_line_is_an_object_with_fixed_keys() {
+    let dir = std::env::temp_dir().join("infless-telemetry-e2e-schema");
+    fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let sink = FileSink::create(Some(&trace), None).unwrap();
+    scenario().run_with_telemetry(Box::new(sink)).unwrap();
+
+    let file = fs::File::open(&trace).unwrap();
+    let mut lines = std::io::BufReader::new(file).lines();
+    let meta: serde_json::Value = serde_json::from_str(&lines.next().unwrap().unwrap()).unwrap();
+    assert!(meta.get("meta").is_some());
+    for line in lines {
+        let v: serde_json::Value = serde_json::from_str(&line.unwrap()).expect("valid json");
+        for key in ["t_s", "kind", "req", "fn", "inst", "srv", "batch", "fault"] {
+            assert!(v.get(key).is_some(), "span line missing {key}");
+        }
+    }
+}
