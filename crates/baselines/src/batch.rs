@@ -20,7 +20,7 @@
 use infless_cluster::{ClusterSpec, InstanceConfig, InstanceId, ServerId};
 use infless_faults::FaultSchedule;
 use infless_models::{profile::ConfigGrid, HardwareModel, ModelSpec, ProfileDatabase};
-use infless_sim::{EventQueue, SimDuration, SimTime};
+use infless_sim::{EventQueue, SimDuration, SimTime, StagedStream};
 use infless_workload::Workload;
 use std::collections::VecDeque;
 
@@ -28,6 +28,7 @@ use infless_core::batching::RpsWindow;
 use infless_core::engine::{Engine, EngineEvent, FunctionInfo};
 use infless_core::metrics::{RunReport, StartupKind};
 use infless_core::predictor::CopPredictor;
+use infless_core::router::LeastLoadedScratch;
 
 /// How BATCH places new instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +121,7 @@ pub struct BatchPlatform {
     config: BatchConfig,
     fns: Vec<FnState>,
     faults: FaultSchedule,
+    route_scratch: LeastLoadedScratch,
 }
 
 impl BatchPlatform {
@@ -163,6 +165,7 @@ impl BatchPlatform {
             config,
             fns,
             faults: FaultSchedule::empty(),
+            route_scratch: LeastLoadedScratch::default(),
         }
     }
 
@@ -189,21 +192,25 @@ impl BatchPlatform {
     /// Runs the workload to completion.
     pub fn run(mut self, workload: &Workload) -> RunReport {
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
-        // The OTP buffer forwards each request after its dispatch delay.
-        for &(t, f) in workload.arrivals() {
-            queue.schedule(t + self.config.otp_delay, EngineEvent::Arrival(f));
-        }
+        // The OTP buffer forwards each request after its dispatch
+        // delay; the uniform shift keeps the list sorted, so it can
+        // merge ahead of the heap (arrivals win equal-timestamp ties,
+        // exactly as when pre-scheduled).
+        let shifted: Vec<(SimTime, usize)> = workload
+            .arrivals()
+            .iter()
+            .map(|&(t, f)| (t + self.config.otp_delay, f))
+            .collect();
+        let mut arrivals = StagedStream::new(&shifted);
         let tick_horizon = workload.end_time() + SimDuration::from_secs(5);
         if !workload.is_empty() {
             queue.schedule(SimTime::ZERO + self.config.tick, EngineEvent::ScalerTick);
         }
-        // Scheduled last so arrivals win equal-timestamp ties; an empty
-        // schedule leaves the run bit-identical.
         let faults = std::mem::take(&mut self.faults);
         for &(t, ev) in faults.events() {
             queue.schedule(t, EngineEvent::Fault(ev));
         }
-        while let Some((t, ev)) = queue.pop() {
+        while let Some((t, ev)) = arrivals.next(&mut queue, EngineEvent::Arrival) {
             self.engine.advance(t);
             match ev {
                 EngineEvent::Arrival(f) => self.on_arrival(f, &mut queue),
@@ -307,19 +314,23 @@ impl BatchPlatform {
     /// space, least-loaded first. Scaling itself is tick-driven; the
     /// buffer only absorbs what the current fleet cannot.
     fn pump(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
-        // Sort once per pump (least-loaded first) and rotate through the
-        // fleet; re-sorting per buffered request would cost
+        // Order once per pump (least-loaded first, via the shared
+        // routing scratch — no fresh Vec per call) and rotate through
+        // the fleet; re-sorting per buffered request would cost
         // O(backlog · n log n) for no better balance.
-        let mut ids: Vec<InstanceId> = self.engine.instances_of(f).to_vec();
-        if ids.is_empty() {
+        let engine = &self.engine;
+        let ordered = self
+            .route_scratch
+            .order(engine.instances_of(f), |id| engine.instance(id).queue_len());
+        let n = ordered.len();
+        if n == 0 {
             return;
         }
-        ids.sort_by_key(|id| self.engine.instance(*id).queue_len());
         let mut cursor = 0usize;
         while let Some(&req) = self.fns[f].buffer.front() {
             let mut placed = false;
-            for _ in 0..ids.len() {
-                let id = ids[cursor % ids.len()];
+            for _ in 0..n {
+                let id = ordered[cursor % n];
                 cursor += 1;
                 if self.engine.enqueue(id, req, queue) {
                     placed = true;

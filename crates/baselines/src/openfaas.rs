@@ -10,11 +10,12 @@
 use infless_cluster::{ClusterSpec, InstanceConfig, InstanceId, InstanceState, Request};
 use infless_faults::FaultSchedule;
 use infless_models::{HardwareModel, ResourceConfig};
-use infless_sim::{EventQueue, SimDuration, SimTime};
+use infless_sim::{EventQueue, SimDuration, SimTime, StagedStream};
 use infless_workload::Workload;
 
 use infless_core::engine::{Engine, EngineEvent, FunctionInfo};
 use infless_core::metrics::{RunReport, StartupKind};
+use infless_core::router::LeastLoadedScratch;
 
 /// OpenFaaS+ knobs (§5.1 defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,7 @@ pub struct OpenFaasPlus {
     engine: Engine,
     config: OpenFaasConfig,
     faults: FaultSchedule,
+    route_scratch: LeastLoadedScratch,
 }
 
 impl OpenFaasPlus {
@@ -94,6 +96,7 @@ impl OpenFaasPlus {
             engine,
             config,
             faults: FaultSchedule::empty(),
+            route_scratch: LeastLoadedScratch::default(),
         }
     }
 
@@ -114,9 +117,9 @@ impl OpenFaasPlus {
     /// Runs the workload to completion.
     pub fn run(mut self, workload: &Workload) -> RunReport {
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
-        for &(t, f) in workload.arrivals() {
-            queue.schedule(t, EngineEvent::Arrival(f));
-        }
+        // Merged ahead of the heap; arrivals win equal-timestamp ties
+        // (including against faults), exactly as when pre-scheduled.
+        let mut arrivals = StagedStream::new(workload.arrivals());
         let tick_horizon = workload.end_time() + SimDuration::from_secs(5);
         if !workload.is_empty() {
             queue.schedule(
@@ -124,13 +127,11 @@ impl OpenFaasPlus {
                 EngineEvent::ScalerTick,
             );
         }
-        // Scheduled last so arrivals win equal-timestamp ties; an empty
-        // schedule leaves the run bit-identical.
         let faults = std::mem::take(&mut self.faults);
         for &(t, ev) in faults.events() {
             queue.schedule(t, EngineEvent::Fault(ev));
         }
-        while let Some((t, ev)) = queue.pop() {
+        while let Some((t, ev)) = arrivals.next(&mut queue, EngineEvent::Arrival) {
             self.engine.advance(t);
             match ev {
                 EngineEvent::Arrival(f) => self.on_arrival(f, &mut queue),
@@ -215,9 +216,11 @@ impl OpenFaasPlus {
         }
         // Rate-limited (or cluster full): queue one-deep behind any pod
         // with space, else reject.
-        let mut ids: Vec<InstanceId> = self.engine.instances_of(f).to_vec();
-        ids.sort_by_key(|id| self.engine.instance(*id).queue_len());
-        for id in ids {
+        let engine = &self.engine;
+        let ordered = self
+            .route_scratch
+            .order(engine.instances_of(f), |id| engine.instance(id).queue_len());
+        for &id in ordered {
             if self.engine.enqueue(id, req, queue) {
                 return true;
             }

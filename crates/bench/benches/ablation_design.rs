@@ -35,7 +35,7 @@ fn main() {
     );
     let mut d2 = Vec::new();
     for (name, largest_first) in [("largest-first", true), ("smallest-first", false)] {
-        let sched = Scheduler::new(SchedulerConfig {
+        let mut sched = Scheduler::new(SchedulerConfig {
             largest_batch_first: largest_first,
             ..SchedulerConfig::default()
         });
@@ -75,7 +75,7 @@ fn main() {
         ("first-fit", PlacementStrategy::FirstFit),
         ("max-throughput", PlacementStrategy::MaxThroughput),
     ] {
-        let sched = Scheduler::new(SchedulerConfig {
+        let mut sched = Scheduler::new(SchedulerConfig {
             placement,
             ..SchedulerConfig::default()
         });

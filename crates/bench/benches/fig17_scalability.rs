@@ -41,7 +41,7 @@ fn main() {
     let servers = if quick() { 500 } else { 2000 };
     let app = Application::synthetic(if quick() { 10 } else { 40 });
     let predictor = predictor_for(&app);
-    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let mut scheduler = Scheduler::new(SchedulerConfig::default());
 
     header(
         "fig17_scalability",
@@ -107,7 +107,7 @@ fn main() {
         move || -> FragRow {
             let wall = Instant::now();
             let predictor = predictor_for(&app);
-            let scheduler = Scheduler::new(SchedulerConfig::default());
+            let mut scheduler = Scheduler::new(SchedulerConfig::default());
             let mut cluster = ClusterSpec::large(servers).build();
             for _ in 0..slices {
                 for function in app.functions() {

@@ -40,7 +40,7 @@ impl Harness {
 
     /// Places capacity for every function with INFless's scheduler and
     /// returns (Σ r_up) / (weighted resources used).
-    fn infless_capacity_density(&self, app: &Application, rps_per_fn: f64) -> f64 {
+    fn infless_capacity_density(&mut self, app: &Application, rps_per_fn: f64) -> f64 {
         let mut cluster = ClusterSpec::large(self.servers).build();
         let mut capacity = 0.0;
         for function in app.functions() {
@@ -132,7 +132,7 @@ fn main() {
     let mut a_rows = Vec::new();
     for n in [10usize, 20, 30, 40] {
         let app = Application::synthetic(n);
-        let h = Harness::new(&app, servers);
+        let mut h = Harness::new(&app, servers);
         let rps = 4_000.0;
         let mut row = vec![
             (
@@ -182,7 +182,7 @@ fn main() {
             })
             .collect();
         let app = AppShim { functions };
-        let h = Harness::new_from(&app.functions, servers);
+        let mut h = Harness::new_from(&app.functions, servers);
         let density = {
             let mut cluster = ClusterSpec::large(servers).build();
             let mut capacity = 0.0;

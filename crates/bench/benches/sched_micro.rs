@@ -45,7 +45,7 @@ fn bench_predictor(c: &mut Criterion) {
 
 fn bench_scheduler(c: &mut Criterion) {
     let (p, spec) = predictor();
-    let scheduler = Scheduler::new(SchedulerConfig::default());
+    let mut scheduler = Scheduler::new(SchedulerConfig::default());
     c.bench_function("schedule_one_round_testbed", |b| {
         b.iter_batched(
             || ClusterSpec::testbed().build(),

@@ -90,10 +90,64 @@ impl std::error::Error for PlacementError {}
 /// cluster.release(ResourceConfig::new(4, 50), placement);
 /// # Ok::<(), infless_cluster::PlacementError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterState {
     servers: Vec<Server>,
     spec: ClusterSpec,
+    /// Undo log for the open transaction, if any. Scratch state: not
+    /// part of the cluster's logical identity (excluded from serde and
+    /// `PartialEq` via the manual impls below), and its buffers are
+    /// reused across transactions so steady-state dry-runs allocate
+    /// nothing.
+    txn: TxnLog,
+}
+
+// The serialized form covers only the logical state (servers + spec);
+// the transaction scratch is never persisted, so snapshots taken
+// before the transaction API existed keep round-tripping.
+impl Serialize for ClusterState {
+    fn serialize(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("servers".to_string(), self.servers.serialize());
+        map.insert("spec".to_string(), self.spec.serialize());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for ClusterState {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let servers = value
+            .get("servers")
+            .ok_or_else(|| serde::Error::custom("ClusterState: missing field `servers`"))?;
+        let spec = value
+            .get("spec")
+            .ok_or_else(|| serde::Error::custom("ClusterState: missing field `spec`"))?;
+        Ok(ClusterState {
+            servers: Deserialize::deserialize(servers)?,
+            spec: Deserialize::deserialize(spec)?,
+            txn: TxnLog::default(),
+        })
+    }
+}
+
+/// First-touch snapshot undo log. Rollback restores each touched
+/// server from its pre-transaction snapshot, which is bit-identical by
+/// construction — unlike replaying inverse `release` calls, whose
+/// saturating float arithmetic (`(x - m) + m`) need not round-trip.
+#[derive(Debug, Clone, Default)]
+struct TxnLog {
+    open: bool,
+    /// Indexed by server; `Some` holds the pre-transaction state of a
+    /// touched server.
+    snapshots: Vec<Option<Server>>,
+    /// Indices of servers with a live snapshot, for cheap clearing.
+    touched: Vec<usize>,
+}
+
+impl PartialEq for ClusterState {
+    fn eq(&self, other: &Self) -> bool {
+        self.servers == other.servers && self.spec == other.spec
+    }
 }
 
 impl ClusterState {
@@ -110,7 +164,78 @@ impl ClusterState {
                 )
             })
             .collect();
-        ClusterState { servers, spec }
+        ClusterState {
+            servers,
+            spec,
+            txn: TxnLog::default(),
+        }
+    }
+
+    /// Opens a transaction: every subsequent mutation (allocation,
+    /// release, health change, `server_mut` access) is recorded so
+    /// [`Self::rollback_txn`] can restore the exact pre-transaction
+    /// state. Dry-runs use this instead of cloning the whole cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open (transactions do not
+    /// nest).
+    pub fn begin_txn(&mut self) {
+        assert!(!self.txn.open, "cluster transaction already open");
+        self.txn.open = true;
+    }
+
+    /// `true` while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.open
+    }
+
+    /// Commits the open transaction: keeps all mutations and discards
+    /// the undo log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit_txn(&mut self) {
+        assert!(self.txn.open, "commit_txn without begin_txn");
+        for &i in &self.txn.touched {
+            self.txn.snapshots[i] = None;
+        }
+        self.txn.touched.clear();
+        self.txn.open = false;
+    }
+
+    /// Rolls back the open transaction: restores every touched server
+    /// from its snapshot. The result is bit-identical to the state at
+    /// [`Self::begin_txn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn rollback_txn(&mut self) {
+        assert!(self.txn.open, "rollback_txn without begin_txn");
+        let TxnLog {
+            touched, snapshots, ..
+        } = &mut self.txn;
+        for i in touched.drain(..) {
+            self.servers[i] = snapshots[i].take().expect("touched server has a snapshot");
+        }
+        self.txn.open = false;
+    }
+
+    /// Records `idx` in the undo log before its first mutation inside
+    /// the open transaction. No-op outside a transaction.
+    fn note_touch(&mut self, idx: usize) {
+        if !self.txn.open {
+            return;
+        }
+        if self.txn.snapshots.len() < self.servers.len() {
+            self.txn.snapshots.resize(self.servers.len(), None);
+        }
+        if self.txn.snapshots[idx].is_none() {
+            self.txn.snapshots[idx] = Some(self.servers[idx].clone());
+            self.txn.touched.push(idx);
+        }
     }
 
     /// The spec this cluster was built from.
@@ -135,6 +260,7 @@ impl ClusterState {
 
     /// Mutable access to a server by id.
     pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        self.note_touch(id.raw());
         &mut self.servers[id.raw()]
     }
 
@@ -147,6 +273,7 @@ impl ClusterState {
     /// every placement path ([`Server::fits_with_memory`] refuses), so
     /// no caller needs to re-check health itself.
     pub fn set_health(&mut self, id: ServerId, health: ServerHealth) {
+        self.note_touch(id.raw());
         self.servers[id.raw()].set_health(health);
     }
 
@@ -174,6 +301,7 @@ impl ClusterState {
         cfg: ResourceConfig,
         mem_mb: f64,
     ) -> Result<Placement, PlacementError> {
+        self.note_touch(server.raw());
         self.servers[server.raw()]
             .allocate_with_memory(cfg, mem_mb)
             .ok_or(PlacementError::InsufficientResources)
@@ -193,12 +321,28 @@ impl ClusterState {
         cfg: ResourceConfig,
         mem_mb: f64,
     ) -> Result<Placement, PlacementError> {
-        for server in &mut self.servers {
-            if let Some(p) = server.allocate_with_memory(cfg, mem_mb) {
+        for i in 0..self.servers.len() {
+            if !self.servers[i].fits_with_memory(cfg, mem_mb) {
+                continue;
+            }
+            self.note_touch(i);
+            if let Some(p) = self.servers[i].allocate_with_memory(cfg, mem_mb) {
                 return Ok(p);
             }
         }
         Err(PlacementError::InsufficientResources)
+    }
+
+    /// Transactional placement: [`Self::allocate_anywhere_with_memory`]
+    /// under a name that makes dry-run call sites read naturally. Pair
+    /// with [`Self::begin_txn`] / [`Self::rollback_txn`] to trial a
+    /// placement without committing it.
+    pub fn try_place(
+        &mut self,
+        cfg: ResourceConfig,
+        mem_mb: f64,
+    ) -> Result<Placement, PlacementError> {
+        self.allocate_anywhere_with_memory(cfg, mem_mb)
     }
 
     /// Releases an allocation.
@@ -207,6 +351,7 @@ impl ClusterState {
     ///
     /// Panics on accounting mismatches (see [`Server::release`]).
     pub fn release(&mut self, cfg: ResourceConfig, placement: Placement) {
+        self.note_touch(placement.server().raw());
         self.servers[placement.server().raw()].release(cfg, placement);
     }
 
@@ -369,7 +514,96 @@ mod tests {
         assert!((c.weighted_in_use(beta) - (0.2 * 10.0 + 50.0)).abs() < 1e-12);
     }
 
+    #[test]
+    fn txn_rollback_undoes_allocations() {
+        let mut c = ClusterSpec::testbed().build();
+        let cfg = ResourceConfig::new(4, 50);
+        let live = c.allocate_anywhere(cfg).unwrap();
+        c.begin_txn();
+        assert!(c.in_txn());
+        for _ in 0..5 {
+            c.try_place(ResourceConfig::new(2, 20), 512.0).unwrap();
+        }
+        c.set_health(ServerId::new(3), ServerHealth::Down);
+        c.rollback_txn();
+        assert!(!c.in_txn());
+        assert_eq!(c.cpu_in_use(), 4);
+        assert_eq!(c.gpu_in_use(), 50);
+        assert_eq!(c.mem_in_use_mb(), 0.0);
+        assert_eq!(c.health(ServerId::new(3)), ServerHealth::Up);
+        // The pre-transaction allocation is still releasable.
+        c.release(cfg, live);
+        assert_eq!(c.cpu_in_use(), 0);
+    }
+
+    #[test]
+    fn txn_commit_keeps_mutations() {
+        let mut c = ClusterSpec::testbed().build();
+        c.begin_txn();
+        let p = c.try_place(ResourceConfig::new(2, 0), 0.0).unwrap();
+        c.commit_txn();
+        assert_eq!(c.cpu_in_use(), 2);
+        // The undo log is gone: releasing after commit must not be
+        // undone by a later transaction's rollback.
+        c.begin_txn();
+        c.rollback_txn();
+        assert_eq!(c.cpu_in_use(), 2);
+        c.release(ResourceConfig::new(2, 0), p);
+        assert_eq!(c.cpu_in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already open")]
+    fn txns_do_not_nest() {
+        let mut c = ClusterSpec::testbed().build();
+        c.begin_txn();
+        c.begin_txn();
+    }
+
     proptest! {
+        /// Tentpole pin: rolling back a transaction restores the exact
+        /// pre-transaction state, bit for bit — verified through the
+        /// serialized form, which exposes every float's full precision.
+        #[test]
+        fn prop_txn_rollback_is_bit_identical(
+            setup in prop::collection::vec((1u32..6, 0u32..80, 0.0f64..4096.0), 0..40),
+            trial in prop::collection::vec((1u32..8, 0u32..100, 0.0f64..8192.0), 1..60),
+            kill in 0usize..4, // 0..3 flips that server's health; 3 = no flip
+
+        ) {
+            let mut c = ClusterSpec::large(3).build();
+            let mut live = Vec::new();
+            for (cpu, gpu, mem) in setup {
+                if let Ok(p) = c.allocate_anywhere_with_memory(ResourceConfig::new(cpu, gpu), mem) {
+                    live.push((ResourceConfig::new(cpu, gpu), mem, p));
+                }
+            }
+            let before_json = serde_json::to_string(&c).expect("serializes");
+            let before = c.clone();
+
+            c.begin_txn();
+            // Mix transactional allocations, releases of pre-existing
+            // placements, and a health flip — every mutator kind.
+            for (i, (cpu, gpu, mem)) in trial.iter().enumerate() {
+                if i % 3 == 2 {
+                    if let Some((cfg, mem, p)) = live.pop() {
+                        let _ = mem;
+                        c.release(cfg, p);
+                    }
+                } else {
+                    let _ = c.try_place(ResourceConfig::new(*cpu, *gpu), *mem);
+                }
+            }
+            if kill < 3 {
+                c.set_health(ServerId::new(kill), ServerHealth::Down);
+            }
+            c.rollback_txn();
+
+            let after_json = serde_json::to_string(&c).expect("serializes");
+            prop_assert_eq!(before_json, after_json);
+            prop_assert_eq!(&before, &c);
+        }
+
         /// Cluster-level conservation: allocations plus frees equal capacity.
         #[test]
         fn prop_cluster_conservation(ops in prop::collection::vec((1u32..6, 0u32..80), 1..80)) {

@@ -122,13 +122,20 @@ pub struct Engine {
     hardware: HardwareModel,
     cluster: ClusterState,
     functions: Vec<FunctionInfo>,
-    instances: HashMap<InstanceId, Instance>,
+    /// Instance slab, indexed by the raw [`InstanceId`]. Ids are minted
+    /// sequentially and never reused, so the slab only ever grows;
+    /// retirements leave `None` holes behind. One direct index replaces
+    /// the two-to-three hash lookups the request hot path used to pay
+    /// per event.
+    slots: Vec<Option<Slot>>,
     live_by_function: Vec<Vec<InstanceId>>,
-    meta: HashMap<InstanceId, InstanceMeta>,
-    in_flight: HashMap<InstanceId, InFlight>,
+    /// Number of batches currently executing (occupied `in_flight`
+    /// entries across the slab), so telemetry sampling needs no scan.
+    in_flight_count: usize,
     /// Active (executing) SM share per physical GPU device, for the MPS
-    /// interference model.
-    gpu_busy_pct: HashMap<(ServerId, usize), u32>,
+    /// interference model. Flat-indexed `server * gpus_per_server + gpu`.
+    gpu_busy_pct: Vec<u32>,
+    gpus_per_server: usize,
     /// Per-server straggler episodes: `(until, slowdown factor)`.
     /// Batches started on a listed server before `until` run slower.
     straggle: HashMap<ServerId, (SimTime, f64)>,
@@ -154,6 +161,15 @@ pub struct Engine {
 struct InstanceMeta {
     wait_budget: SimDuration,
     cold: bool,
+}
+
+/// One live instance's slab entry: the instance itself plus the
+/// engine-side bookkeeping that used to live in separate side maps.
+#[derive(Debug)]
+struct Slot {
+    inst: Instance,
+    meta: InstanceMeta,
+    in_flight: Option<InFlight>,
 }
 
 #[derive(Debug)]
@@ -189,15 +205,17 @@ impl Engine {
                 .collect::<Vec<_>>(),
         );
         let n = functions.len();
+        let gpus_per_server = cluster.gpus_per_server;
+        let gpu_devices = cluster.servers * gpus_per_server;
         Engine {
             hardware,
             cluster: cluster.build(),
             functions,
-            instances: HashMap::new(),
+            slots: Vec::new(),
             live_by_function: vec![Vec::new(); n],
-            meta: HashMap::new(),
-            in_flight: HashMap::new(),
-            gpu_busy_pct: HashMap::new(),
+            in_flight_count: 0,
+            gpu_busy_pct: vec![0; gpu_devices],
+            gpus_per_server,
             straggle: HashMap::new(),
             recapacity: VecDeque::new(),
             next_instance: 0,
@@ -278,12 +296,34 @@ impl Engine {
     ///
     /// Panics if the instance does not exist (retired or never created).
     pub fn instance(&self, id: InstanceId) -> &Instance {
-        &self.instances[&id]
+        &self.slot(id).inst
     }
 
     /// `true` if the instance is still live.
     pub fn is_live(&self, id: InstanceId) -> bool {
-        self.instances.contains_key(&id)
+        self.slots
+            .get(id.raw() as usize)
+            .is_some_and(|s| s.is_some())
+    }
+
+    #[inline]
+    fn slot(&self, id: InstanceId) -> &Slot {
+        self.slots[id.raw() as usize]
+            .as_ref()
+            .expect("unknown instance")
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, id: InstanceId) -> &mut Slot {
+        self.slots[id.raw() as usize]
+            .as_mut()
+            .expect("unknown instance")
+    }
+
+    /// Flat index of one physical GPU device in `gpu_busy_pct`.
+    #[inline]
+    fn device_index(&self, server: ServerId, gpu: usize) -> usize {
+        server.raw() * self.gpus_per_server + gpu
     }
 
     /// Mints a new request for `function` arriving now.
@@ -363,15 +403,16 @@ impl Engine {
             self.now,
             ready_at,
         );
-        self.instances.insert(id, inst);
-        self.live_by_function[function].push(id);
-        self.meta.insert(
-            id,
-            InstanceMeta {
+        debug_assert_eq!(id.raw() as usize, self.slots.len(), "ids are dense");
+        self.slots.push(Some(Slot {
+            inst,
+            meta: InstanceMeta {
                 wait_budget,
                 cold: matches!(startup, StartupKind::Cold),
             },
-        );
+            in_flight: None,
+        }));
+        self.live_by_function[function].push(id);
         self.collector.launch(function, config, startup);
         let (w, c, g) = self.weights(config);
         self.collector.usage_delta(self.now, w, c, g);
@@ -454,10 +495,10 @@ impl Engine {
     /// Panics if the instance is busy or has queued requests — the
     /// platform must drain before retiring.
     pub fn retire(&mut self, id: InstanceId) {
-        let inst = self
-            .instances
-            .remove(&id)
+        let slot = self.slots[id.raw() as usize]
+            .take()
             .expect("retire of unknown instance");
+        let inst = slot.inst;
         assert!(
             inst.queue_len() == 0
                 && !matches!(inst.state(), infless_cluster::InstanceState::Busy { .. }),
@@ -465,7 +506,6 @@ impl Engine {
         );
         let function = inst.function().raw();
         self.live_by_function[function].retain(|x| *x != id);
-        self.meta.remove(&id);
         self.cluster
             .release(inst.config().resources(), inst.placement());
         let (w, c, g) = self.weights(inst.config());
@@ -483,8 +523,9 @@ impl Engine {
         queue: &mut EventQueue<EngineEvent>,
     ) -> bool {
         let now = self.now;
-        let budget = self.meta.get(&id).expect("unknown instance").wait_budget;
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        let slot = self.slot_mut(id);
+        let budget = slot.meta.wait_budget;
+        let inst = &mut slot.inst;
         let was_empty = inst.queue_len() == 0;
         if !inst.enqueue(request, now) {
             return false;
@@ -542,23 +583,24 @@ impl Engine {
         id: InstanceId,
         queue: &mut EventQueue<EngineEvent>,
     ) -> CompletedBatch {
-        let fl = self.in_flight.remove(&id).expect("no batch in flight");
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
-        inst.complete_batch(self.now, fl.batch.len());
+        let now = self.now;
+        let slot = self.slot_mut(id);
+        let fl = slot.in_flight.take().expect("no batch in flight");
+        let inst = &mut slot.inst;
+        inst.complete_batch(now, fl.batch.len());
         let function = inst.function().raw();
         let config = inst.config();
         let placement = inst.placement();
         let batch_setting = config.batch();
         let ready_at = inst.ready_at();
-        let was_cold = self.meta.get(&id).expect("unknown instance").cold;
+        let was_cold = slot.meta.cold;
+        let budget = slot.meta.wait_budget;
+        self.in_flight_count -= 1;
         let (w, _, _) = self.weights(config);
         self.collector.busy_delta(self.now, -w);
         if let Some(gpu) = placement.gpu_index() {
-            let busy = self
-                .gpu_busy_pct
-                .get_mut(&(placement.server(), gpu))
-                .expect("device was marked busy at batch start");
-            *busy -= config.resources().gpu_pct();
+            let device = self.device_index(placement.server(), gpu);
+            self.gpu_busy_pct[device] -= config.resources().gpu_pct();
         }
         let telemetry_on = self.telemetry.enabled();
         for req in &fl.batch {
@@ -584,8 +626,7 @@ impl Engine {
         // Leftover requests may already form a startable batch.
         self.try_start(id, queue);
         // If a partial batch remains, re-arm its timeout.
-        let budget = self.meta.get(&id).expect("unknown instance").wait_budget;
-        let inst = &self.instances[&id];
+        let inst = &self.slot(id).inst;
         if inst.queue_len() > 0 && budget < SimDuration::MAX {
             if let Some(opened) = inst.queue_opened_at() {
                 queue.schedule(opened + budget, EngineEvent::BatchTimeout(id));
@@ -651,13 +692,13 @@ impl Engine {
                     .enumerate()
                     .flat_map(|(f, ids)| {
                         ids.iter()
-                            .filter(|id| self.instances[id].placement().server() == server)
+                            .filter(|id| self.instance(**id).placement().server() == server)
                             .map(move |id| (f, *id))
                     })
                     .collect();
                 let mut lost = 0.0;
                 for &(f, id) in &victims {
-                    lost += self.weighted_cost(self.instances[&id].config());
+                    lost += self.weighted_cost(self.instance(id).config());
                     let displaced = self.kill_instance(id);
                     outcome.killed.push((f, id));
                     outcome.displaced.extend(displaced);
@@ -703,7 +744,7 @@ impl Engine {
                     .enumerate()
                     .flat_map(|(f, ids)| {
                         ids.iter()
-                            .filter(|id| self.instances[id].is_starting(now))
+                            .filter(|id| self.instance(**id).is_starting(now))
                             .map(move |id| (f, *id))
                     })
                     .collect();
@@ -745,7 +786,7 @@ impl Engine {
 
     /// Kills a single instance and books a recapacity probe for it.
     fn kill_one(&mut self, function: usize, id: InstanceId, outcome: &mut FaultOutcome) {
-        let lost = self.weighted_cost(self.instances[&id].config());
+        let lost = self.weighted_cost(self.instance(id).config());
         let displaced = self.kill_instance(id);
         outcome.killed.push((function, id));
         outcome.displaced.extend(displaced);
@@ -763,26 +804,23 @@ impl Engine {
     /// The dangling `BatchComplete`/`InstanceReady`/`BatchTimeout`
     /// events become no-ops via the platforms' `is_live` guards.
     fn kill_instance(&mut self, id: InstanceId) -> Vec<Request> {
-        let mut inst = self
-            .instances
-            .remove(&id)
+        let slot = self.slots[id.raw() as usize]
+            .take()
             .expect("kill of unknown instance");
+        let mut inst = slot.inst;
         let function = inst.function().raw();
         self.live_by_function[function].retain(|x| *x != id);
-        self.meta.remove(&id);
         let was_starting = inst.is_starting(self.now);
         let config = inst.config();
         let placement = inst.placement();
         let mut displaced = Vec::new();
-        if let Some(fl) = self.in_flight.remove(&id) {
+        if let Some(fl) = slot.in_flight {
+            self.in_flight_count -= 1;
             let (w, _, _) = self.weights(config);
             self.collector.busy_delta(self.now, -w);
             if let Some(gpu) = placement.gpu_index() {
-                let busy = self
-                    .gpu_busy_pct
-                    .get_mut(&(placement.server(), gpu))
-                    .expect("device was marked busy at batch start");
-                *busy -= config.resources().gpu_pct();
+                let device = self.device_index(placement.server(), gpu);
+                self.gpu_busy_pct[device] -= config.resources().gpu_pct();
             }
             displaced.extend(fl.batch);
         }
@@ -809,14 +847,15 @@ impl Engine {
     /// [`TimeseriesSummary`]: infless_telemetry::TimeseriesSummary
     pub fn sample_telemetry(&mut self) {
         let now = self.now;
-        let instances = self.instances.len() as u64;
+        let mut instances = 0u64;
         let mut starting = 0u64;
         let mut queue_depth = 0u64;
-        for inst in self.instances.values() {
-            if inst.is_starting(now) {
+        for slot in self.slots.iter().flatten() {
+            instances += 1;
+            if slot.inst.is_starting(now) {
                 starting += 1;
             }
-            queue_depth += inst.queue_len() as u64;
+            queue_depth += slot.inst.queue_len() as u64;
         }
         let cpu_cap = self.cluster.cpu_capacity();
         let gpu_cap = self.cluster.gpu_capacity();
@@ -830,7 +869,7 @@ impl Engine {
         } else {
             self.cluster.gpu_in_use() as f64 / gpu_cap as f64
         };
-        let in_flight_batches = self.in_flight.len() as u64;
+        let in_flight_batches = self.in_flight_count as u64;
         self.collector.observe_gauges(
             instances,
             cpu_occupancy,
@@ -884,8 +923,9 @@ impl Engine {
     /// full or past its wait budget.
     fn try_start(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
         let now = self.now;
-        let budget = self.meta.get(&id).expect("unknown instance").wait_budget;
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        let slot = self.slot(id);
+        let budget = slot.meta.wait_budget;
+        let inst = &slot.inst;
         if !inst.can_execute(now) {
             return;
         }
@@ -898,22 +938,22 @@ impl Engine {
         }
         let config = inst.config();
         let function = inst.function().raw();
+        let placement = inst.placement();
         let len = (inst.queue_len()).min(config.batch() as usize) as u32;
         debug_assert!(len >= 1);
-        let spec = self.functions[function].spec().clone();
+        let spec = self.functions[function].spec();
         let mut exec =
             self.hardware
-                .model_latency_noisy(&spec, len, config.resources(), &mut self.rng);
+                .model_latency_noisy(spec, len, config.resources(), &mut self.rng);
         // MPS interference: co-resident *active* SM share on the same
         // physical device slows this batch down (shared memory
         // bandwidth / L2 behind the SM partitioning).
-        let placement = self.instances[&id].placement();
         if let Some(gpu) = placement.gpu_index() {
-            let key = (placement.server(), gpu);
-            let others = self.gpu_busy_pct.get(&key).copied().unwrap_or(0);
+            let device = self.device_index(placement.server(), gpu);
+            let others = self.gpu_busy_pct[device];
             let k = self.hardware.calibration().mps_interference;
             exec = exec.mul_f64(1.0 + k * f64::from(others) / 100.0);
-            *self.gpu_busy_pct.entry(key).or_insert(0) += config.resources().gpu_pct();
+            self.gpu_busy_pct[device] += config.resources().gpu_pct();
         }
         // Straggler episode: batches started on a straggling server run
         // slower. Guarded on emptiness so fault-free runs never touch
@@ -930,8 +970,7 @@ impl Engine {
             }
         }
         let until = now + exec;
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
-        let batch = inst.begin_batch(now, until);
+        let batch = self.slot_mut(id).inst.begin_batch(now, until);
         if self.telemetry.enabled() {
             let blen = batch.len() as u32;
             let inst_raw = id.raw() as i64;
@@ -945,14 +984,12 @@ impl Engine {
         }
         let (w, _, _) = self.weights(config);
         self.collector.busy_delta(now, w);
-        self.in_flight.insert(
-            id,
-            InFlight {
-                started: now,
-                exec,
-                batch,
-            },
-        );
+        self.slot_mut(id).in_flight = Some(InFlight {
+            started: now,
+            exec,
+            batch,
+        });
+        self.in_flight_count += 1;
         queue.schedule(until, EngineEvent::BatchComplete(id));
     }
 }

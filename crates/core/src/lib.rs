@@ -12,6 +12,9 @@
 //!   profiles along the model DAG, inflated by a safety offset.
 //! * [`scheduler`] — Algorithm 1 (§3.4): the greedy largest-batch-first
 //!   search with the resource-efficiency placement metric of Eq. 10.
+//! * [`router`] — the indexed deficit router: the allocation-free
+//!   O(log n) request hot path shared by INFless (credit routing) and
+//!   the baselines (least-loaded routing).
 //! * [`coldstart`] — the Long-Short Term Histogram policy (§3.5) plus
 //!   the hybrid-histogram (HHP) and fixed-window baselines it is
 //!   evaluated against.
@@ -64,6 +67,7 @@ pub mod engine;
 pub mod metrics;
 pub mod platform;
 pub mod predictor;
+pub mod router;
 pub mod scheduler;
 
 pub use batching::RpsWindow;
@@ -73,4 +77,5 @@ pub use engine::{Engine, EngineEvent, FunctionInfo};
 pub use metrics::{FunctionReport, RunReport, StartupKind};
 pub use platform::{InflessConfig, InflessPlatform};
 pub use predictor::CopPredictor;
+pub use router::{DeficitRouter, LeastLoadedScratch, RouterEntry};
 pub use scheduler::{PlacementStrategy, ScheduledInstance, Scheduler, SchedulerConfig};

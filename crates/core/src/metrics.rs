@@ -187,6 +187,15 @@ pub struct RunReport {
     /// Wall-clock scheduling overhead per `Schedule()` call, µs
     /// (Fig. 17a).
     pub sched_overhead_us: Samples,
+    /// The same `Schedule()` overheads as a log2-bucketed histogram, so
+    /// `BENCH_hotpath.json` can report tail quantiles without keeping
+    /// raw samples.
+    pub sched_overhead_hist_us: Log2Histogram,
+    /// Wall-clock cost of sampled per-request dispatch decisions,
+    /// nanoseconds. Sampled (not every request) — see
+    /// `Collector::dispatch_overhead`; empty for platforms that do not
+    /// instrument their router.
+    pub dispatch_overhead_ns: Log2Histogram,
     /// `(t seconds, weighted resources allocated)` timeline (Fig. 14).
     pub provisioning: Vec<(f64, f64)>,
     /// Instances launched per (function, config) — Fig. 13c.
@@ -315,6 +324,8 @@ pub struct Collector {
     gpu_usage: TimeWeighted,
     fragment_samples: Samples,
     sched_overhead_us: Samples,
+    sched_overhead_hist_us: Log2Histogram,
+    dispatch_overhead_ns: Log2Histogram,
     provisioning: Vec<(f64, f64)>,
     config_launches: HashMap<(usize, InstanceConfig), u64>,
     started: Instant,
@@ -343,6 +354,8 @@ impl Collector {
             gpu_usage: TimeWeighted::new(),
             fragment_samples: Samples::new(),
             sched_overhead_us: Samples::new(),
+            sched_overhead_hist_us: Log2Histogram::new(),
+            dispatch_overhead_ns: Log2Histogram::new(),
             provisioning: Vec::new(),
             config_launches: HashMap::new(),
             started: Instant::now(),
@@ -457,6 +470,15 @@ impl Collector {
     /// Records the wall-clock cost of one `Schedule()` invocation.
     pub fn sched_overhead(&mut self, micros: f64) {
         self.sched_overhead_us.add(micros);
+        self.sched_overhead_hist_us.add(micros);
+    }
+
+    /// Records the wall-clock cost of one sampled dispatch decision,
+    /// nanoseconds. Routers sample (e.g. every 64th dispatch) so the
+    /// timing itself stays off the hot path; wall-clock readings never
+    /// influence simulated state, so sampling cannot perturb a run.
+    pub fn dispatch_overhead(&mut self, nanos: f64) {
+        self.dispatch_overhead_ns.add(nanos);
     }
 
     /// Appends a provisioning-timeline point.
@@ -551,6 +573,8 @@ impl Collector {
             gpu_pct_seconds: self.gpu_usage.integral_until(end),
             fragment_samples: self.fragment_samples,
             sched_overhead_us: self.sched_overhead_us,
+            sched_overhead_hist_us: self.sched_overhead_hist_us,
+            dispatch_overhead_ns: self.dispatch_overhead_ns,
             provisioning: self.provisioning,
             config_launches: self.config_launches,
             chains: Vec::new(),

@@ -18,7 +18,7 @@ use infless_faults::{FaultEvent, FaultSchedule};
 use infless_models::{
     profile::ConfigGrid, HardwareCalibration, HardwareModel, ModelSpec, ProfileDatabase,
 };
-use infless_sim::{EventQueue, SimDuration, SimTime};
+use infless_sim::{EventQueue, SimDuration, SimTime, StagedStream};
 use infless_workload::Workload;
 use std::collections::HashMap;
 
@@ -30,6 +30,7 @@ use crate::coldstart::{
 use crate::engine::{Engine, EngineEvent, FunctionInfo};
 use crate::metrics::{RunReport, StartupKind};
 use crate::predictor::{CopPredictor, DEFAULT_OFFSET};
+use crate::router::{DeficitRouter, RouterEntry};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 
 /// Which cold-start policy the platform's cold-start manager runs —
@@ -162,15 +163,14 @@ impl ChainCtx {
     }
 }
 
-/// An instance in the dispatch set with its controller state.
+/// A parked (drained, kept-alive) instance awaiting re-use.
 #[derive(Debug, Clone, Copy)]
-struct DispatchEntry {
+struct ParkedInstance {
     id: InstanceId,
     window: RpsWindow,
-    /// Target dispatch rate from the three-case controller.
-    rate: f64,
-    /// Requests sent since the last tick (deficit counter).
-    sent: u64,
+    /// Carried from the scheduler so fault recovery can judge retry
+    /// feasibility without re-predicting.
+    predicted_exec: SimDuration,
 }
 
 /// Per-function platform state.
@@ -178,8 +178,8 @@ struct DispatchEntry {
 struct FnState {
     coldstart: Box<dyn ColdStartPolicy>,
     recent_arrivals: VecDeque<SimTime>,
-    dispatch: Vec<DispatchEntry>,
-    parked: Vec<(InstanceId, RpsWindow)>,
+    dispatch: DeficitRouter,
+    parked: Vec<ParkedInstance>,
     last_activity: SimTime,
     had_activity: bool,
     last_emergency: SimTime,
@@ -200,6 +200,10 @@ pub struct InflessPlatform {
     fns: Vec<FnState>,
     chains: ChainCtx,
     faults: FaultSchedule,
+    /// Dispatch counter driving the sampled (1-in-64) wall-clock
+    /// overhead measurement; deterministic, and the timing itself never
+    /// feeds back into simulated state.
+    dispatch_tick: u32,
 }
 
 impl InflessPlatform {
@@ -265,7 +269,7 @@ impl InflessPlatform {
             .map(|_| FnState {
                 coldstart: config.coldstart.build(),
                 recent_arrivals: VecDeque::new(),
-                dispatch: Vec::new(),
+                dispatch: DeficitRouter::new(),
                 parked: Vec::new(),
                 last_activity: SimTime::ZERO,
                 had_activity: false,
@@ -287,6 +291,7 @@ impl InflessPlatform {
             fns,
             chains,
             faults: FaultSchedule::empty(),
+            dispatch_tick: 0,
         }
     }
 
@@ -316,9 +321,14 @@ impl InflessPlatform {
     /// Runs the workload to completion and returns the report.
     pub fn run(mut self, workload: &Workload) -> RunReport {
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
-        for &(t, f) in workload.arrivals() {
-            queue.schedule(t, EngineEvent::Arrival(f));
-        }
+        // Arrivals stay in the sorted workload slice and merge ahead of
+        // the heap at pop time (equal-timestamp ties go to the arrival,
+        // exactly as when they were pre-scheduled with the lowest
+        // sequence numbers — including against fault events: the
+        // request reaches the gateway an instant before the machine
+        // dies). Keeping millions of arrivals out of the heap is a
+        // large constant-factor win on the hot path.
+        let mut arrivals = StagedStream::new(workload.arrivals());
         let tick_horizon = workload.end_time() + SimDuration::from_secs(5);
         if !workload.is_empty() {
             queue.schedule(
@@ -326,16 +336,11 @@ impl InflessPlatform {
                 EngineEvent::ScalerTick,
             );
         }
-        // Fault events are scheduled last, so at equal timestamps any
-        // arrival pops before the fault (the request reaches the
-        // gateway an instant before the machine dies). An empty
-        // schedule adds zero events — sequence numbers, and therefore
-        // the whole run, stay bit-identical.
         let faults = std::mem::take(&mut self.faults);
         for &(t, ev) in faults.events() {
             queue.schedule(t, EngineEvent::Fault(ev));
         }
-        while let Some((t, ev)) = queue.pop() {
+        while let Some((t, ev)) = arrivals.next(&mut queue, EngineEvent::Arrival) {
             self.engine.advance(t);
             match ev {
                 EngineEvent::Arrival(f) => self.on_arrival(f, &mut queue),
@@ -448,39 +453,33 @@ impl InflessPlatform {
     }
 
     /// Routes to the dispatch-set instance whose target rate is least
-    /// satisfied (deficit routing); returns `false` if every instance's
-    /// pending batch is full.
+    /// satisfied (deficit routing, via the indexed [`DeficitRouter`]);
+    /// returns `false` if every instance's pending batch is full.
     fn dispatch(&mut self, f: usize, req: Request, queue: &mut EventQueue<EngineEvent>) -> bool {
-        // Order candidates by sent/rate (fullest-credit first).
-        let mut order: Vec<usize> = (0..self.fns[f].dispatch.len())
-            .filter(|&i| self.fns[f].dispatch[i].rate > 0.0)
-            .collect();
-        order.sort_by(|&a, &b| {
-            let ea = &self.fns[f].dispatch[a];
-            let eb = &self.fns[f].dispatch[b];
-            let ka = ea.sent as f64 / ea.rate;
-            let kb = eb.sent as f64 / eb.rate;
-            ka.partial_cmp(&kb).expect("rates are finite")
-        });
-        for i in order {
-            let id = self.fns[f].dispatch[i].id;
-            if self.engine.enqueue(id, req, queue) {
-                self.fns[f].dispatch[i].sent += 1;
-                return true;
-            }
+        self.dispatch_tick = self.dispatch_tick.wrapping_add(1);
+        let t0 = self.dispatch_tick.is_multiple_of(64).then(Instant::now);
+        let engine = &mut self.engine;
+        let hit = self.fns[f]
+            .dispatch
+            .dispatch(|id| engine.enqueue(id, req, queue));
+        if let Some(t0) = t0 {
+            engine
+                .collector
+                .dispatch_overhead(t0.elapsed().as_nanos() as f64);
         }
-        false
+        hit.is_some()
     }
 
     /// Moves one parked instance back into the dispatch set.
     fn unpark_one(&mut self, f: usize) -> bool {
         let st = &mut self.fns[f];
-        if let Some((id, window)) = st.parked.pop() {
-            st.dispatch.push(DispatchEntry {
-                id,
-                window,
-                rate: window.r_up(),
+        if let Some(p) = st.parked.pop() {
+            st.dispatch.push(RouterEntry {
+                id: p.id,
+                window: p.window,
+                rate: p.window.r_up(),
                 sent: 0,
+                predicted_exec: p.predicted_exec,
             });
             true
         } else {
@@ -553,6 +552,7 @@ impl InflessPlatform {
                 while residual > 1e-9 && self.unpark_one(f) {
                     let got = self.fns[f]
                         .dispatch
+                        .iter()
                         .last()
                         .expect("just pushed")
                         .window
@@ -560,23 +560,23 @@ impl InflessPlatform {
                     residual -= got;
                 }
                 if residual > 1e-9 {
-                    let startup = if self.image_warm(f) {
-                        StartupKind::PreWarmed
-                    } else {
-                        StartupKind::Cold
-                    };
+                    let startup = self.startup_kind(f);
                     self.scale_out(f, residual, startup, queue);
                 }
                 // Saturate: every dispatch entry runs at its r_up.
-                for e in &mut self.fns[f].dispatch {
-                    e.rate = e.window.r_up();
-                    e.sent = 0;
-                }
+                self.fns[f].dispatch.retune(|entries| {
+                    for e in entries {
+                        e.rate = e.window.r_up();
+                        e.sent = 0;
+                    }
+                });
             } else {
-                for (e, rate) in self.fns[f].dispatch.iter_mut().zip(&plan.rates) {
-                    e.rate = *rate;
-                    e.sent = 0;
-                }
+                self.fns[f].dispatch.retune(|entries| {
+                    for (e, rate) in entries.iter_mut().zip(&plan.rates) {
+                        e.rate = *rate;
+                        e.sent = 0;
+                    }
+                });
                 if plan.release_recommended {
                     self.park_excess(f, rps);
                 }
@@ -622,14 +622,26 @@ impl InflessPlatform {
             let id =
                 self.engine
                     .launch_preallocated(f, si.config, si.placement, startup, budget, queue);
-            self.fns[f].dispatch.push(DispatchEntry {
+            self.fns[f].dispatch.push(RouterEntry {
                 id,
                 window: si.window,
                 rate: si.window.r_up(),
                 sent: 0,
+                predicted_exec: si.predicted_exec,
             });
         }
         launched
+    }
+
+    /// The startup kind a fresh launch of `f` would get right now —
+    /// the single warm-image check shared by the scaler, fault
+    /// recovery and consolidation paths.
+    fn startup_kind(&mut self, f: usize) -> StartupKind {
+        if self.image_warm(f) {
+            StartupKind::PreWarmed
+        } else {
+            StartupKind::Cold
+        }
     }
 
     // --- fault handling & recovery -----------------------------------------
@@ -649,21 +661,16 @@ impl InflessPlatform {
         let mut lost = vec![0.0f64; self.fns.len()];
         for &(f, id) in &outcome.killed {
             let st = &mut self.fns[f];
-            if let Some(pos) = st.dispatch.iter().position(|e| e.id == id) {
-                lost[f] += st.dispatch[pos].window.r_up();
-                st.dispatch.remove(pos);
+            if let Some(e) = st.dispatch.remove_by_id(id) {
+                lost[f] += e.window.r_up();
             } else {
-                st.parked.retain(|(pid, _)| *pid != id);
+                st.parked.retain(|p| p.id != id);
             }
         }
         // Recapture the lost throughput with fresh Eq. 10 placements.
         for (f, rate) in lost.iter().enumerate() {
             if *rate > 0.0 {
-                let startup = if self.image_warm(f) {
-                    StartupKind::PreWarmed
-                } else {
-                    StartupKind::Cold
-                };
+                let startup = self.startup_kind(f);
                 self.scale_out(f, *rate, startup, queue);
             }
         }
@@ -675,11 +682,30 @@ impl InflessPlatform {
     /// Re-dispatches a request displaced by a fault if its SLO budget
     /// still has room, otherwise sheds it. Displaced requests are not
     /// re-counted as arrivals: the load monitors already saw them once.
+    ///
+    /// A retry is *hopeless* when the remaining budget is smaller than
+    /// the predicted execution time of every instance that could take
+    /// it (dispatched or parked) — such a request is shed immediately
+    /// instead of being counted as a doomed `retried`.
     fn retry_or_shed(&mut self, req: Request, queue: &mut EventQueue<EngineEvent>) {
         let f = req.function.raw();
         let now = self.engine.now();
         let slo = self.engine.functions()[f].slo();
-        if now.saturating_since(req.arrival) >= slo {
+        let elapsed = now.saturating_since(req.arrival);
+        if elapsed >= slo {
+            self.shed_displaced(req);
+            return;
+        }
+        let budget = slo - elapsed;
+        let st = &self.fns[f];
+        let fastest = st
+            .dispatch
+            .iter()
+            .map(|e| e.predicted_exec)
+            .chain(st.parked.iter().map(|p| p.predicted_exec))
+            .min();
+        let feasible = fastest.is_some_and(|exec| budget >= exec);
+        if !feasible {
             self.shed_displaced(req);
             return;
         }
@@ -733,13 +759,21 @@ impl InflessPlatform {
         }
         let current_density = current_capacity / current_weight;
 
-        // Dry-run Algorithm 1 on a scratch copy of the cluster.
+        // Dry-run Algorithm 1 inside a cluster transaction: the trial
+        // allocations land on the *real* cluster and are either kept
+        // (commit) or rolled back bit-identically — no whole-cluster
+        // clone, and no second `schedule()` call whose placements could
+        // diverge from the dry run's.
         let function = self.engine.functions()[f].clone();
-        let mut scratch = self.engine.cluster().clone();
-        let trial = self
-            .scheduler
-            .schedule(&self.predictor, &function, rps, &mut scratch);
+        self.engine.cluster_mut().begin_txn();
+        let wall = Instant::now();
+        let trial =
+            self.scheduler
+                .schedule(&self.predictor, &function, rps, self.engine.cluster_mut());
+        let elapsed_us = wall.elapsed().as_secs_f64() * 1e6;
+        self.engine.collector.sched_overhead(elapsed_us);
         if trial.unplaced_rps > rps * 0.05 || trial.instances.is_empty() {
+            self.engine.cluster_mut().rollback_txn();
             return;
         }
         let fresh_weight: f64 = trial
@@ -749,21 +783,49 @@ impl InflessPlatform {
             .sum();
         let fresh_capacity: f64 = trial.instances.iter().map(|i| i.window.r_up()).sum();
         if fresh_weight <= 0.0 || fresh_capacity / fresh_weight < MIN_GAIN * current_density {
+            self.engine.cluster_mut().rollback_txn();
             return;
         }
 
-        // Commit: re-run on the real cluster (identical state, so the
-        // same solution fits), park the old set, adopt the new one.
+        // Commit: keep the dry run's own allocations (placed capacity
+        // therefore equals promised capacity by construction), launch
+        // the optimized instances and adopt them as the dispatch set.
+        // The startup kind comes from the same warm-image check as the
+        // fault-recovery path — not an unconditional PreWarmed.
+        self.engine.cluster_mut().commit_txn();
         self.fns[f].last_consolidation = now;
-        let old: Vec<DispatchEntry> = std::mem::take(&mut self.fns[f].dispatch);
-        let launched = self.scale_out(f, rps, StartupKind::PreWarmed, queue);
-        if launched == 0 {
-            // Nothing placed after all — restore the old set.
-            self.fns[f].dispatch = old;
-            return;
+        let startup = self.startup_kind(f);
+        let slo = function.slo();
+        let old = self.fns[f].dispatch.take_entries();
+        for si in trial.instances {
+            let budget = (slo - si.predicted_exec).max(SimDuration::from_millis(1));
+            let id =
+                self.engine
+                    .launch_preallocated(f, si.config, si.placement, startup, budget, queue);
+            self.fns[f].dispatch.push(RouterEntry {
+                id,
+                window: si.window,
+                rate: si.window.r_up(),
+                sent: 0,
+                predicted_exec: si.predicted_exec,
+            });
         }
+        // Park the old set — but if the new set covers less than the
+        // controller's target (the dry run tolerates ≤ 5 % unplaced),
+        // keep just enough old instances dispatched to bridge the gap
+        // instead of silently shrinking capacity.
+        let mut covered = fresh_capacity;
         for e in old {
-            self.fns[f].parked.push((e.id, e.window));
+            if covered + 1e-9 >= rps {
+                self.fns[f].parked.push(ParkedInstance {
+                    id: e.id,
+                    window: e.window,
+                    predicted_exec: e.predicted_exec,
+                });
+            } else {
+                covered += e.window.r_up();
+                self.fns[f].dispatch.push(e);
+            }
         }
     }
 
@@ -778,9 +840,11 @@ impl InflessPlatform {
             let plan = split_rate(rps, &windows, self.config.alpha);
             if !plan.release_recommended || self.fns[f].dispatch.is_empty() {
                 // Final rates for the surviving set.
-                for (e, rate) in self.fns[f].dispatch.iter_mut().zip(&plan.rates) {
-                    e.rate = *rate;
-                }
+                self.fns[f].dispatch.retune(|entries| {
+                    for (e, rate) in entries.iter_mut().zip(&plan.rates) {
+                        e.rate = *rate;
+                    }
+                });
                 break;
             }
             // Least efficient: lowest r_up per weighted resource.
@@ -801,8 +865,12 @@ impl InflessPlatform {
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty dispatch set");
-            let e = self.fns[f].dispatch.remove(idx);
-            self.fns[f].parked.push((e.id, e.window));
+            let e = self.fns[f].dispatch.remove_at(idx);
+            self.fns[f].parked.push(ParkedInstance {
+                id: e.id,
+                window: e.window,
+                predicted_exec: e.predicted_exec,
+            });
             if rps <= 0.0 && self.fns[f].dispatch.is_empty() {
                 break;
             }
@@ -828,7 +896,7 @@ impl InflessPlatform {
         let dead_parked: Vec<InstanceId> = self.fns[f]
             .parked
             .iter()
-            .map(|(id, _)| *id)
+            .map(|p| p.id)
             .filter(|id| expired(&self.engine, *id))
             .collect();
         let dead_dispatch: Vec<InstanceId> = self.fns[f]
@@ -840,9 +908,7 @@ impl InflessPlatform {
         for id in dead_parked.iter().chain(&dead_dispatch) {
             self.engine.retire(*id);
         }
-        self.fns[f]
-            .parked
-            .retain(|(id, _)| !dead_parked.contains(id));
+        self.fns[f].parked.retain(|p| !dead_parked.contains(&p.id));
         self.fns[f]
             .dispatch
             .retain(|e| !dead_dispatch.contains(&e.id));
@@ -855,6 +921,19 @@ impl InflessPlatform {
         if !st.had_activity {
             return;
         }
+        let idle = now.saturating_since(st.last_activity);
+        // Dense traffic produces thousands of sub-minute idle gaps
+        // per minute, all landing in the histogram's first bin.
+        // Rate-limit those to one sample per 5 s of simulated time
+        // (preserving the bin-0 mass), but always record long gaps —
+        // they are the informative tail. Both checks are cheap and
+        // side-effect-free, so they run *before* the O(instances) busy
+        // scan: on the hot path (dense traffic) nothing would be
+        // recorded and the scan is skipped entirely.
+        let rate_limited = now.saturating_since(st.last_idle_recorded) < SimDuration::from_secs(5);
+        if idle.is_zero() || (idle < SimDuration::from_secs(60) && rate_limited) {
+            return;
+        }
         // Function-level idleness: no instance has queued or running work.
         let busy = self.engine.instances_of(f).iter().any(|id| {
             let inst = self.engine.instance(*id);
@@ -862,18 +941,8 @@ impl InflessPlatform {
                 || matches!(inst.state(), infless_cluster::InstanceState::Busy { .. })
         });
         if !busy {
-            let idle = now.saturating_since(st.last_activity);
-            // Dense traffic produces thousands of sub-minute idle gaps
-            // per minute, all landing in the histogram's first bin.
-            // Rate-limit those to one sample per 5 s of simulated time
-            // (preserving the bin-0 mass), but always record long gaps —
-            // they are the informative tail.
-            let rate_limited =
-                now.saturating_since(st.last_idle_recorded) < SimDuration::from_secs(5);
-            if !idle.is_zero() && (idle >= SimDuration::from_secs(60) || !rate_limited) {
-                self.fns[f].coldstart.record_idle(now, idle);
-                self.fns[f].last_idle_recorded = now;
-            }
+            self.fns[f].coldstart.record_idle(now, idle);
+            self.fns[f].last_idle_recorded = now;
         }
     }
 
@@ -916,7 +985,7 @@ impl InflessPlatform {
     fn drop_dead_entries(&mut self, f: usize) {
         let engine = &self.engine;
         self.fns[f].dispatch.retain(|e| engine.is_live(e.id));
-        self.fns[f].parked.retain(|(id, _)| engine.is_live(*id));
+        self.fns[f].parked.retain(|p| engine.is_live(p.id));
     }
 
     /// `true` when a new instance would start from a warm image: the
@@ -1290,6 +1359,82 @@ mod autoscaler_tests {
         );
         assert!(report.violation_rate() < 0.05);
     }
+
+    #[test]
+    fn consolidation_preserves_promised_capacity() {
+        // Regression: the committed consolidation set used to be a
+        // *second* schedule() run that could place less than the dry-run
+        // promised, silently shrinking dispatch capacity below the
+        // observed rate. The txn-based rewrite keeps the dry run's own
+        // allocations and bridges any gap with kept old instances.
+        let functions = vec![FunctionInfo::new(
+            infless_models::ModelId::ResNet50.spec(),
+            SimDuration::from_millis(200),
+        )];
+        let mut p = InflessPlatform::new(
+            ClusterSpec::testbed(),
+            functions,
+            InflessConfig::default(),
+            7,
+        );
+        let mut queue = EventQueue::new();
+        // A fragmented fleet, as incremental emergency scaling grows it:
+        // many tiny-residual rounds instead of one big one — each round
+        // can only pick small batches (the saturation bound blocks large
+        // ones), so the fleet ends far below the jointly-optimal density.
+        for _ in 0..85 {
+            p.scale_out(0, 3.0, StartupKind::Cold, &mut queue);
+        }
+        let rps = 400.0;
+        let before: f64 = p.fns[0].dispatch.iter().map(|e| e.window.r_up()).sum();
+        assert!(before >= rps, "setup fleet too small: {before} < {rps}");
+
+        p.engine.advance(SimTime::ZERO + SimDuration::from_secs(61));
+        p.maybe_consolidate(0, rps, &mut queue);
+        assert!(
+            p.fns[0].last_consolidation > SimTime::ZERO,
+            "consolidation did not trigger on a fragmented fleet"
+        );
+        assert!(
+            !p.engine.cluster().in_txn(),
+            "consolidation left a cluster transaction open"
+        );
+        let after: f64 = p.fns[0].dispatch.iter().map(|e| e.window.r_up()).sum();
+        assert!(
+            after + 1e-6 >= rps,
+            "consolidation lost promised capacity: {after:.1} < {rps:.1}"
+        );
+    }
+
+    #[test]
+    fn startup_kind_tracks_image_warmth() {
+        // Regression: consolidation used to launch its optimized set as
+        // PreWarmed unconditionally, even for a function whose image was
+        // never loaded anywhere. The shared warm check must report Cold
+        // for a fresh function and PreWarmed once instances exist.
+        let functions = vec![FunctionInfo::new(
+            infless_models::ModelId::ResNet50.spec(),
+            SimDuration::from_millis(200),
+        )];
+        let mut p = InflessPlatform::new(
+            ClusterSpec::testbed(),
+            functions,
+            InflessConfig::default(),
+            7,
+        );
+        let mut queue = EventQueue::new();
+        assert_eq!(
+            p.startup_kind(0),
+            StartupKind::Cold,
+            "no instance and no activity: the image cannot be warm"
+        );
+        p.scale_out(0, 20.0, StartupKind::Cold, &mut queue);
+        assert_eq!(
+            p.startup_kind(0),
+            StartupKind::PreWarmed,
+            "live instances keep the image resident"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1420,6 +1565,40 @@ mod fault_tests {
         );
         // The run still terminates with every request accounted for.
         assert!(report.total_completed() > 0);
+    }
+
+    /// Regression: a displaced request whose remaining SLO budget is
+    /// smaller than the predicted execution time of *every* instance
+    /// that could take it used to be retried anyway — a guaranteed
+    /// violation counted as a recovery. It must be shed immediately.
+    #[test]
+    fn hopeless_displaced_requests_are_shed_not_retried() {
+        let app = Application::qa_robot();
+        let mut p = platform(&app);
+        let mut queue = EventQueue::new();
+        p.scale_out(0, 30.0, StartupKind::Cold, &mut queue);
+        let fastest = p.fns[0]
+            .dispatch
+            .iter()
+            .map(|e| e.predicted_exec)
+            .min()
+            .expect("scale-out launched instances");
+        let slo = p.engine.functions()[0].slo();
+        let req = p.engine.mint_request(0); // arrives at t = 0
+
+        // Advance to where even the fastest instance cannot finish
+        // within the SLO (budget = fastest/2), but the SLO itself has
+        // not yet expired.
+        let elapsed = slo - fastest.mul_f64(0.5);
+        p.engine.advance(SimTime::ZERO + elapsed);
+        p.engine.collector.displaced(1);
+        p.retry_or_shed(req, &mut queue);
+
+        let report = p.engine.finish();
+        let f = &report.failures;
+        assert_eq!(f.requests_shed, 1, "hopeless retry was not shed: {f:?}");
+        assert_eq!(f.requests_retried, 0, "doomed request was retried: {f:?}");
+        assert_eq!(f.requests_displaced, f.requests_retried + f.requests_shed);
     }
 }
 

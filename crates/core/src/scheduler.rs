@@ -17,6 +17,8 @@
 //! *free* resources). A placement that exactly fills a server leaves no
 //! fragment and is preferred unconditionally.
 
+use std::collections::HashMap;
+
 use infless_cluster::{ClusterState, InstanceConfig, Placement, ServerId};
 use infless_models::{ModelSpec, ResourceConfig};
 use infless_sim::SimDuration;
@@ -93,18 +95,42 @@ pub struct ScheduleOutcome {
     pub unplaced_rps: f64,
 }
 
-/// The Algorithm 1 scheduler. Stateless apart from its configuration;
-/// each call works against the predictor and mutates the cluster's
-/// resource accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// The Algorithm 1 scheduler. Each call works against the predictor and
+/// mutates the cluster's resource accounting. Decisions depend only on
+/// the arguments; the struct's state is a pure memo: the feasible
+/// `⟨b, c, g⟩` candidate sets per (model, SLO, batch cap), which the
+/// predictor determines once per function rather than once per
+/// scheduling round. The memo assumes the predictor handed to
+/// `schedule` is stable for a given model — true throughout a platform
+/// run, where one `CopPredictor` serves the whole simulation.
+#[derive(Debug, Clone, Default)]
 pub struct Scheduler {
     config: SchedulerConfig,
+    /// Memoized rk-independent candidates (prediction + Eq. 1 window
+    /// feasibility) keyed by (model name, SLO, effective batch cap).
+    cache: HashMap<(&'static str, SimDuration, u32), CachedCandidates>,
+    /// Per-round scratch: the rk-filtered view of the cached masters,
+    /// reused across rounds and calls so the steady state allocates
+    /// nothing.
+    sets: Vec<Vec<Candidate>>,
+}
+
+/// The memoized candidate sets for one (model, SLO, cap) key, in the
+/// configured batch preference order.
+#[derive(Debug, Clone)]
+struct CachedCandidates {
+    batches: Vec<u32>,
+    masters: Vec<Vec<Candidate>>,
 }
 
 impl Scheduler {
     /// Creates a scheduler with the given knobs.
     pub fn new(config: SchedulerConfig) -> Self {
-        Scheduler { config }
+        Scheduler {
+            config,
+            cache: HashMap::new(),
+            sets: Vec::new(),
+        }
     }
 
     /// The active configuration.
@@ -120,7 +146,7 @@ impl Scheduler {
     /// Resources for every returned instance are already allocated; the
     /// caller launches them and must release them on retirement.
     pub fn schedule(
-        &self,
+        &mut self,
         predictor: &CopPredictor,
         function: &FunctionInfo,
         residual_rps: f64,
@@ -129,50 +155,78 @@ impl Scheduler {
         let spec = function.spec();
         let slo = function.slo();
         let cap = self.config.max_batch.min(function.max_batch());
-        let mut out = ScheduleOutcome::default();
-        let mut rk = residual_rps;
-        let mut batches: Vec<u32> = predictor
-            .grid()
-            .batches()
-            .iter()
-            .copied()
-            .filter(|b| *b <= cap)
-            .collect();
-        batches.sort_unstable();
-        if self.config.largest_batch_first {
-            batches.reverse();
+        let config = self.config;
+        let plan = self
+            .cache
+            .entry((spec.name(), slo, cap))
+            .or_insert_with(|| {
+                let mut batches: Vec<u32> = predictor
+                    .grid()
+                    .batches()
+                    .iter()
+                    .copied()
+                    .filter(|b| *b <= cap)
+                    .collect();
+                batches.sort_unstable();
+                if config.largest_batch_first {
+                    batches.reverse();
+                }
+                let masters = batches
+                    .iter()
+                    .map(|&b| master_candidates(predictor, spec, slo, b))
+                    .collect();
+                CachedCandidates { batches, masters }
+            });
+        let plan = &*plan;
+        let sets = &mut self.sets;
+        if sets.len() < plan.batches.len() {
+            sets.resize_with(plan.batches.len(), Vec::new);
         }
 
+        let mut out = ScheduleOutcome::default();
+        let mut rk = residual_rps;
         let beta = predictor.beta();
         let mem_mb = predictor.instance_memory_mb(spec);
         'outer: while rk > 1e-9 {
             // Candidate sets per batchsize, in the configured preference
-            // order. The batch-order preference is a heuristic for the
-            // Eq. 2 objective (minimize occupied resources), and it can
-            // betray that objective: at a residual just past a small
-            // batch's r_up, the next batchsize up may be feasible only
-            // on near-server-sized configurations (the Eq. 1 saturation
-            // bound admits large batches only when t_exec is tiny).
-            // Guard against that by skipping any batchsize whose best
-            // configuration is drastically less resource-dense than the
-            // best available at any other batchsize; a second pass
-            // without the guard keeps feasibility intact when only the
-            // wasteful batches can still be placed.
-            let sets: Vec<Vec<Candidate>> = batches
-                .iter()
-                .map(|&b| self.available_config(predictor, spec, slo, b, rk))
-                .collect();
+            // order — the cached masters narrowed by the one residual-
+            // dependent constraint (`AvailableConfig(b, R_k, t_slo)`'s
+            // saturation bound: a b > 1 batch must fill before its
+            // timeout, i.e. rk >= r_low). The batch-order preference is
+            // a heuristic for the Eq. 2 objective (minimize occupied
+            // resources), and it can betray that objective: at a
+            // residual just past a small batch's r_up, the next
+            // batchsize up may be feasible only on near-server-sized
+            // configurations (the Eq. 1 saturation bound admits large
+            // batches only when t_exec is tiny). Guard against that by
+            // skipping any batchsize whose best configuration is
+            // drastically less resource-dense than the best available at
+            // any other batchsize; a second pass without the guard keeps
+            // feasibility intact when only the wasteful batches can
+            // still be placed.
+            for (i, master) in plan.masters.iter().enumerate() {
+                let b = plan.batches[i];
+                let set = &mut sets[i];
+                set.clear();
+                set.extend(
+                    master
+                        .iter()
+                        .filter(|c| !(b > 1 && rk < c.window.r_low()))
+                        .copied(),
+                );
+            }
+            let live = &sets[..plan.batches.len()];
             let density_of = |set: &[Candidate]| {
                 set.iter()
                     .map(|c| c.density(beta, rk))
                     .fold(0.0f64, f64::max)
             };
-            let best_density = sets.iter().map(|s| density_of(s)).fold(0.0f64, f64::max);
+            let best_density = live.iter().map(|s| density_of(s)).fold(0.0f64, f64::max);
             if best_density <= 0.0 {
                 break;
             }
             for guarded_pass in [true, false] {
-                for set in &sets {
+                for set in live {
                     if set.is_empty() {
                         continue;
                     }
@@ -180,7 +234,7 @@ impl Scheduler {
                     if passes != guarded_pass {
                         continue;
                     }
-                    if let Some(placed) = self.place(set, cluster, beta, mem_mb, rk) {
+                    if let Some(placed) = place(config, set, cluster, beta, mem_mb, rk) {
                         rk -= placed.window.r_up();
                         out.instances.push(placed);
                         continue 'outer;
@@ -194,80 +248,76 @@ impl Scheduler {
         out.unplaced_rps = rk.max(0.0);
         out
     }
+}
 
-    /// `AvailableConfig(b, R_k, t_slo)`: all configurations whose
-    /// predicted execution time keeps the SLO feasible (and, for b > 1,
-    /// whose batches the residual rate can saturate).
-    fn available_config(
-        &self,
-        predictor: &CopPredictor,
-        spec: &ModelSpec,
-        slo: SimDuration,
-        b: u32,
-        rk: f64,
-    ) -> Vec<Candidate> {
-        let mut out = Vec::new();
-        for &cfg in predictor.grid().configs() {
-            let Some(t_exec) = predictor.predict(spec, b, cfg) else {
-                continue;
-            };
-            let Some(window) = RpsWindow::for_instance(t_exec, slo, b) else {
-                continue;
-            };
-            if b > 1 && rk < window.r_low() {
-                continue; // the batch would time out before filling
-            }
-            out.push(Candidate {
-                batch: b,
-                cfg,
-                window,
-                t_exec,
-            });
-        }
-        out
-    }
-
-    fn place(
-        &self,
-        candidates: &[Candidate],
-        cluster: &mut ClusterState,
-        beta: f64,
-        mem_mb: f64,
-        rk: f64,
-    ) -> Option<ScheduledInstance> {
-        let chosen: Option<(Candidate, ServerId)> = match self.config.placement {
-            PlacementStrategy::Efficiency => {
-                choose_by_efficiency(candidates, cluster, beta, mem_mb, rk)
-            }
-            PlacementStrategy::MaxThroughput => {
-                // Highest-throughput config, first server it fits on.
-                let mut sorted: Vec<&Candidate> = candidates.iter().collect();
-                sorted.sort_by(|a, b| {
-                    b.window
-                        .r_up()
-                        .partial_cmp(&a.window.r_up())
-                        .expect("rates are finite")
-                });
-                sorted
-                    .iter()
-                    .find_map(|c| first_fit(cluster, c.cfg, mem_mb).map(|s| (**c, s)))
-            }
-            PlacementStrategy::FirstFit => candidates
-                .iter()
-                .find_map(|c| first_fit(cluster, c.cfg, mem_mb).map(|s| (*c, s))),
+/// The residual-independent part of `AvailableConfig(b, R_k, t_slo)`:
+/// every configuration whose predicted execution time keeps the SLO
+/// feasible at batchsize `b`. The residual-rate saturation bound is
+/// applied per round by `schedule`.
+fn master_candidates(
+    predictor: &CopPredictor,
+    spec: &ModelSpec,
+    slo: SimDuration,
+    b: u32,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for &cfg in predictor.grid().configs() {
+        let Some(t_exec) = predictor.predict(spec, b, cfg) else {
+            continue;
         };
-        let (cand, server) = chosen?;
-        let placement = cluster
-            .allocate_on_with_memory(server, cand.cfg, mem_mb)
-            .expect("server was checked to fit");
-        Some(ScheduledInstance {
-            config: InstanceConfig::new(cand.batch, cand.cfg),
-            server,
-            placement,
-            window: cand.window,
-            predicted_exec: cand.t_exec,
-        })
+        let Some(window) = RpsWindow::for_instance(t_exec, slo, b) else {
+            continue;
+        };
+        out.push(Candidate {
+            batch: b,
+            cfg,
+            window,
+            t_exec,
+        });
     }
+    out
+}
+
+fn place(
+    config: SchedulerConfig,
+    candidates: &[Candidate],
+    cluster: &mut ClusterState,
+    beta: f64,
+    mem_mb: f64,
+    rk: f64,
+) -> Option<ScheduledInstance> {
+    let chosen: Option<(Candidate, ServerId)> = match config.placement {
+        PlacementStrategy::Efficiency => {
+            choose_by_efficiency(candidates, cluster, beta, mem_mb, rk)
+        }
+        PlacementStrategy::MaxThroughput => {
+            // Highest-throughput config, first server it fits on.
+            let mut sorted: Vec<&Candidate> = candidates.iter().collect();
+            sorted.sort_by(|a, b| {
+                b.window
+                    .r_up()
+                    .partial_cmp(&a.window.r_up())
+                    .expect("rates are finite")
+            });
+            sorted
+                .iter()
+                .find_map(|c| first_fit(cluster, c.cfg, mem_mb).map(|s| (**c, s)))
+        }
+        PlacementStrategy::FirstFit => candidates
+            .iter()
+            .find_map(|c| first_fit(cluster, c.cfg, mem_mb).map(|s| (*c, s))),
+    };
+    let (cand, server) = chosen?;
+    let placement = cluster
+        .allocate_on_with_memory(server, cand.cfg, mem_mb)
+        .expect("server was checked to fit");
+    Some(ScheduledInstance {
+        config: InstanceConfig::new(cand.batch, cand.cfg),
+        server,
+        placement,
+        window: cand.window,
+        predicted_exec: cand.t_exec,
+    })
 }
 
 /// A batchsize is skipped on the first selection pass when its best
@@ -582,7 +632,7 @@ mod tests {
 
         let capacity_of = |placement: PlacementStrategy| {
             let mut cluster = ClusterSpec::testbed().build();
-            let sched = Scheduler::new(SchedulerConfig {
+            let mut sched = Scheduler::new(SchedulerConfig {
                 placement,
                 ..SchedulerConfig::default()
             });

@@ -199,6 +199,20 @@ fn print_table(report: &RunReport) {
             ts.peak_in_flight_batches
         );
     }
+    let disp = &report.dispatch_overhead_ns;
+    let sched = &report.sched_overhead_hist_us;
+    if !disp.is_empty() || !sched.is_empty() {
+        println!(
+            "overhead: dispatch p50 {:.0} ns  p99 {:.0} ns ({} sampled)   \
+             schedule p50 {:.0} µs  p99 {:.0} µs ({} rounds)",
+            disp.quantile(0.5).unwrap_or(0.0),
+            disp.quantile(0.99).unwrap_or(0.0),
+            disp.count(),
+            sched.quantile(0.5).unwrap_or(0.0),
+            sched.quantile(0.99).unwrap_or(0.0),
+            sched.count(),
+        );
+    }
     println!();
     println!(
         "{:<14} {:>10} {:>9} {:>9} {:>9} {:>9}",
@@ -268,6 +282,10 @@ fn print_json(report: &RunReport) {
         "violation_rate": report.violation_rate(),
         "throughput_per_resource": report.throughput_per_resource(),
         "cold_request_rate": report.cold_request_rate(),
+        // Wall-clock overhead histograms are deliberately omitted:
+        // `--json` output is bit-identical per seed (a verification
+        // invariant), and `Instant`-based measurements are not.
+        // `BENCH_hotpath.json` carries them machine-readably instead.
         "failures": report.failures,
         "timeseries_summary": report.timeseries_summary,
         "functions": functions,
