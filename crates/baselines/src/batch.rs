@@ -227,8 +227,7 @@ impl BatchPlatform {
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
                     // Stale if a fault killed the instance mid-batch.
-                    if self.engine.is_live(id) {
-                        let done = self.engine.on_batch_complete(id, &mut queue);
+                    if let Some(done) = self.engine.on_batch_complete(id, &mut queue) {
                         self.pump(done.function, &mut queue);
                     }
                 }
@@ -239,6 +238,11 @@ impl BatchPlatform {
                     }
                 }
                 EngineEvent::Fault(fault) => self.handle_fault(fault, &mut queue),
+                // Coordinator directives exist only on the sharded
+                // INFless path; baselines never schedule them.
+                EngineEvent::DirectiveKill(..) | EngineEvent::DirectiveStraggler { .. } => {
+                    unreachable!("fault directives are never scheduled on the BATCH baseline")
+                }
             }
         }
         self.engine.finish()

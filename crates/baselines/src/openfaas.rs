@@ -138,10 +138,9 @@ impl OpenFaasPlus {
                 EngineEvent::InstanceReady(id) => self.engine.on_instance_ready(id, &mut queue),
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
-                    // Stale if a fault killed the instance mid-batch.
-                    if self.engine.is_live(id) {
-                        self.engine.on_batch_complete(id, &mut queue);
-                    }
+                    // Stale (None) if a fault killed the instance
+                    // mid-batch; OpenFaaS has no chain relay to run.
+                    self.engine.on_batch_complete(id, &mut queue);
                 }
                 EngineEvent::ScalerTick => {
                     self.reap(t);
@@ -167,6 +166,11 @@ impl OpenFaasPlus {
                             self.engine.shed_request(&req);
                         }
                     }
+                }
+                // Coordinator directives exist only on the sharded
+                // INFless path; baselines never schedule them.
+                EngineEvent::DirectiveKill(..) | EngineEvent::DirectiveStraggler { .. } => {
+                    unreachable!("fault directives are never scheduled on the OpenFaaS baseline")
                 }
             }
         }

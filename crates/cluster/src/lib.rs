@@ -24,4 +24,4 @@ mod state;
 pub use ids::{FunctionId, InstanceId, RequestId, ServerId};
 pub use instance::{Instance, InstanceConfig, InstanceState, Request};
 pub use server::{Placement, Server, ServerHealth};
-pub use state::{ClusterSpec, ClusterState, PlacementError};
+pub use state::{ClusterOp, ClusterSpec, ClusterState, PlacementError};

@@ -77,6 +77,43 @@ impl fmt::Display for PlacementError {
 
 impl std::error::Error for PlacementError {}
 
+/// One replayable cluster mutation, as recorded by the journal (see
+/// [`ClusterState::enable_journal`]).
+///
+/// Sharded runs keep one cluster replica per shard; after a shard
+/// mutates its replica, the coordinator drains that shard's journal and
+/// [`ClusterState::apply_ops`]-replays it onto every other replica, so
+/// all replicas agree again at the epoch barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterOp {
+    /// A committed allocation of `cfg` (+`mem_mb` MB) that landed at
+    /// `placement`. Replay allocates on the recorded server and asserts
+    /// the replica hands back the identical placement — identical
+    /// replicas make per-server allocation deterministic.
+    Allocate {
+        /// The allocated configuration.
+        cfg: ResourceConfig,
+        /// Memory footprint of the allocation, MB.
+        mem_mb: f64,
+        /// Where it landed.
+        placement: Placement,
+    },
+    /// A release of `cfg` at `placement`.
+    Release {
+        /// The released configuration.
+        cfg: ResourceConfig,
+        /// The allocation being released.
+        placement: Placement,
+    },
+    /// A health transition of `server`.
+    SetHealth {
+        /// The affected server.
+        server: ServerId,
+        /// The new health state.
+        health: ServerHealth,
+    },
+}
+
 /// The cluster: servers plus aggregate capacity/usage views.
 ///
 /// # Example
@@ -100,6 +137,10 @@ pub struct ClusterState {
     /// reused across transactions so steady-state dry-runs allocate
     /// nothing.
     txn: TxnLog,
+    /// Replay journal for replica synchronisation; `None` (the
+    /// default) records nothing and costs nothing. Scratch state like
+    /// `txn`: excluded from serde and `PartialEq`.
+    journal: Option<Vec<ClusterOp>>,
 }
 
 // The serialized form covers only the logical state (servers + spec);
@@ -126,6 +167,7 @@ impl Deserialize for ClusterState {
             servers: Deserialize::deserialize(servers)?,
             spec: Deserialize::deserialize(spec)?,
             txn: TxnLog::default(),
+            journal: None,
         })
     }
 }
@@ -142,6 +184,9 @@ struct TxnLog {
     snapshots: Vec<Option<Server>>,
     /// Indices of servers with a live snapshot, for cheap clearing.
     touched: Vec<usize>,
+    /// Journal length at `begin_txn`; rollback truncates back to it so
+    /// dry-run mutations never leak into replica replay.
+    journal_mark: usize,
 }
 
 impl PartialEq for ClusterState {
@@ -168,6 +213,73 @@ impl ClusterState {
             servers,
             spec,
             txn: TxnLog::default(),
+            journal: None,
+        }
+    }
+
+    /// Turns on the replay journal: every committed allocation,
+    /// release, and health change is recorded as a [`ClusterOp`] until
+    /// drained by [`Self::take_journal`]. Mutations rolled back by
+    /// [`Self::rollback_txn`] are truncated out of the journal, so only
+    /// surviving state changes replay.
+    ///
+    /// Mutations made through [`Self::server_mut`] bypass the journal —
+    /// sharded callers must not use it on journaled replicas.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// `true` once [`Self::enable_journal`] has been called.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Drains and returns the recorded ops (journal stays enabled).
+    pub fn take_journal(&mut self) -> Vec<ClusterOp> {
+        match &mut self.journal {
+            Some(ops) => std::mem::take(ops),
+            None => Vec::new(),
+        }
+    }
+
+    /// Replays `ops` (from another replica's journal) onto this
+    /// replica without re-recording them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replayed allocation does not land exactly where the
+    /// originating replica placed it — replicas that were identical
+    /// when the ops were recorded always re-derive the same placement,
+    /// so a mismatch means the replicas had already diverged.
+    pub fn apply_ops(&mut self, ops: &[ClusterOp]) {
+        let saved = self.journal.take();
+        for op in ops {
+            match *op {
+                ClusterOp::Allocate {
+                    cfg,
+                    mem_mb,
+                    placement,
+                } => {
+                    let got = self
+                        .allocate_on_with_memory(placement.server(), cfg, mem_mb)
+                        .expect("replica replay: allocation no longer fits");
+                    assert_eq!(
+                        got, placement,
+                        "replica replay: allocation landed elsewhere (replica divergence)"
+                    );
+                }
+                ClusterOp::Release { cfg, placement } => self.release(cfg, placement),
+                ClusterOp::SetHealth { server, health } => self.set_health(server, health),
+            }
+        }
+        self.journal = saved;
+    }
+
+    fn record(&mut self, op: ClusterOp) {
+        if let Some(ops) = &mut self.journal {
+            ops.push(op);
         }
     }
 
@@ -183,6 +295,7 @@ impl ClusterState {
     pub fn begin_txn(&mut self) {
         assert!(!self.txn.open, "cluster transaction already open");
         self.txn.open = true;
+        self.txn.journal_mark = self.journal.as_ref().map_or(0, Vec::len);
     }
 
     /// `true` while a transaction is open.
@@ -219,6 +332,9 @@ impl ClusterState {
         } = &mut self.txn;
         for i in touched.drain(..) {
             self.servers[i] = snapshots[i].take().expect("touched server has a snapshot");
+        }
+        if let Some(ops) = &mut self.journal {
+            ops.truncate(self.txn.journal_mark);
         }
         self.txn.open = false;
     }
@@ -275,6 +391,7 @@ impl ClusterState {
     pub fn set_health(&mut self, id: ServerId, health: ServerHealth) {
         self.note_touch(id.raw());
         self.servers[id.raw()].set_health(health);
+        self.record(ClusterOp::SetHealth { server: id, health });
     }
 
     /// Number of servers currently accepting placements.
@@ -302,9 +419,15 @@ impl ClusterState {
         mem_mb: f64,
     ) -> Result<Placement, PlacementError> {
         self.note_touch(server.raw());
-        self.servers[server.raw()]
+        let placement = self.servers[server.raw()]
             .allocate_with_memory(cfg, mem_mb)
-            .ok_or(PlacementError::InsufficientResources)
+            .ok_or(PlacementError::InsufficientResources)?;
+        self.record(ClusterOp::Allocate {
+            cfg,
+            mem_mb,
+            placement,
+        });
+        Ok(placement)
     }
 
     /// Allocates `cfg` on the first server that fits (first-fit). The
@@ -327,6 +450,11 @@ impl ClusterState {
             }
             self.note_touch(i);
             if let Some(p) = self.servers[i].allocate_with_memory(cfg, mem_mb) {
+                self.record(ClusterOp::Allocate {
+                    cfg,
+                    mem_mb,
+                    placement: p,
+                });
                 return Ok(p);
             }
         }
@@ -353,6 +481,7 @@ impl ClusterState {
     pub fn release(&mut self, cfg: ResourceConfig, placement: Placement) {
         self.note_touch(placement.server().raw());
         self.servers[placement.server().raw()].release(cfg, placement);
+        self.record(ClusterOp::Release { cfg, placement });
     }
 
     /// Total CPU cores in the cluster.
@@ -550,6 +679,64 @@ mod tests {
         assert_eq!(c.cpu_in_use(), 2);
         c.release(ResourceConfig::new(2, 0), p);
         assert_eq!(c.cpu_in_use(), 0);
+    }
+
+    /// Replaying one replica's journal onto another keeps the replicas
+    /// bit-identical — the mechanism sharded runs use to reconverge
+    /// cluster views at epoch barriers.
+    #[test]
+    fn journal_replay_synchronises_replicas() {
+        let mut a = ClusterSpec::testbed().build();
+        let mut b = a.clone();
+        a.enable_journal();
+        assert!(a.journal_enabled());
+
+        let cfg = ResourceConfig::new(4, 50);
+        let p0 = a.allocate_anywhere_with_memory(cfg, 512.0).unwrap();
+        let p1 = a
+            .allocate_on_with_memory(ServerId::new(3), cfg, 256.0)
+            .unwrap();
+        a.release(cfg, p0);
+        a.set_health(ServerId::new(7), ServerHealth::Down);
+        let _ = p1;
+
+        let ops = a.take_journal();
+        assert_eq!(ops.len(), 4);
+        b.apply_ops(&ops);
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // The journal was drained and keeps recording.
+        assert!(a.take_journal().is_empty());
+        a.set_health(ServerId::new(7), ServerHealth::Up);
+        assert_eq!(a.take_journal().len(), 1);
+    }
+
+    /// Rolled-back dry-run mutations never reach the journal, so they
+    /// are never replayed onto sibling replicas.
+    #[test]
+    fn journal_excludes_rolled_back_mutations() {
+        let mut c = ClusterSpec::testbed().build();
+        c.enable_journal();
+        let cfg = ResourceConfig::new(2, 20);
+        let keep = c.allocate_anywhere(cfg).unwrap();
+        c.begin_txn();
+        for _ in 0..3 {
+            c.try_place(cfg, 128.0).unwrap();
+        }
+        c.rollback_txn();
+        c.release(cfg, keep);
+        let ops = c.take_journal();
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(ops[0], ClusterOp::Allocate { .. }));
+        assert!(matches!(ops[1], ClusterOp::Release { .. }));
+        // Committed transactions keep their ops.
+        c.begin_txn();
+        c.try_place(cfg, 128.0).unwrap();
+        c.commit_txn();
+        assert_eq!(c.take_journal().len(), 1);
     }
 
     #[test]

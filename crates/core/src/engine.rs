@@ -100,6 +100,22 @@ pub enum EngineEvent {
     ScalerTick,
     /// An injected fault fires (see [`infless_faults`]).
     Fault(FaultEvent),
+    /// Coordinator-resolved fault directive: kill this specific
+    /// instance (sharded/epoch path). Unlike [`EngineEvent::Fault`],
+    /// the victim was chosen ahead of time from the global registry;
+    /// application is tolerant of victims that already died.
+    DirectiveKill(InstanceId, FaultTag),
+    /// Coordinator-resolved straggler episode on one server
+    /// (broadcast to every shard, since any shard may run batches
+    /// there).
+    DirectiveStraggler {
+        /// The straggling server.
+        server: ServerId,
+        /// Execution slowdown in percent (100 = 2× exec time).
+        slowdown_pct: u32,
+        /// Episode length.
+        duration: SimDuration,
+    },
 }
 
 /// What a delivered fault did, as reported by [`Engine::on_fault`]. The
@@ -144,7 +160,17 @@ pub struct Engine {
     recapacity: VecDeque<RecapacityProbe>,
     next_instance: u64,
     next_request: u64,
-    rng: StdRng,
+    noise: NoiseRng,
+    /// How MPS interference reads co-resident SM activity; see
+    /// [`Self::use_interference_snapshot`].
+    interference_snapshot: Option<Vec<u32>>,
+    /// When `true`, capacity-loss probes are owned by an external
+    /// coordinator: launches append to `launch_log` instead of
+    /// crediting the internal FIFO, and faults book no probes here.
+    recapacity_external: bool,
+    /// `(ready_at, weighted capacity)` of launches since the last
+    /// [`Self::take_launch_log`] drain (external recapacity mode only).
+    launch_log: Vec<(SimTime, f64)>,
     beta: f64,
     /// The metrics recorder (public so platforms can add their own
     /// samples, e.g. fragment ratios at scaler ticks).
@@ -186,6 +212,20 @@ struct RecapacityProbe {
     remaining: f64,
 }
 
+/// Where execution-time noise draws come from.
+///
+/// `Shared` is one stream for the whole engine — today's baseline
+/// behaviour, where the draw order entangles every function. The
+/// sharded path needs `PerFunction`: each function draws from its own
+/// stream keyed by a shard-invariant label, so a function's noise
+/// sequence depends only on its own batch history and a run is
+/// bit-identical no matter how functions are partitioned across shards.
+#[derive(Debug)]
+enum NoiseRng {
+    Shared(StdRng),
+    PerFunction(Vec<StdRng>),
+}
+
 impl Engine {
     /// Builds an engine: cluster from `spec`, given hardware model and
     /// function table; `seed` drives execution-time noise.
@@ -220,7 +260,13 @@ impl Engine {
             recapacity: VecDeque::new(),
             next_instance: 0,
             next_request: 0,
-            rng: infless_sim::rng::stream(seed, &format!("engine/{platform_name}")),
+            noise: NoiseRng::Shared(infless_sim::rng::stream(
+                seed,
+                &format!("engine/{platform_name}"),
+            )),
+            interference_snapshot: None,
+            recapacity_external: false,
+            launch_log: Vec::new(),
             beta,
             collector,
             telemetry: Box::new(NullSink),
@@ -241,6 +287,77 @@ impl Engine {
                 .collect(),
         });
         self.telemetry = sink;
+    }
+
+    /// Switches execution-time noise to per-function streams keyed by
+    /// `engine/{platform}/fn{index}/{model}` — labels that do not
+    /// depend on shard layout, so each function's draw sequence is
+    /// identical for every shard count. Call before the first batch
+    /// starts (the shared stream's past draws are not replayed).
+    pub fn use_per_function_noise(&mut self, seed: u64) {
+        let name = self.collector.platform().to_string();
+        self.noise = NoiseRng::PerFunction(
+            self.functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    infless_sim::rng::stream(
+                        seed,
+                        &format!("engine/{name}/fn{i}/{}", f.spec().name()),
+                    )
+                })
+                .collect(),
+        );
+    }
+
+    /// Switches MPS interference to snapshot mode: batches read
+    /// co-resident SM activity from the last snapshot installed via
+    /// [`Self::refresh_interference_snapshot`] instead of the live
+    /// per-device books. The sharded path snapshots the cluster-wide
+    /// totals at every epoch barrier, so interference stops depending
+    /// on which shard a co-resident function landed on.
+    pub fn use_interference_snapshot(&mut self) {
+        if self.interference_snapshot.is_none() {
+            self.interference_snapshot = Some(vec![0; self.gpu_busy_pct.len()]);
+        }
+    }
+
+    /// Installs a new interference snapshot (cluster-wide active SM
+    /// share per physical device, same flat indexing as
+    /// [`Self::gpu_busy_totals`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if snapshot mode was never enabled or the slice length
+    /// does not match the device count.
+    pub fn refresh_interference_snapshot(&mut self, totals: &[u32]) {
+        let snap = self
+            .interference_snapshot
+            .as_mut()
+            .expect("refresh_interference_snapshot without use_interference_snapshot");
+        assert_eq!(snap.len(), totals.len(), "device count mismatch");
+        snap.copy_from_slice(totals);
+    }
+
+    /// This engine's live per-device active SM share (the books behind
+    /// the MPS interference model), flat-indexed
+    /// `server * gpus_per_server + gpu`.
+    pub fn gpu_busy_totals(&self) -> &[u32] {
+        &self.gpu_busy_pct
+    }
+
+    /// Hands capacity-loss probe ownership to an external coordinator:
+    /// subsequent launches append `(ready_at, weighted)` to the launch
+    /// log (drained via [`Self::take_launch_log`]) instead of crediting
+    /// the engine's internal recapacity FIFO, and faults applied here
+    /// book no probes.
+    pub fn use_external_recapacity(&mut self) {
+        self.recapacity_external = true;
+    }
+
+    /// Drains the launch log (external recapacity mode).
+    pub fn take_launch_log(&mut self) -> Vec<(SimTime, f64)> {
+        std::mem::take(&mut self.launch_log)
     }
 
     /// The current simulated instant.
@@ -308,16 +425,18 @@ impl Engine {
 
     #[inline]
     fn slot(&self, id: InstanceId) -> &Slot {
-        self.slots[id.raw() as usize]
-            .as_ref()
-            .expect("unknown instance")
+        self.slots[id.raw() as usize].as_ref().expect(
+            "instance retired or killed — callers reachable from stale \
+             events must guard with is_live first",
+        )
     }
 
     #[inline]
     fn slot_mut(&mut self, id: InstanceId) -> &mut Slot {
-        self.slots[id.raw() as usize]
-            .as_mut()
-            .expect("unknown instance")
+        self.slots[id.raw() as usize].as_mut().expect(
+            "instance retired or killed — callers reachable from stale \
+             events must guard with is_live first",
+        )
     }
 
     /// Flat index of one physical GPU device in `gpu_busy_pct`.
@@ -415,12 +534,14 @@ impl Engine {
         self.live_by_function[function].push(id);
         self.collector.launch(function, config, startup);
         let (w, c, g) = self.weights(config);
-        self.collector.usage_delta(self.now, w, c, g);
+        self.collector.usage_delta(function, self.now, w, c, g);
         // Credit outstanding capacity-loss probes: time-to-recapacity
         // measures how long until the platform brings up replacement
         // weighted capacity equal to what a fault destroyed, whichever
         // launches supply it.
-        if !self.recapacity.is_empty() {
+        if self.recapacity_external {
+            self.launch_log.push((ready_at, w));
+        } else if !self.recapacity.is_empty() {
             let mut credit = w;
             while credit > 0.0 {
                 let Some(front) = self.recapacity.front_mut() else {
@@ -509,7 +630,7 @@ impl Engine {
         self.cluster
             .release(inst.config().resources(), inst.placement());
         let (w, c, g) = self.weights(inst.config());
-        self.collector.usage_delta(self.now, -w, -c, -g);
+        self.collector.usage_delta(function, self.now, -w, -c, -g);
         self.collector.retire();
     }
 
@@ -573,19 +694,25 @@ impl Engine {
     /// breakdown of every request in the finished batch and starts the
     /// next batch if one is waiting. Returns the served function index
     /// and the completed requests (function-chain platforms relay them
-    /// to the next stage).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no batch is in flight on `id`.
+    /// to the next stage), or `None` when the instance no longer exists
+    /// — a fault can kill an instance at the very timestamp its batch
+    /// would have completed, leaving a stale event behind (the
+    /// displaced requests were already handed to the recovery path).
     pub fn on_batch_complete(
         &mut self,
         id: InstanceId,
         queue: &mut EventQueue<EngineEvent>,
-    ) -> CompletedBatch {
+    ) -> Option<CompletedBatch> {
+        if !self.is_live(id) {
+            return None;
+        }
         let now = self.now;
         let slot = self.slot_mut(id);
-        let fl = slot.in_flight.take().expect("no batch in flight");
+        let fl = slot.in_flight.take().expect(
+            "BatchComplete on a live instance with no batch in flight — \
+             completions are scheduled once per started batch, so this \
+             event cannot outnumber starts",
+        );
         let inst = &mut slot.inst;
         inst.complete_batch(now, fl.batch.len());
         let function = inst.function().raw();
@@ -597,7 +724,7 @@ impl Engine {
         let budget = slot.meta.wait_budget;
         self.in_flight_count -= 1;
         let (w, _, _) = self.weights(config);
-        self.collector.busy_delta(self.now, -w);
+        self.collector.busy_delta(function, self.now, -w);
         if let Some(gpu) = placement.gpu_index() {
             let device = self.device_index(placement.server(), gpu);
             self.gpu_busy_pct[device] -= config.resources().gpu_pct();
@@ -632,10 +759,10 @@ impl Engine {
                 queue.schedule(opened + budget, EngineEvent::BatchTimeout(id));
             }
         }
-        CompletedBatch {
+        Some(CompletedBatch {
             function,
             requests: fl.batch,
-        }
+        })
     }
 
     /// Records a dropped request.
@@ -705,7 +832,7 @@ impl Engine {
                 }
                 self.cluster.set_health(server, ServerHealth::Down);
                 self.collector.server_crash();
-                if lost > 0.0 {
+                if lost > 0.0 && !self.recapacity_external {
                     self.recapacity.push_back(RecapacityProbe {
                         since: self.now,
                         remaining: lost,
@@ -790,12 +917,66 @@ impl Engine {
         let displaced = self.kill_instance(id);
         outcome.killed.push((function, id));
         outcome.displaced.extend(displaced);
-        if lost > 0.0 {
+        if lost > 0.0 && !self.recapacity_external {
             self.recapacity.push_back(RecapacityProbe {
                 since: self.now,
                 remaining: lost,
             });
         }
+    }
+
+    /// Applies a coordinator-resolved kill directive
+    /// ([`EngineEvent::DirectiveKill`]): kills the instance and returns
+    /// its function plus the displaced requests, or `None` if the
+    /// victim already died (an earlier directive or crash at the same
+    /// timestamp) — directives tolerate stale victims by design.
+    ///
+    /// Books no recapacity probe (the coordinator that resolved the
+    /// victim owns those) but tallies the kill and displacement like
+    /// [`Self::on_fault`] does.
+    pub fn apply_kill_directive(
+        &mut self,
+        id: InstanceId,
+        tag: FaultTag,
+    ) -> Option<(usize, Vec<Request>)> {
+        if !self.is_live(id) {
+            return None;
+        }
+        let function = self.instance(id).function().raw();
+        let displaced = self.kill_instance(id);
+        if !displaced.is_empty() {
+            self.collector.displaced(displaced.len() as u64);
+            if self.telemetry.enabled() {
+                for req in &displaced {
+                    self.telemetry.record(SpanEvent {
+                        t_s: self.now.as_secs_f64(),
+                        kind: SpanKind::Displaced,
+                        request: req.id.raw(),
+                        function: req.function.raw() as u32,
+                        instance: -1,
+                        server: -1,
+                        batch: 0,
+                        fault: tag,
+                    });
+                }
+            }
+        }
+        Some((function, displaced))
+    }
+
+    /// Applies a coordinator-resolved straggler directive
+    /// ([`EngineEvent::DirectiveStraggler`]): arms the slowdown on this
+    /// shard's view of the server. The episode tally is the
+    /// coordinator's (exactly one per injected fault), so none is
+    /// booked here.
+    pub fn apply_straggler_directive(
+        &mut self,
+        server: ServerId,
+        slowdown_pct: u32,
+        duration: SimDuration,
+    ) {
+        let factor = 1.0 + f64::from(slowdown_pct) / 100.0;
+        self.straggle.insert(server, (self.now + duration, factor));
     }
 
     /// Forcibly removes an instance: unwinds any in-flight batch,
@@ -817,7 +998,7 @@ impl Engine {
         if let Some(fl) = slot.in_flight {
             self.in_flight_count -= 1;
             let (w, _, _) = self.weights(config);
-            self.collector.busy_delta(self.now, -w);
+            self.collector.busy_delta(function, self.now, -w);
             if let Some(gpu) = placement.gpu_index() {
                 let device = self.device_index(placement.server(), gpu);
                 self.gpu_busy_pct[device] -= config.resources().gpu_pct();
@@ -827,7 +1008,7 @@ impl Engine {
         displaced.extend(inst.take_queue());
         self.cluster.release(config.resources(), placement);
         let (w, c, g) = self.weights(config);
-        self.collector.usage_delta(self.now, -w, -c, -g);
+        self.collector.usage_delta(function, self.now, -w, -c, -g);
         self.collector.instance_killed(was_starting);
         displaced
     }
@@ -846,6 +1027,21 @@ impl Engine {
     ///
     /// [`TimeseriesSummary`]: infless_telemetry::TimeseriesSummary
     pub fn sample_telemetry(&mut self) {
+        let (instances, starting, queue_depth, in_flight_batches) = self.gauge_counts();
+        let per_function = self.per_function_live_counts();
+        self.record_gauges(
+            instances,
+            starting,
+            queue_depth,
+            in_flight_batches,
+            per_function,
+        );
+    }
+
+    /// This shard's raw gauge readings: `(instances, starting,
+    /// queue_depth, in_flight_batches)`. The sharded coordinator sums
+    /// these across shards before recording.
+    pub fn gauge_counts(&self) -> (u64, u64, u64, u64) {
         let now = self.now;
         let mut instances = 0u64;
         let mut starting = 0u64;
@@ -857,6 +1053,35 @@ impl Engine {
             }
             queue_depth += slot.inst.queue_len() as u64;
         }
+        (
+            instances,
+            starting,
+            queue_depth,
+            self.in_flight_count as u64,
+        )
+    }
+
+    /// Live instance count per function (zeros for functions this
+    /// shard does not own).
+    pub fn per_function_live_counts(&self) -> Vec<u64> {
+        self.live_by_function
+            .iter()
+            .map(|ids| ids.len() as u64)
+            .collect()
+    }
+
+    /// Records one tick's (possibly cluster-wide) gauge readings into
+    /// this engine's collector and sink. Occupancies come from this
+    /// engine's cluster view — in sharded runs every replica agrees at
+    /// barrier time, when this is called.
+    pub fn record_gauges(
+        &mut self,
+        instances: u64,
+        starting: u64,
+        queue_depth: u64,
+        in_flight_batches: u64,
+        per_function_instances: Vec<u64>,
+    ) {
         let cpu_cap = self.cluster.cpu_capacity();
         let gpu_cap = self.cluster.gpu_capacity();
         let cpu_occupancy = if cpu_cap == 0 {
@@ -869,7 +1094,6 @@ impl Engine {
         } else {
             self.cluster.gpu_in_use() as f64 / gpu_cap as f64
         };
-        let in_flight_batches = self.in_flight_count as u64;
         self.collector.observe_gauges(
             instances,
             cpu_occupancy,
@@ -878,13 +1102,8 @@ impl Engine {
             in_flight_batches,
         );
         if self.telemetry.enabled() {
-            let per_function_instances = self
-                .live_by_function
-                .iter()
-                .map(|ids| ids.len() as u64)
-                .collect();
             self.telemetry.sample(&GaugeRow {
-                t_s: now.as_secs_f64(),
+                t_s: self.now.as_secs_f64(),
                 instances,
                 starting,
                 cpu_occupancy,
@@ -901,6 +1120,16 @@ impl Engine {
     pub fn finish(mut self) -> crate::metrics::RunReport {
         self.telemetry.finish();
         self.collector.finish(self.now)
+    }
+
+    /// Dismantles the engine without freezing a report: flushes the
+    /// telemetry sink and hands back the collector. The sharded runner
+    /// uses this to fold worker-shard collectors into the
+    /// coordinator's before a single [`Self::finish`]-equivalent
+    /// freeze.
+    pub fn into_collector(mut self) -> Collector {
+        self.telemetry.finish();
+        self.collector
     }
 
     // --- internals -------------------------------------------------------
@@ -942,15 +1171,23 @@ impl Engine {
         let len = (inst.queue_len()).min(config.batch() as usize) as u32;
         debug_assert!(len >= 1);
         let spec = self.functions[function].spec();
-        let mut exec =
-            self.hardware
-                .model_latency_noisy(spec, len, config.resources(), &mut self.rng);
+        let rng = match &mut self.noise {
+            NoiseRng::Shared(rng) => rng,
+            NoiseRng::PerFunction(streams) => &mut streams[function],
+        };
+        let mut exec = self
+            .hardware
+            .model_latency_noisy(spec, len, config.resources(), rng);
         // MPS interference: co-resident *active* SM share on the same
         // physical device slows this batch down (shared memory
-        // bandwidth / L2 behind the SM partitioning).
+        // bandwidth / L2 behind the SM partitioning). Snapshot mode
+        // reads the barrier-time totals instead of the live books.
         if let Some(gpu) = placement.gpu_index() {
             let device = self.device_index(placement.server(), gpu);
-            let others = self.gpu_busy_pct[device];
+            let others = match &self.interference_snapshot {
+                Some(snap) => snap[device],
+                None => self.gpu_busy_pct[device],
+            };
             let k = self.hardware.calibration().mps_interference;
             exec = exec.mul_f64(1.0 + k * f64::from(others) / 100.0);
             self.gpu_busy_pct[device] += config.resources().gpu_pct();
@@ -983,7 +1220,7 @@ impl Engine {
             self.emit(SpanKind::ExecStart, now, &first, inst_raw, srv, blen);
         }
         let (w, _, _) = self.weights(config);
-        self.collector.busy_delta(now, w);
+        self.collector.busy_delta(function, now, w);
         self.slot_mut(id).in_flight = Some(InFlight {
             started: now,
             exec,
@@ -1038,6 +1275,7 @@ mod tests {
                     engine.on_fault(f);
                 }
                 EngineEvent::Arrival(_) | EngineEvent::ScalerTick => {}
+                EngineEvent::DirectiveKill(..) | EngineEvent::DirectiveStraggler { .. } => {}
             }
         }
     }
@@ -1332,6 +1570,77 @@ mod tests {
         let report = engine.finish();
         assert_eq!(report.total_completed(), 4);
         assert_eq!(report.failures.instances_killed, 1);
+    }
+
+    /// Satellite 2 regression: a fault can kill an instance at the
+    /// exact timestamp its batch completion (or ready/timeout event)
+    /// is pending. The stale events must be no-ops, not panics.
+    #[test]
+    fn same_timestamp_kill_then_stale_events_do_not_panic() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        // The batch is in flight with a BatchComplete pending. Advance
+        // to that very timestamp, then deliver the fault first.
+        let t_done = queue.peek_time().unwrap();
+        engine.advance(t_done);
+        let outcome = engine.on_fault(FaultEvent::InstanceKill { selector: 0 });
+        assert_eq!(outcome.displaced.len(), 4);
+        // The stale completion (same timestamp) resolves to None.
+        let (t, ev) = queue.pop().unwrap();
+        assert_eq!(t, t_done);
+        assert!(matches!(ev, EngineEvent::BatchComplete(i) if i == id));
+        assert!(engine.on_batch_complete(id, &mut queue).is_none());
+        // Stale ready/timeout events are equally harmless.
+        engine.on_instance_ready(id, &mut queue);
+        engine.on_batch_timeout(id, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 0);
+        assert_eq!(report.failures.requests_displaced, 4);
+    }
+
+    /// Coordinator-resolved kill directives displace work like
+    /// `on_fault` kills, and tolerate victims that already died.
+    #[test]
+    fn kill_directive_displaces_and_tolerates_dead_victims() {
+        let (mut engine, mut queue) = engine();
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::from_millis(30),
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        let r1 = engine.mint_request(0);
+        assert!(engine.enqueue(id, r1, &mut queue));
+        let (function, displaced) = engine
+            .apply_kill_directive(id, infless_telemetry::FaultTag::InstanceKill)
+            .expect("victim is live");
+        assert_eq!(function, 0);
+        assert_eq!(displaced, vec![r1]);
+        assert!(!engine.is_live(id));
+        // Double delivery (e.g. crash + kill at the same timestamp).
+        assert!(engine
+            .apply_kill_directive(id, infless_telemetry::FaultTag::InstanceKill)
+            .is_none());
+        let report = engine.finish();
+        assert_eq!(report.failures.instances_killed, 1);
+        assert_eq!(report.failures.requests_displaced, 1);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod platform;
 pub mod predictor;
 pub mod router;
 pub mod scheduler;
+pub mod sharded;
 
 pub use batching::RpsWindow;
 pub use chains::{ChainReport, ChainSpec, ChainSplit};
@@ -79,3 +80,4 @@ pub use platform::{InflessConfig, InflessPlatform};
 pub use predictor::CopPredictor;
 pub use router::{DeficitRouter, LeastLoadedScratch, RouterEntry};
 pub use scheduler::{PlacementStrategy, ScheduledInstance, Scheduler, SchedulerConfig};
+pub use sharded::ShardedInfless;

@@ -307,6 +307,115 @@ impl RunReport {
         }
         (self.gpu_pct_seconds / 100.0 / self.duration.as_secs_f64().max(1e-9)) / rps * 100.0
     }
+
+    /// Deterministic JSON rendering of the simulation-visible results.
+    ///
+    /// Excludes every wall-clock-derived field (`wall_clock_seconds`,
+    /// `sched_overhead_us`, `sched_overhead_hist_us`,
+    /// `dispatch_overhead_ns`) and `profile_cache` (a host-cache
+    /// artifact), and renders all maps in sorted key order, so the
+    /// output is **byte-identical** across hosts, runs and shard
+    /// counts for the same `(workload, seed, config)`. The CI
+    /// determinism gate byte-diffs this string between `--shards 1`
+    /// and `--shards 4` runs.
+    pub fn canonical_json(&self) -> String {
+        let functions: Vec<serde_json::Value> = self
+            .functions
+            .iter()
+            .map(|f| {
+                let mut per_batch: Vec<(u32, u64)> = f
+                    .per_batch_completed
+                    .iter()
+                    .map(|(b, n)| (*b, *n))
+                    .collect();
+                per_batch.sort_unstable();
+                serde_json::json!({
+                    "name": f.name,
+                    "slo_ms": f.slo.as_millis_f64(),
+                    "completed": f.completed,
+                    "dropped": f.dropped,
+                    "violations": f.violations,
+                    "cold_requests": f.cold_requests,
+                    "latency_p50_ms": f.latency_p50_ms,
+                    "latency_p95_ms": f.latency_p95_ms,
+                    "latency_p99_ms": f.latency_p99_ms,
+                    "latency_count": f.latency_ms.count(),
+                    "batch_size_mean": f.batch_sizes.mean(),
+                    "queue_ms_mean": f.queue_ms.mean(),
+                    "exec_ms_mean": f.exec_ms.mean(),
+                    "cold_ms_mean": f.cold_ms.mean(),
+                    "per_batch_completed": per_batch,
+                })
+            })
+            .collect();
+        let chains: Vec<serde_json::Value> = self
+            .chains
+            .iter()
+            .map(|c| {
+                serde_json::json!({
+                    "name": c.name,
+                    "completed": c.completed,
+                    "violations": c.violations,
+                    "lost": c.lost,
+                    "e2e_p50_ms": c.e2e_ms.quantile(0.5),
+                    "e2e_p99_ms": c.e2e_ms.quantile(0.99),
+                })
+            })
+            .collect();
+        let mut config_launches: Vec<(usize, u32, u32, u32, u64)> = self
+            .config_launches
+            .iter()
+            .map(|((f, cfg), n)| {
+                (
+                    *f,
+                    cfg.batch(),
+                    cfg.resources().cpu_cores(),
+                    cfg.resources().gpu_pct(),
+                    *n,
+                )
+            })
+            .collect();
+        config_launches.sort_unstable();
+        let out = serde_json::json!({
+            "platform": self.platform,
+            "duration_s": self.duration.as_secs_f64(),
+            "completed": self.total_completed(),
+            "dropped": self.total_dropped(),
+            "violation_rate": self.violation_rate(),
+            "launches": self.launches,
+            "cold_launches": self.cold_launches,
+            "prewarmed_launches": self.prewarmed_launches,
+            "retirements": self.retirements,
+            "weighted_resource_seconds": self.weighted_resource_seconds,
+            "weighted_idle_seconds": self.weighted_idle_seconds,
+            "cpu_core_seconds": self.cpu_core_seconds,
+            "gpu_pct_seconds": self.gpu_pct_seconds,
+            "fragment_mean": self.fragment_samples.mean(),
+            "fragment_count": self.fragment_samples.len(),
+            "provisioning": self.provisioning,
+            "config_launches": config_launches,
+            "functions": functions,
+            "chains": chains,
+            "failures": self.failures,
+            "timeseries_summary": self.timeseries_summary,
+        });
+        serde_json::to_string_pretty(&out).expect("report serializes")
+    }
+}
+
+/// Per-function time-weighted resource step functions.
+///
+/// Kept per function (not as run-wide accumulators) so each function's
+/// f64 accumulation order depends only on that function's own event
+/// sequence: a sharded run sums the per-function values in
+/// function-major order at freeze time and lands on bit-identical
+/// totals regardless of how functions were partitioned across shards.
+#[derive(Debug, Clone, Copy, Default)]
+struct ResourceUsage {
+    weighted_usage: TimeWeighted,
+    weighted_busy: TimeWeighted,
+    cpu_usage: TimeWeighted,
+    gpu_usage: TimeWeighted,
 }
 
 /// The mutable recorder a running platform writes into.
@@ -318,10 +427,7 @@ pub struct Collector {
     cold_launches: u64,
     prewarmed_launches: u64,
     retirements: u64,
-    weighted_usage: TimeWeighted,
-    weighted_busy: TimeWeighted,
-    cpu_usage: TimeWeighted,
-    gpu_usage: TimeWeighted,
+    usage: Vec<ResourceUsage>,
     fragment_samples: Samples,
     sched_overhead_us: Samples,
     sched_overhead_hist_us: Log2Histogram,
@@ -348,10 +454,7 @@ impl Collector {
             cold_launches: 0,
             prewarmed_launches: 0,
             retirements: 0,
-            weighted_usage: TimeWeighted::new(),
-            weighted_busy: TimeWeighted::new(),
-            cpu_usage: TimeWeighted::new(),
-            gpu_usage: TimeWeighted::new(),
+            usage: vec![ResourceUsage::default(); functions.len()],
             fragment_samples: Samples::new(),
             sched_overhead_us: Samples::new(),
             sched_overhead_hist_us: Log2Histogram::new(),
@@ -449,17 +552,19 @@ impl Collector {
         self.retirements += 1;
     }
 
-    /// Adjusts the allocated-resource step functions at time `t`.
-    pub fn usage_delta(&mut self, t: SimTime, weighted: f64, cpu: f64, gpu: f64) {
-        self.weighted_usage.add(t, weighted);
-        self.cpu_usage.add(t, cpu);
-        self.gpu_usage.add(t, gpu);
+    /// Adjusts `function`'s allocated-resource step functions at time
+    /// `t`.
+    pub fn usage_delta(&mut self, function: usize, t: SimTime, weighted: f64, cpu: f64, gpu: f64) {
+        let u = &mut self.usage[function];
+        u.weighted_usage.add(t, weighted);
+        u.cpu_usage.add(t, cpu);
+        u.gpu_usage.add(t, gpu);
     }
 
-    /// Adjusts the busy-resource step function at time `t` (instances
-    /// actively executing a batch).
-    pub fn busy_delta(&mut self, t: SimTime, weighted: f64) {
-        self.weighted_busy.add(t, weighted);
+    /// Adjusts `function`'s busy-resource step function at time `t`
+    /// (instances actively executing a batch).
+    pub fn busy_delta(&mut self, function: usize, t: SimTime, weighted: f64) {
+        self.usage[function].weighted_busy.add(t, weighted);
     }
 
     /// Samples the cluster fragment ratio.
@@ -486,9 +591,10 @@ impl Collector {
         self.provisioning.push((t.as_secs_f64(), weighted_in_use));
     }
 
-    /// Current allocated weighted resources (step-function value).
+    /// Current allocated weighted resources (step-function value),
+    /// summed across functions in function-major order.
     pub fn current_weighted_usage(&self) -> f64 {
-        self.weighted_usage.current()
+        self.usage.iter().map(|u| u.weighted_usage.current()).sum()
     }
 
     /// Read access to the failure tallies so far (platforms use this to
@@ -549,6 +655,52 @@ impl Collector {
         self.failures.recapacity_ms.push(ms);
     }
 
+    /// Folds a shard's collector into this one (the coordinator's, by
+    /// convention shard 0's).
+    ///
+    /// `owned` lists the function indices the shard owned: their
+    /// per-function reports and resource accumulators are moved over
+    /// wholesale (a function runs on exactly one shard, so this
+    /// collector's entries for them are untouched defaults). Scalar
+    /// counters, failure tallies, per-config launch counts and the
+    /// overhead recordings are summed or merged; coordinator-owned
+    /// streams (fragment samples, provisioning timeline, time-series
+    /// gauges) are only ever written on the coordinator's collector, so
+    /// the shard side contributes nothing there.
+    pub fn absorb(&mut self, other: Collector, owned: &[usize]) {
+        debug_assert_eq!(self.functions.len(), other.functions.len());
+        for &f in owned {
+            debug_assert_eq!(self.functions[f].completed, 0);
+            self.functions[f] = other.functions[f].clone();
+            self.usage[f] = other.usage[f];
+        }
+        self.launches += other.launches;
+        self.cold_launches += other.cold_launches;
+        self.prewarmed_launches += other.prewarmed_launches;
+        self.retirements += other.retirements;
+        self.fragment_samples.merge_from(&other.fragment_samples);
+        self.sched_overhead_us.merge_from(&other.sched_overhead_us);
+        self.sched_overhead_hist_us
+            .merge(&other.sched_overhead_hist_us);
+        self.dispatch_overhead_ns.merge(&other.dispatch_overhead_ns);
+        self.provisioning.extend(other.provisioning.iter().copied());
+        for (&key, &n) in &other.config_launches {
+            *self.config_launches.entry(key).or_insert(0) += n;
+        }
+        let f = &mut self.failures;
+        let g = &other.failures;
+        f.server_crashes += g.server_crashes;
+        f.server_recoveries += g.server_recoveries;
+        f.instances_killed += g.instances_killed;
+        f.coldstart_failures += g.coldstart_failures;
+        f.stragglers += g.stragglers;
+        f.straggled_batches += g.straggled_batches;
+        f.requests_displaced += g.requests_displaced;
+        f.requests_retried += g.requests_retried;
+        f.requests_shed += g.requests_shed;
+        f.recapacity_ms.extend(g.recapacity_ms.iter().copied());
+    }
+
     /// Freezes the collector into a report covering `[0, end]`.
     pub fn finish(mut self, end: SimTime) -> RunReport {
         // Fold the latency histograms into the headline percentiles.
@@ -557,8 +709,18 @@ impl Collector {
             f.latency_p95_ms = f.latency_ms.quantile(0.95).unwrap_or(0.0);
             f.latency_p99_ms = f.latency_ms.quantile(0.99).unwrap_or(0.0);
         }
-        let usage = self.weighted_usage.integral_until(end);
-        let busy = self.weighted_busy.integral_until(end);
+        // Function-major sums keep the f64 accumulation order a pure
+        // function of the function list, not of shard layout.
+        let usage: f64 = self
+            .usage
+            .iter()
+            .map(|u| u.weighted_usage.integral_until(end))
+            .sum();
+        let busy: f64 = self
+            .usage
+            .iter()
+            .map(|u| u.weighted_busy.integral_until(end))
+            .sum();
         RunReport {
             platform: self.platform,
             functions: self.functions,
@@ -569,8 +731,16 @@ impl Collector {
             retirements: self.retirements,
             weighted_resource_seconds: usage,
             weighted_idle_seconds: (usage - busy).max(0.0),
-            cpu_core_seconds: self.cpu_usage.integral_until(end),
-            gpu_pct_seconds: self.gpu_usage.integral_until(end),
+            cpu_core_seconds: self
+                .usage
+                .iter()
+                .map(|u| u.cpu_usage.integral_until(end))
+                .sum(),
+            gpu_pct_seconds: self
+                .usage
+                .iter()
+                .map(|u| u.gpu_usage.integral_until(end))
+                .sum(),
             fragment_samples: self.fragment_samples,
             sched_overhead_us: self.sched_overhead_us,
             sched_overhead_hist_us: self.sched_overhead_hist_us,
@@ -647,8 +817,8 @@ mod tests {
     #[test]
     fn resource_integrals_and_throughput() {
         let mut c = collector();
-        c.usage_delta(SimTime::ZERO, 10.0, 2.0, 20.0);
-        c.usage_delta(SimTime::from_secs(5), -10.0, -2.0, -20.0);
+        c.usage_delta(0, SimTime::ZERO, 10.0, 2.0, 20.0);
+        c.usage_delta(0, SimTime::from_secs(5), -10.0, -2.0, -20.0);
         for _ in 0..50 {
             c.complete(
                 0,
@@ -669,9 +839,9 @@ mod tests {
     #[test]
     fn idle_is_usage_minus_busy() {
         let mut c = collector();
-        c.usage_delta(SimTime::ZERO, 4.0, 0.0, 0.0);
-        c.busy_delta(SimTime::from_secs(2), 4.0);
-        c.busy_delta(SimTime::from_secs(4), -4.0);
+        c.usage_delta(0, SimTime::ZERO, 4.0, 0.0, 0.0);
+        c.busy_delta(1, SimTime::from_secs(2), 4.0);
+        c.busy_delta(1, SimTime::from_secs(4), -4.0);
         let r = c.finish(SimTime::from_secs(10));
         assert_eq!(r.weighted_resource_seconds, 40.0);
         assert_eq!(r.weighted_idle_seconds, 32.0);
@@ -698,7 +868,7 @@ mod tests {
     fn table4_unit_math() {
         // 10 cores and 1.5 GPUs held for the whole run at 50 completed RPS.
         let mut c = collector();
-        c.usage_delta(SimTime::ZERO, 0.0, 10.0, 150.0);
+        c.usage_delta(0, SimTime::ZERO, 0.0, 10.0, 150.0);
         for _ in 0..500 {
             c.complete(
                 0,
@@ -711,6 +881,53 @@ mod tests {
         let r = c.finish(SimTime::from_secs(10));
         assert!((r.cpus_per_100rps() - 20.0).abs() < 1e-9);
         assert!((r.gpus_per_100rps() - 3.0).abs() < 1e-9);
+    }
+
+    /// Sharded runs fold per-shard collectors into the coordinator's:
+    /// per-function state moves wholesale, scalar tallies sum.
+    #[test]
+    fn absorb_merges_shard_collectors() {
+        let cfg = InstanceConfig::new(2, ResourceConfig::new(1, 10));
+        // Shard 0 owns function 0; shard 1 owns function 1.
+        let mut c0 = collector();
+        c0.usage_delta(0, SimTime::ZERO, 2.0, 1.0, 10.0);
+        c0.launch(0, cfg, StartupKind::Cold);
+        c0.complete(
+            0,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            2,
+        );
+        let mut c1 = collector();
+        c1.usage_delta(1, SimTime::ZERO, 3.0, 2.0, 0.0);
+        c1.launch(1, cfg, StartupKind::PreWarmed);
+        c1.complete(
+            1,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10),
+            SimDuration::ZERO,
+            1,
+        );
+        c1.shed(1);
+        c1.recapacity_sample(40.0);
+        c0.absorb(c1, &[1]);
+        assert_eq!(c0.current_weighted_usage(), 5.0);
+        let r = c0.finish(SimTime::from_secs(10));
+        assert_eq!(r.launches, 2);
+        assert_eq!(r.cold_launches, 1);
+        assert_eq!(r.prewarmed_launches, 1);
+        assert_eq!(r.total_completed(), 2);
+        assert_eq!(r.functions[1].completed, 1);
+        assert_eq!(r.functions[1].violations, 1);
+        assert_eq!(r.functions[1].dropped, 1);
+        assert_eq!(r.weighted_resource_seconds, 50.0);
+        assert_eq!(r.cpu_core_seconds, 30.0);
+        assert_eq!(r.gpu_pct_seconds, 100.0);
+        assert_eq!(r.failures.requests_shed, 1);
+        assert_eq!(r.failures.recapacity_ms, vec![40.0]);
+        assert_eq!(r.config_launches[&(0, cfg)], 1);
+        assert_eq!(r.config_launches[&(1, cfg)], 1);
     }
 
     #[test]

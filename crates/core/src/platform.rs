@@ -19,6 +19,7 @@ use infless_models::{
     profile::ConfigGrid, HardwareCalibration, HardwareModel, ModelSpec, ProfileDatabase,
 };
 use infless_sim::{EventQueue, SimDuration, SimTime, StagedStream};
+use infless_telemetry::FaultTag;
 use infless_workload::Workload;
 use std::collections::HashMap;
 
@@ -173,6 +174,32 @@ struct ParkedInstance {
     predicted_exec: SimDuration,
 }
 
+/// A request parked in the epoch-mode pending buffer, awaiting the
+/// barrier flush. The two origins keep their distinct terminal
+/// accounting: a fresh arrival that still cannot be placed is a
+/// gateway *drop*, a fault-displaced request is *shed* (preserving the
+/// `displaced = retried + shed` invariant).
+#[derive(Debug)]
+enum PendingRequest {
+    /// A gateway/chain-relay arrival no instance could take.
+    Fresh(Request),
+    /// A fault-displaced request awaiting the rebuilt fleet.
+    Displaced(Request),
+}
+
+/// What [`InflessPlatform::retry_displaced`] does when a displaced
+/// request cannot be re-dispatched right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryMode {
+    /// Shed immediately (the legacy event loop: capacity was already
+    /// rebuilt by the fault handler).
+    Terminal,
+    /// Park in the pending buffer until the next epoch barrier (the
+    /// sharded path: scale-out is deferred, so the fleet the request
+    /// needs may not exist yet).
+    Defer,
+}
+
 /// Per-function platform state.
 #[derive(Debug)]
 struct FnState {
@@ -187,23 +214,38 @@ struct FnState {
     cached_windows: Windows,
     windows_refreshed: Option<SimTime>,
     last_idle_recorded: SimTime,
+    /// Epoch-mode only: requests waiting for the barrier flush.
+    pending: Vec<PendingRequest>,
+    /// Epoch-mode only: dispatch throughput lost to kill directives
+    /// since the last barrier, recaptured at the next flush.
+    pending_lost_rate: f64,
+    /// Epoch-mode only: the warm-image verdict captured when the first
+    /// unplaceable request of the epoch was deferred, evaluated against
+    /// the *pre-arrival* activity — exactly the evidence the legacy
+    /// emergency path uses at scale-out time.
+    pending_warm: Option<bool>,
 }
 
 /// The INFless platform. Create with [`InflessPlatform::new`], then
 /// [`InflessPlatform::run`] a workload to get a [`RunReport`].
 #[derive(Debug)]
 pub struct InflessPlatform {
-    engine: Engine,
+    pub(crate) engine: Engine,
     predictor: CopPredictor,
     scheduler: Scheduler,
-    config: InflessConfig,
+    pub(crate) config: InflessConfig,
     fns: Vec<FnState>,
     chains: ChainCtx,
-    faults: FaultSchedule,
+    pub(crate) faults: FaultSchedule,
     /// Dispatch counter driving the sampled (1-in-64) wall-clock
     /// overhead measurement; deterministic, and the timing itself never
     /// feeds back into simulated state.
     dispatch_tick: u32,
+    /// Epoch (sharded) mode: every allocation-touching reaction —
+    /// emergency scale-out, fault-recovery scale-out — is deferred to
+    /// the next barrier flush instead of running mid-epoch, so cluster
+    /// replicas only need to synchronise at barriers.
+    deferred_scaling: bool,
 }
 
 impl InflessPlatform {
@@ -281,6 +323,9 @@ impl InflessPlatform {
                 },
                 windows_refreshed: None,
                 last_idle_recorded: SimTime::ZERO,
+                pending: Vec::new(),
+                pending_lost_rate: 0.0,
+                pending_warm: None,
             })
             .collect();
         InflessPlatform {
@@ -292,6 +337,7 @@ impl InflessPlatform {
             chains,
             faults: FaultSchedule::empty(),
             dispatch_tick: 0,
+            deferred_scaling: false,
         }
     }
 
@@ -348,9 +394,8 @@ impl InflessPlatform {
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
                     // A fault may have killed the instance mid-batch;
-                    // its completion event is then stale.
-                    if self.engine.is_live(id) {
-                        let done = self.engine.on_batch_complete(id, &mut queue);
+                    // its completion event is then stale (None).
+                    if let Some(done) = self.engine.on_batch_complete(id, &mut queue) {
                         self.fns[done.function].last_activity = t;
                         self.relay_chain_stages(&done, &mut queue);
                     }
@@ -362,11 +407,121 @@ impl InflessPlatform {
                     }
                 }
                 EngineEvent::Fault(fault) => self.handle_fault(fault, &mut queue),
+                EngineEvent::DirectiveKill(id, tag) => {
+                    self.handle_kill_directive(id, tag, &mut queue)
+                }
+                EngineEvent::DirectiveStraggler {
+                    server,
+                    slowdown_pct,
+                    duration,
+                } => self
+                    .engine
+                    .apply_straggler_directive(server, slowdown_pct, duration),
             }
         }
         let mut report = self.engine.finish();
         report.chains = self.chains.reports;
         report
+    }
+
+    // --- epoch (sharded) driver hooks --------------------------------------
+
+    /// Switches the platform into epoch mode (see
+    /// [`crate::sharded`]): mid-epoch reactions that would touch the
+    /// cluster books are deferred to the barrier flush.
+    pub(crate) fn set_deferred_scaling(&mut self) {
+        self.deferred_scaling = true;
+    }
+
+    /// Drains and delivers every event (staged arrival or queued) with
+    /// timestamp `<= until`, then advances the clock to the barrier.
+    /// Scaler ticks and raw fault events are never scheduled in epoch
+    /// mode — scaling runs at barriers and faults arrive pre-resolved
+    /// as directives.
+    pub(crate) fn epoch_drain(
+        &mut self,
+        arrivals: &mut StagedStream<'_, usize>,
+        queue: &mut EventQueue<EngineEvent>,
+        until: SimTime,
+    ) {
+        while let Some((t, ev)) = arrivals.next_until(queue, until, EngineEvent::Arrival) {
+            self.engine.advance(t);
+            match ev {
+                EngineEvent::Arrival(f) => self.on_arrival(f, queue),
+                EngineEvent::InstanceReady(id) => self.engine.on_instance_ready(id, queue),
+                EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, queue),
+                EngineEvent::BatchComplete(id) => {
+                    if let Some(done) = self.engine.on_batch_complete(id, queue) {
+                        self.fns[done.function].last_activity = t;
+                        self.relay_chain_stages(&done, queue);
+                    }
+                }
+                EngineEvent::DirectiveKill(id, tag) => self.handle_kill_directive(id, tag, queue),
+                EngineEvent::DirectiveStraggler {
+                    server,
+                    slowdown_pct,
+                    duration,
+                } => self
+                    .engine
+                    .apply_straggler_directive(server, slowdown_pct, duration),
+                EngineEvent::ScalerTick | EngineEvent::Fault(_) => {
+                    unreachable!("epoch mode schedules neither scaler ticks nor raw faults")
+                }
+            }
+        }
+        self.engine.advance(until);
+    }
+
+    /// The barrier flush for one function: recapture throughput lost to
+    /// kill directives, scale out once for any pending (unplaceable)
+    /// requests, then give every pending request its terminal retry.
+    pub(crate) fn barrier_flush_fn(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
+        let lost = std::mem::take(&mut self.fns[f].pending_lost_rate);
+        let mut needed = lost;
+        if !self.fns[f].pending.is_empty() {
+            // Same residual estimate the emergency path uses: the burst
+            // rate minus what the dispatch set already absorbs.
+            let now = self.engine.now();
+            let rps = self.instant_rps(f, now).max(1.0);
+            let assigned: f64 = self.fns[f].dispatch.iter().map(|e| e.window.r_up()).sum();
+            needed += (rps - assigned).max(1.0);
+        }
+        if needed > 0.0 {
+            let startup = match self.fns[f].pending_warm.take() {
+                Some(true) => StartupKind::PreWarmed,
+                Some(false) => StartupKind::Cold,
+                // Pure lost-rate recapture (no deferred arrival): the
+                // same live check the legacy fault path runs.
+                None => self.startup_kind(f),
+            };
+            self.scale_out(f, needed, startup, queue);
+        } else {
+            self.fns[f].pending_warm = None;
+        }
+        let pending = std::mem::take(&mut self.fns[f].pending);
+        for p in pending {
+            match p {
+                PendingRequest::Fresh(req) => {
+                    if self.dispatch(f, req, queue)
+                        || (self.unpark_one(f) && self.dispatch(f, req, queue))
+                    {
+                        continue;
+                    }
+                    self.engine.drop_request(&req);
+                    if let Some(chain) = self.chains.chain_of(f) {
+                        self.chains.starts.remove(&req.id);
+                        self.chains.reports[chain].lost += 1;
+                    }
+                }
+                PendingRequest::Displaced(req) => self.retry_or_shed(req, queue),
+            }
+        }
+    }
+
+    /// Hands over the per-chain end-to-end reports (the sharded merge
+    /// collects each chain from the shard that owned its stages).
+    pub(crate) fn take_chain_reports(&mut self) -> Vec<ChainReport> {
+        std::mem::take(&mut self.chains.reports)
     }
 
     // --- dispatcher (❷) ---------------------------------------------------
@@ -406,6 +561,22 @@ impl InflessPlatform {
         }
         // No instance could take the request: unpark or scale out.
         if self.unpark_one(f) && self.dispatch(f, req, queue) {
+            return;
+        }
+        if self.deferred_scaling {
+            // Epoch mode: no mid-epoch allocation. The request waits in
+            // the pending buffer for the barrier flush (which scales
+            // out once, deterministically) instead of triggering an
+            // emergency launch whose placement would depend on which
+            // shard got there first. The warm-image verdict is frozen
+            // now, against the pre-arrival activity, because by flush
+            // time this very arrival would count as "recent activity"
+            // and turn every first launch spuriously pre-warmed.
+            if self.fns[f].pending_warm.is_none() {
+                let warm = self.image_warm_since(f, prev_activity, prev_had_activity);
+                self.fns[f].pending_warm = Some(warm);
+            }
+            self.fns[f].pending.push(PendingRequest::Fresh(req));
             return;
         }
         if self.emergency_scale(f, prev_activity, prev_had_activity, queue)
@@ -538,56 +709,74 @@ impl InflessPlatform {
     // --- auto-scaling engine (❺) -------------------------------------------
 
     fn scaler_tick(&mut self, queue: &mut EventQueue<EngineEvent>) {
-        let now = self.engine.now();
         for f in 0..self.fns.len() {
-            self.prune_monitor(f, now);
-            self.drop_dead_entries(f);
-            let rps = self.observed_rps(f, now);
-
-            let windows: Vec<RpsWindow> = self.fns[f].dispatch.iter().map(|e| e.window).collect();
-            let plan = split_rate(rps, &windows, self.config.alpha);
-
-            if plan.residual > 0.0 {
-                let mut residual = plan.residual;
-                while residual > 1e-9 && self.unpark_one(f) {
-                    let got = self.fns[f]
-                        .dispatch
-                        .iter()
-                        .last()
-                        .expect("just pushed")
-                        .window
-                        .r_up();
-                    residual -= got;
-                }
-                if residual > 1e-9 {
-                    let startup = self.startup_kind(f);
-                    self.scale_out(f, residual, startup, queue);
-                }
-                // Saturate: every dispatch entry runs at its r_up.
-                self.fns[f].dispatch.retune(|entries| {
-                    for e in entries {
-                        e.rate = e.window.r_up();
-                        e.sent = 0;
-                    }
-                });
-            } else {
-                self.fns[f].dispatch.retune(|entries| {
-                    for (e, rate) in entries.iter_mut().zip(&plan.rates) {
-                        e.rate = *rate;
-                        e.sent = 0;
-                    }
-                });
-                if plan.release_recommended {
-                    self.park_excess(f, rps);
-                }
-            }
-
-            self.maybe_consolidate(f, rps, queue);
-
-            // Cold-start manager (❻): refresh windows and reap.
-            self.refresh_windows(f, now);
-            self.reap(f, now);
+            self.scaler_pass_fn(f, queue);
         }
+        self.cluster_sample();
+    }
+
+    /// One function's slice of the scaler tick: monitor refresh, §3.2
+    /// rate splitting, consolidation and the cold-start manager. The
+    /// sharded coordinator calls this per function (function-major) at
+    /// scaler barriers; the legacy loop calls it for every function in
+    /// a row — same code, same order.
+    pub(crate) fn scaler_pass_fn(&mut self, f: usize, queue: &mut EventQueue<EngineEvent>) {
+        let now = self.engine.now();
+        self.prune_monitor(f, now);
+        self.drop_dead_entries(f);
+        let rps = self.observed_rps(f, now);
+
+        let windows: Vec<RpsWindow> = self.fns[f].dispatch.iter().map(|e| e.window).collect();
+        let plan = split_rate(rps, &windows, self.config.alpha);
+
+        if plan.residual > 0.0 {
+            let mut residual = plan.residual;
+            while residual > 1e-9 && self.unpark_one(f) {
+                let got = self.fns[f]
+                    .dispatch
+                    .iter()
+                    .last()
+                    .expect("just pushed")
+                    .window
+                    .r_up();
+                residual -= got;
+            }
+            if residual > 1e-9 {
+                let startup = self.startup_kind(f);
+                self.scale_out(f, residual, startup, queue);
+            }
+            // Saturate: every dispatch entry runs at its r_up.
+            self.fns[f].dispatch.retune(|entries| {
+                for e in entries {
+                    e.rate = e.window.r_up();
+                    e.sent = 0;
+                }
+            });
+        } else {
+            self.fns[f].dispatch.retune(|entries| {
+                for (e, rate) in entries.iter_mut().zip(&plan.rates) {
+                    e.rate = *rate;
+                    e.sent = 0;
+                }
+            });
+            if plan.release_recommended {
+                self.park_excess(f, rps);
+            }
+        }
+
+        self.maybe_consolidate(f, rps, queue);
+
+        // Cold-start manager (❻): refresh windows and reap.
+        self.refresh_windows(f, now);
+        self.reap(f, now);
+    }
+
+    /// The cluster-wide tail of the scaler tick: fragment ratio,
+    /// provisioning timeline and gauge sampling. Legacy runs call it
+    /// after every per-function pass; the sharded coordinator replaces
+    /// it with cross-shard sums recorded on shard 0.
+    fn cluster_sample(&mut self) {
+        let now = self.engine.now();
         let beta = self.engine.beta();
         let frag = self.engine.cluster().fragment_ratio(beta);
         self.engine.collector.fragment_sample(frag);
@@ -679,6 +868,47 @@ impl InflessPlatform {
         }
     }
 
+    /// Applies a coordinator-resolved kill directive (sharded runs):
+    /// the victim is already pinned to a concrete instance id, so only
+    /// the recovery policy of [`handle_fault`] remains — forget the
+    /// instance, recapture its throughput, retry the displaced batch.
+    ///
+    /// [`handle_fault`]: InflessPlatform::handle_fault
+    fn handle_kill_directive(
+        &mut self,
+        id: InstanceId,
+        tag: FaultTag,
+        queue: &mut EventQueue<EngineEvent>,
+    ) {
+        let Some((f, displaced)) = self.engine.apply_kill_directive(id, tag) else {
+            return;
+        };
+        let st = &mut self.fns[f];
+        let lost = if let Some(e) = st.dispatch.remove_by_id(id) {
+            e.window.r_up()
+        } else {
+            st.parked.retain(|p| p.id != id);
+            0.0
+        };
+        if self.deferred_scaling {
+            // Epoch mode: recapture the lost throughput at the next
+            // barrier flush; displaced requests that no surviving
+            // instance can take wait there too.
+            self.fns[f].pending_lost_rate += lost;
+            for req in displaced {
+                self.retry_displaced(req, RetryMode::Defer, queue);
+            }
+            return;
+        }
+        if lost > 0.0 {
+            let startup = self.startup_kind(f);
+            self.scale_out(f, lost, startup, queue);
+        }
+        for req in displaced {
+            self.retry_or_shed(req, queue);
+        }
+    }
+
     /// Re-dispatches a request displaced by a fault if its SLO budget
     /// still has room, otherwise sheds it. Displaced requests are not
     /// re-counted as arrivals: the load monitors already saw them once.
@@ -688,32 +918,44 @@ impl InflessPlatform {
     /// it (dispatched or parked) — such a request is shed immediately
     /// instead of being counted as a doomed `retried`.
     fn retry_or_shed(&mut self, req: Request, queue: &mut EventQueue<EngineEvent>) {
+        self.retry_displaced(req, RetryMode::Terminal, queue);
+    }
+
+    fn retry_displaced(
+        &mut self,
+        req: Request,
+        mode: RetryMode,
+        queue: &mut EventQueue<EngineEvent>,
+    ) {
         let f = req.function.raw();
         let now = self.engine.now();
         let slo = self.engine.functions()[f].slo();
         let elapsed = now.saturating_since(req.arrival);
-        if elapsed >= slo {
-            self.shed_displaced(req);
-            return;
-        }
-        let budget = slo - elapsed;
-        let st = &self.fns[f];
-        let fastest = st
-            .dispatch
-            .iter()
-            .map(|e| e.predicted_exec)
-            .chain(st.parked.iter().map(|p| p.predicted_exec))
-            .min();
-        let feasible = fastest.is_some_and(|exec| budget >= exec);
-        if !feasible {
-            self.shed_displaced(req);
-            return;
-        }
-        if self.dispatch(f, req, queue) || (self.unpark_one(f) && self.dispatch(f, req, queue)) {
+        let feasible = elapsed < slo && {
+            let budget = slo - elapsed;
+            let st = &self.fns[f];
+            let fastest = st
+                .dispatch
+                .iter()
+                .map(|e| e.predicted_exec)
+                .chain(st.parked.iter().map(|p| p.predicted_exec))
+                .min();
+            fastest.is_some_and(|exec| budget >= exec)
+        };
+        if feasible
+            && (self.dispatch(f, req, queue)
+                || (self.unpark_one(f) && self.dispatch(f, req, queue)))
+        {
             self.engine.record_retry(&req);
             return;
         }
-        self.shed_displaced(req);
+        match mode {
+            RetryMode::Terminal => self.shed_displaced(req),
+            // Deferred: the barrier flush rebuilds the fleet first and
+            // then retries terminally — a request that is hopeless now
+            // may fit a fresh large-batch instance launched there.
+            RetryMode::Defer => self.fns[f].pending.push(PendingRequest::Displaced(req)),
+        }
     }
 
     /// Sheds a displaced request, mirroring the chain bookkeeping of the

@@ -1,0 +1,592 @@
+//! Sharded multi-core simulation with deterministic epoch barriers.
+//!
+//! [`ShardedInfless`] partitions the deployed functions across `S`
+//! shards. Each shard runs a full [`InflessPlatform`] — its own event
+//! queue, staged arrival stream, and *cluster replica* — over only the
+//! functions it owns. Shards exchange cross-shard effects exclusively
+//! at epoch barriers, so a run's result is a pure function of
+//! `(workload, seed, configuration)` and **bit-identical across shard
+//! counts**: `run(w, 1)` equals `run(w, 8)` byte for byte.
+//!
+//! # The barrier protocol
+//!
+//! Simulated time is cut into epochs of `scaler_period / 5` (200 ms at
+//! the defaults — exactly the emergency-scaling backoff, so deferring
+//! drop-triggered scale-outs to the next barrier respects the same
+//! rate limit the legacy loop enforces). Between barriers a shard
+//! touches *nothing* global:
+//!
+//! * **No mid-epoch allocation.** Platforms run in deferred-scaling
+//!   mode ([`InflessPlatform::set_deferred_scaling`]): requests that no
+//!   instance can take wait in a pending buffer instead of triggering
+//!   an emergency launch, and throughput lost to kills accrues in a
+//!   pending-rate account. Both are settled by the barrier flush.
+//! * **Per-function RNG.** Execution-time noise comes from streams
+//!   keyed by function identity, not shard layout
+//!   ([`Engine::use_per_function_noise`]).
+//! * **Snapshot interference.** MPS slowdown reads the cluster-wide GPU
+//!   occupancy snapshot installed at the last barrier, not the live
+//!   books of whichever functions happen to co-reside on this shard.
+//!
+//! At each barrier the single-threaded coordinator (a) replays every
+//! replica's cluster journal onto the others, (b) sweeps functions in
+//! function-major order — pending-buffer flush, scaler pass on scaler
+//! barriers, journal replay, recapacity crediting — and (c)
+//! pre-resolves the coming epoch's fault events into concrete
+//! *directives* (`DirectiveKill` / `DirectiveStraggler`) pushed into
+//! the owning shards' queues. Victim selection therefore always sees
+//! the same global, function-major candidate order regardless of how
+//! functions are sharded.
+//!
+//! With more than one shard, epochs execute on scoped worker threads
+//! (`std::thread::scope`) — no async runtime, no unordered channels;
+//! determinism needs no locks because shards share nothing mid-epoch.
+
+use std::collections::{HashSet, VecDeque};
+
+use infless_cluster::{ClusterOp, ClusterSpec, InstanceId, ServerHealth, ServerId};
+use infless_faults::{FaultEvent, FaultSchedule};
+use infless_sim::{EventQueue, SimDuration, SimTime, StagedStream};
+use infless_telemetry::FaultTag;
+use infless_workload::Workload;
+
+use crate::chains::{ChainReport, ChainSpec};
+use crate::engine::{EngineEvent, FunctionInfo};
+use crate::metrics::RunReport;
+use crate::platform::{InflessConfig, InflessPlatform};
+
+/// Builder for sharded INFless runs. Holds the deployment description
+/// (not a built platform), so one builder can drive several runs —
+/// e.g. the shard-invariance tests compare `run(w, 1)` against
+/// `run(w, 4)` from the same builder.
+#[derive(Debug, Clone)]
+pub struct ShardedInfless {
+    cluster: ClusterSpec,
+    functions: Vec<FunctionInfo>,
+    chain_specs: Vec<ChainSpec>,
+    config: InflessConfig,
+    seed: u64,
+    faults: FaultSchedule,
+}
+
+/// One shard: a full platform over a cluster replica, plus its private
+/// event queue and arrival stream.
+struct Shard<'a> {
+    platform: InflessPlatform,
+    queue: EventQueue<EngineEvent>,
+    stream: StagedStream<'a, usize>,
+    /// Function indices this shard owns (ascending).
+    owned: Vec<usize>,
+}
+
+impl ShardedInfless {
+    /// Builds the sharded runner for a plain (chainless) deployment.
+    pub fn new(
+        cluster: ClusterSpec,
+        functions: Vec<FunctionInfo>,
+        config: InflessConfig,
+        seed: u64,
+    ) -> Self {
+        Self::with_chains(cluster, functions, Vec::new(), config, seed)
+    }
+
+    /// Builds the sharded runner with declared function chains. A
+    /// chain's stages always land on the same shard (stage relays are
+    /// ordinary same-shard deliveries), so chaining never constrains
+    /// the barrier protocol.
+    pub fn with_chains(
+        cluster: ClusterSpec,
+        functions: Vec<FunctionInfo>,
+        chain_specs: Vec<ChainSpec>,
+        config: InflessConfig,
+        seed: u64,
+    ) -> Self {
+        ShardedInfless {
+            cluster,
+            functions,
+            chain_specs,
+            config,
+            seed,
+            faults: FaultSchedule::empty(),
+        }
+    }
+
+    /// Attaches a fault schedule; the coordinator pre-resolves its
+    /// events into per-shard directives at epoch barriers.
+    pub fn with_fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs the workload on `shards` shards and returns the merged
+    /// report. The report is bit-identical for every `shards >= 1`
+    /// (wall-clock fields excepted; see
+    /// [`RunReport::canonical_json`]).
+    pub fn run(&self, workload: &Workload, shards: usize) -> RunReport {
+        let s_count = shards.max(1);
+        let (owner_of_fn, owned_by_shard) = self.partition(s_count);
+
+        // Per-shard arrival slices: each shard stages only the arrivals
+        // of functions it owns, preserving global order within a shard.
+        let per_shard_arrivals: Vec<Vec<(SimTime, usize)>> = (0..s_count)
+            .map(|s| {
+                workload
+                    .arrivals()
+                    .iter()
+                    .filter(|(_, f)| owner_of_fn[*f] == s)
+                    .copied()
+                    .collect()
+            })
+            .collect();
+
+        let mut shards_v: Vec<Shard<'_>> = (0..s_count)
+            .map(|s| {
+                let mut platform = InflessPlatform::with_chains(
+                    self.cluster,
+                    self.functions.clone(),
+                    self.chain_specs.clone(),
+                    self.config,
+                    self.seed,
+                );
+                platform.set_deferred_scaling();
+                platform.engine.use_per_function_noise(self.seed);
+                platform.engine.use_interference_snapshot();
+                platform.engine.use_external_recapacity();
+                platform.engine.cluster_mut().enable_journal();
+                Shard {
+                    platform,
+                    queue: EventQueue::new(),
+                    stream: StagedStream::new(&per_shard_arrivals[s]),
+                    owned: owned_by_shard[s].clone(),
+                }
+            })
+            .collect();
+
+        let epoch = self.config.scaler_period / 5;
+        assert!(
+            epoch > SimDuration::ZERO,
+            "scaler_period too short to derive an epoch length"
+        );
+        let tick_horizon = workload.end_time() + SimDuration::from_secs(5);
+        let fault_events = self.faults.events();
+        let mut fault_idx = 0usize;
+        // Coordinator-owned time-to-recapacity probes: (since, remaining
+        // weighted capacity). Launches credit them in function-major
+        // barrier order, which no shard layout can perturb.
+        let mut probes: VecDeque<(SimTime, f64)> = VecDeque::new();
+        let mut tombstones: HashSet<(usize, InstanceId)> = HashSet::new();
+
+        let mut t_prev = SimTime::ZERO;
+        if !workload.is_empty() || !fault_events.is_empty() {
+            let mut k = 0u64;
+            loop {
+                let has_events = shards_v
+                    .iter()
+                    .any(|sh| sh.stream.peek_time(&sh.queue).is_some());
+                // `k % 5 == 0`: stop only on a scaler barrier, mirroring
+                // the legacy loop whose final event is the first scaler
+                // tick at or past the horizon.
+                if !has_events
+                    && fault_idx >= fault_events.len()
+                    && t_prev >= tick_horizon
+                    && k.is_multiple_of(5)
+                {
+                    break;
+                }
+                k += 1;
+                let t_b = SimTime::ZERO + epoch * k;
+
+                // Pre-resolve the coming epoch's faults into directives.
+                fault_idx = self.resolve_faults(
+                    &mut shards_v,
+                    fault_events,
+                    fault_idx,
+                    t_b,
+                    &owner_of_fn,
+                    &mut probes,
+                    &mut tombstones,
+                );
+
+                // Drain the epoch — in parallel when sharded.
+                if s_count == 1 {
+                    let sh = &mut shards_v[0];
+                    sh.platform.epoch_drain(&mut sh.stream, &mut sh.queue, t_b);
+                } else {
+                    std::thread::scope(|scope| {
+                        for sh in shards_v.iter_mut() {
+                            let busy = sh.stream.peek_time(&sh.queue).is_some_and(|t| t <= t_b);
+                            if busy {
+                                scope.spawn(move || {
+                                    sh.platform.epoch_drain(&mut sh.stream, &mut sh.queue, t_b);
+                                });
+                            } else {
+                                // Nothing to deliver: just advance the clock.
+                                sh.platform.epoch_drain(&mut sh.stream, &mut sh.queue, t_b);
+                            }
+                        }
+                    });
+                }
+
+                self.barrier_sweep(&mut shards_v, &owner_of_fn, k, t_b, &mut probes);
+                t_prev = t_b;
+            }
+        }
+
+        self.merge(shards_v, t_prev)
+    }
+
+    /// Chain-aware ownership: every chain is one indivisible group,
+    /// every unchained function its own group; groups round-robin onto
+    /// shards. The mapping depends only on the deployment, never on
+    /// runtime state.
+    fn partition(&self, s_count: usize) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let n = self.functions.len();
+        let mut group_of_fn: Vec<Option<usize>> = vec![None; n];
+        let mut groups = 0usize;
+        for chain in &self.chain_specs {
+            for &stage in chain.stages() {
+                group_of_fn[stage] = Some(groups);
+            }
+            groups += 1;
+        }
+        for slot in group_of_fn.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(groups);
+                groups += 1;
+            }
+        }
+        let owner_of_fn: Vec<usize> = group_of_fn
+            .iter()
+            .map(|g| g.expect("every function grouped") % s_count)
+            .collect();
+        let mut owned_by_shard = vec![Vec::new(); s_count];
+        for (f, &s) in owner_of_fn.iter().enumerate() {
+            owned_by_shard[s].push(f);
+        }
+        (owner_of_fn, owned_by_shard)
+    }
+
+    /// The single-threaded barrier: journal sync, function-major sweep
+    /// (flush + scaler pass + replica replay + recapacity crediting),
+    /// cluster-wide sampling, and the interference snapshot refresh.
+    fn barrier_sweep(
+        &self,
+        shards: &mut [Shard<'_>],
+        owner_of_fn: &[usize],
+        k: u64,
+        t_b: SimTime,
+        probes: &mut VecDeque<(SimTime, f64)>,
+    ) {
+        let n = self.functions.len();
+        let scaler_barrier = k.is_multiple_of(5);
+
+        // Mid-epoch cluster mutations (kill-directive releases) are the
+        // only journal entries accumulated since the last barrier;
+        // releases of distinct instances commute, so replaying shard by
+        // shard reaches the same replica state for every layout.
+        for s in 0..shards.len() {
+            let ops = shards[s].platform.engine.cluster_mut().take_journal();
+            if ops.is_empty() {
+                continue;
+            }
+            for (r, sh) in shards.iter_mut().enumerate() {
+                if r != s {
+                    sh.platform.engine.cluster_mut().apply_ops(&ops);
+                }
+            }
+        }
+
+        for (f, &s) in owner_of_fn.iter().enumerate().take(n) {
+            {
+                let sh = &mut shards[s];
+                sh.platform.barrier_flush_fn(f, &mut sh.queue);
+                if scaler_barrier {
+                    sh.platform.scaler_pass_fn(f, &mut sh.queue);
+                }
+            }
+            // Replicate this function's barrier-time allocations before
+            // the next function's scheduler runs, so placement always
+            // happens against the fully-synchronised global state.
+            let ops = shards[s].platform.engine.cluster_mut().take_journal();
+            if !ops.is_empty() {
+                for (r, sh) in shards.iter_mut().enumerate() {
+                    if r != s {
+                        sh.platform.engine.cluster_mut().apply_ops(&ops);
+                    }
+                }
+            }
+            // Credit outstanding capacity-loss probes from this
+            // function's launches (function-major order).
+            let log = shards[s].platform.engine.take_launch_log();
+            for (ready_at, w) in log {
+                let mut credit = w;
+                while credit > 0.0 {
+                    let Some(front) = probes.front_mut() else {
+                        break;
+                    };
+                    let used = credit.min(front.1);
+                    front.1 -= used;
+                    credit -= used;
+                    if front.1 <= 1e-9 {
+                        let (since, _) = probes.pop_front().expect("probe exists");
+                        shards[0]
+                            .platform
+                            .engine
+                            .collector
+                            .recapacity_sample(ready_at.saturating_since(since).as_millis_f64());
+                    }
+                }
+            }
+        }
+
+        if scaler_barrier {
+            // Cluster-wide gauges: raw counts summed across shards,
+            // occupancies from shard 0's (now fully synced) replica.
+            let mut instances = 0u64;
+            let mut starting = 0u64;
+            let mut queue_depth = 0u64;
+            let mut in_flight = 0u64;
+            let mut per_fn = vec![0u64; n];
+            for sh in shards.iter() {
+                let (i, st, q, b) = sh.platform.engine.gauge_counts();
+                instances += i;
+                starting += st;
+                queue_depth += q;
+                in_flight += b;
+                for (acc, v) in per_fn
+                    .iter_mut()
+                    .zip(sh.platform.engine.per_function_live_counts())
+                {
+                    *acc += v;
+                }
+            }
+            let e0 = &mut shards[0].platform.engine;
+            let beta = e0.beta();
+            let frag = e0.cluster().fragment_ratio(beta);
+            e0.collector.fragment_sample(frag);
+            let used = e0.cluster().weighted_in_use(beta);
+            e0.collector.provision_point(t_b, used);
+            e0.record_gauges(instances, starting, queue_depth, in_flight, per_fn);
+        }
+
+        // Refresh the interference snapshot: cluster-wide GPU occupancy
+        // is the element-wise sum of every shard's live books.
+        let devices = shards[0].platform.engine.gpu_busy_totals().len();
+        let mut totals = vec![0u32; devices];
+        for sh in shards.iter() {
+            for (acc, v) in totals.iter_mut().zip(sh.platform.engine.gpu_busy_totals()) {
+                *acc += v;
+            }
+        }
+        for sh in shards.iter_mut() {
+            sh.platform.engine.refresh_interference_snapshot(&totals);
+        }
+    }
+
+    /// Pre-resolves every fault event with timestamp `<= until` into
+    /// concrete directives on the owning shards' queues. Selection runs
+    /// against the global function-major instance order; `tombstones`
+    /// keeps one fault from picking a victim an earlier directive in
+    /// the same window already claimed (instance ids are per-shard, so
+    /// the key includes the function).
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_faults(
+        &self,
+        shards: &mut [Shard<'_>],
+        events: &[(SimTime, FaultEvent)],
+        mut idx: usize,
+        until: SimTime,
+        owner_of_fn: &[usize],
+        probes: &mut VecDeque<(SimTime, f64)>,
+        tombstones: &mut HashSet<(usize, InstanceId)>,
+    ) -> usize {
+        if idx >= events.len() || events[idx].0 > until {
+            return idx;
+        }
+        tombstones.clear();
+        let n = self.functions.len();
+        while idx < events.len() && events[idx].0 <= until {
+            let (t, ev) = events[idx];
+            idx += 1;
+            match ev {
+                FaultEvent::ServerCrash { server } => {
+                    if shards[0].platform.engine.cluster().health(server) != ServerHealth::Up {
+                        continue;
+                    }
+                    let mut lost = 0.0;
+                    for f in 0..n {
+                        let sh = &mut shards[owner_of_fn[f]];
+                        let victims: Vec<InstanceId> = sh
+                            .platform
+                            .engine
+                            .instances_of(f)
+                            .iter()
+                            .copied()
+                            .filter(|&id| {
+                                sh.platform.engine.instance(id).placement().server() == server
+                                    && !tombstones.contains(&(f, id))
+                            })
+                            .collect();
+                        for id in victims {
+                            lost += sh
+                                .platform
+                                .engine
+                                .weighted_cost(sh.platform.engine.instance(id).config());
+                            tombstones.insert((f, id));
+                            sh.queue
+                                .schedule(t, EngineEvent::DirectiveKill(id, FaultTag::ServerCrash));
+                        }
+                    }
+                    Self::set_health_everywhere(shards, server, ServerHealth::Down);
+                    shards[0].platform.engine.collector.server_crash();
+                    if lost > 0.0 {
+                        probes.push_back((t, lost));
+                    }
+                }
+                FaultEvent::ServerRecoveryBegin { server } => {
+                    if shards[0].platform.engine.cluster().health(server) == ServerHealth::Down {
+                        Self::set_health_everywhere(shards, server, ServerHealth::Recovering);
+                    }
+                }
+                FaultEvent::ServerUp { server } => {
+                    if shards[0].platform.engine.cluster().health(server)
+                        == ServerHealth::Recovering
+                    {
+                        Self::set_health_everywhere(shards, server, ServerHealth::Up);
+                        shards[0].platform.engine.collector.server_recovered();
+                    }
+                }
+                FaultEvent::InstanceKill { selector } => {
+                    self.kill_by_selector(
+                        shards,
+                        owner_of_fn,
+                        selector,
+                        t,
+                        FaultTag::InstanceKill,
+                        |_, _| true,
+                        probes,
+                        tombstones,
+                    );
+                }
+                FaultEvent::ColdStartFailure { selector } => {
+                    self.kill_by_selector(
+                        shards,
+                        owner_of_fn,
+                        selector,
+                        t,
+                        FaultTag::ColdStartFailure,
+                        |sh, id| sh.platform.engine.instance(id).is_starting(t),
+                        probes,
+                        tombstones,
+                    );
+                }
+                FaultEvent::StragglerStart {
+                    server,
+                    slowdown_pct,
+                    duration,
+                } => {
+                    // Every shard must slow its own batches on that
+                    // server; the episode is tallied once.
+                    for sh in shards.iter_mut() {
+                        sh.queue.schedule(
+                            t,
+                            EngineEvent::DirectiveStraggler {
+                                server,
+                                slowdown_pct,
+                                duration,
+                            },
+                        );
+                    }
+                    shards[0].platform.engine.collector.straggler();
+                }
+            }
+        }
+        idx
+    }
+
+    /// Global victim pick for `InstanceKill` / `ColdStartFailure`:
+    /// candidates in function-major order across all shards, filtered
+    /// by `eligible`, indexed by `selector % len` — the same rule the
+    /// unsharded engine applies to its single global instance table.
+    #[allow(clippy::too_many_arguments)]
+    fn kill_by_selector(
+        &self,
+        shards: &mut [Shard<'_>],
+        owner_of_fn: &[usize],
+        selector: u64,
+        t: SimTime,
+        tag: FaultTag,
+        eligible: impl Fn(&Shard<'_>, InstanceId) -> bool,
+        probes: &mut VecDeque<(SimTime, f64)>,
+        tombstones: &mut HashSet<(usize, InstanceId)>,
+    ) {
+        let n = self.functions.len();
+        let mut candidates: Vec<(usize, InstanceId)> = Vec::new();
+        for f in 0..n {
+            let sh = &shards[owner_of_fn[f]];
+            for &id in sh.platform.engine.instances_of(f) {
+                if !tombstones.contains(&(f, id)) && eligible(sh, id) {
+                    candidates.push((f, id));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        let (f, id) = candidates[(selector % candidates.len() as u64) as usize];
+        let sh = &mut shards[owner_of_fn[f]];
+        let lost = sh
+            .platform
+            .engine
+            .weighted_cost(sh.platform.engine.instance(id).config());
+        tombstones.insert((f, id));
+        sh.queue.schedule(t, EngineEvent::DirectiveKill(id, tag));
+        if lost > 0.0 {
+            probes.push_back((t, lost));
+        }
+    }
+
+    fn set_health_everywhere(shards: &mut [Shard<'_>], server: ServerId, health: ServerHealth) {
+        // Applied via `apply_ops` so no replica re-journals (and thus
+        // re-replays) the transition.
+        let ops = [ClusterOp::SetHealth { server, health }];
+        for sh in shards.iter_mut() {
+            sh.platform.engine.cluster_mut().apply_ops(&ops);
+        }
+    }
+
+    /// Folds the worker shards' collectors and chain reports into shard
+    /// 0's and freezes one report at the final barrier.
+    fn merge(&self, shards: Vec<Shard<'_>>, t_end: SimTime) -> RunReport {
+        let owner_of_chain: Vec<usize> = {
+            let (owner_of_fn, _) = self.partition(shards.len());
+            self.chain_specs
+                .iter()
+                .map(|c| owner_of_fn[c.stages()[0]])
+                .collect()
+        };
+        let mut chain_parts: Vec<Vec<ChainReport>> = Vec::with_capacity(shards.len());
+        let mut collector = None;
+        for mut sh in shards {
+            chain_parts.push(sh.platform.take_chain_reports());
+            let shard_collector = sh.platform.engine.into_collector();
+            match collector.as_mut() {
+                None => collector = Some(shard_collector),
+                Some(main) => main.absorb(shard_collector, &sh.owned),
+            }
+        }
+        let collector = collector.expect("at least one shard");
+        let mut report = collector.finish(t_end);
+        report.chains = owner_of_chain
+            .iter()
+            .enumerate()
+            .map(|(ci, &s)| {
+                std::mem::replace(
+                    &mut chain_parts[s][ci],
+                    ChainReport::new(&self.chain_specs[ci]),
+                )
+            })
+            .collect();
+        report
+    }
+}

@@ -118,7 +118,10 @@ proptest! {
                             EngineEvent::BatchComplete(id) => {
                                 engine.on_batch_complete(id, &mut queue);
                             }
-                            EngineEvent::Arrival(_) | EngineEvent::ScalerTick => {}
+                            EngineEvent::Arrival(_)
+                            | EngineEvent::ScalerTick
+                            | EngineEvent::DirectiveKill(..)
+                            | EngineEvent::DirectiveStraggler { .. } => {}
                             EngineEvent::Fault(f) => {
                                 engine.on_fault(f);
                             }
@@ -154,7 +157,10 @@ proptest! {
                 EngineEvent::BatchComplete(id) => {
                     engine.on_batch_complete(id, &mut queue);
                 }
-                EngineEvent::Arrival(_) | EngineEvent::ScalerTick => {}
+                EngineEvent::Arrival(_)
+                | EngineEvent::ScalerTick
+                | EngineEvent::DirectiveKill(..)
+                | EngineEvent::DirectiveStraggler { .. } => {}
                 EngineEvent::Fault(f) => {
                     engine.on_fault(f);
                 }

@@ -212,6 +212,39 @@ impl<'a, P: Copy> StagedStream<'a, P> {
         }
     }
 
+    /// Like [`next`], but only delivers events with `time <= until`.
+    ///
+    /// This is the epoch-barrier primitive of the sharded runner: each
+    /// shard drains its merged stream up to the barrier instant and
+    /// stops, leaving strictly-later events (staged or queued) intact
+    /// for the next epoch. Tie-breaking is identical to [`next`] —
+    /// events *at* the barrier still fire inside the epoch, so a
+    /// barrier at `t` is equivalent to pausing a sequential run right
+    /// after the last event with `time <= t`.
+    ///
+    /// [`next`]: StagedStream::next
+    pub fn next_until<E>(
+        &mut self,
+        queue: &mut EventQueue<E>,
+        until: SimTime,
+        wrap: impl FnOnce(P) -> E,
+    ) -> Option<(SimTime, E)> {
+        match self.peek_time(queue) {
+            Some(t) if t <= until => self.next(queue, wrap),
+            _ => None,
+        }
+    }
+
+    /// The timestamp of the next event across the staged slice and the
+    /// queue, without consuming it. `None` when both are exhausted.
+    pub fn peek_time<E>(&self, queue: &EventQueue<E>) -> Option<SimTime> {
+        let staged = self.staged.get(self.cursor).map(|&(t, _)| t);
+        match (staged, queue.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Number of staged entries not yet delivered.
     pub fn remaining(&self) -> usize {
         self.staged.len() - self.cursor
@@ -310,6 +343,110 @@ mod tests {
         q.schedule(SimTime::from_secs(2), ());
         q.pop();
         assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    /// `next_until` pauses a merged stream exactly where a sequential
+    /// drain would be after the last event at the barrier instant —
+    /// inclusive of barrier-time events, exclusive of anything later.
+    #[test]
+    fn next_until_stops_at_the_barrier_inclusively() {
+        let arrivals = [
+            (SimTime::from_millis(1), 0usize),
+            (SimTime::from_millis(5), 1),
+            (SimTime::from_millis(9), 2),
+        ];
+        let mut staged = StagedStream::new(&arrivals);
+        let mut q: EventQueue<usize> = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), 10); // loses the t=5 tie
+        q.schedule(SimTime::from_millis(7), 11);
+
+        let barrier = SimTime::from_millis(5);
+        let mut drained = Vec::new();
+        while let Some((t, e)) = staged.next_until(&mut q, barrier, |p| p) {
+            drained.push((t, e));
+        }
+        assert_eq!(
+            drained,
+            vec![
+                (SimTime::from_millis(1), 0),
+                (SimTime::from_millis(5), 1),
+                (SimTime::from_millis(5), 10),
+            ]
+        );
+        // Later events are untouched for the next epoch.
+        assert_eq!(staged.remaining(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        // Resuming with the plain `next` drains the rest in order.
+        assert_eq!(
+            staged.next(&mut q, |p| p),
+            Some((SimTime::from_millis(7), 11))
+        );
+        assert_eq!(
+            staged.next(&mut q, |p| p),
+            Some((SimTime::from_millis(9), 2))
+        );
+        assert_eq!(staged.next(&mut q, |p| p), None);
+    }
+
+    /// `peek_time` reports the merged head without consuming it.
+    #[test]
+    fn staged_peek_time_merges_both_sources() {
+        let arrivals = [(SimTime::from_millis(4), 0usize)];
+        let staged = StagedStream::new(&arrivals);
+        let mut q: EventQueue<usize> = EventQueue::new();
+        assert_eq!(staged.peek_time(&q), Some(SimTime::from_millis(4)));
+        q.schedule(SimTime::from_millis(2), 1);
+        assert_eq!(staged.peek_time(&q), Some(SimTime::from_millis(2)));
+        assert_eq!(staged.remaining(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    proptest! {
+        /// Epoch-chunked draining via `next_until` over arbitrary
+        /// barriers yields the same event sequence as one sequential
+        /// drain via `next`.
+        #[test]
+        fn prop_epoch_chunked_drain_equals_sequential(
+            staged_times in prop::collection::vec(0u64..100, 0..40),
+            queued_times in prop::collection::vec(0u64..100, 0..40),
+            step in 1u64..30,
+        ) {
+            let mut staged_times = staged_times;
+            staged_times.sort_unstable();
+            let arrivals: Vec<(SimTime, usize)> = staged_times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (SimTime::from_millis(t), i))
+                .collect();
+
+            let build_queue = || -> EventQueue<usize> {
+                let mut q = EventQueue::new();
+                for (i, &t) in queued_times.iter().enumerate() {
+                    q.schedule(SimTime::from_millis(t), 1000 + i);
+                }
+                q
+            };
+
+            let mut seq_stream = StagedStream::new(&arrivals);
+            let mut seq_q = build_queue();
+            let mut sequential = Vec::new();
+            while let Some(ev) = seq_stream.next(&mut seq_q, |p| p) {
+                sequential.push(ev);
+            }
+
+            let mut epoch_stream = StagedStream::new(&arrivals);
+            let mut epoch_q = build_queue();
+            let mut chunked = Vec::new();
+            let mut barrier = SimTime::from_millis(step);
+            let horizon = SimTime::from_millis(200);
+            while barrier <= horizon {
+                while let Some(ev) = epoch_stream.next_until(&mut epoch_q, barrier, |p| p) {
+                    chunked.push(ev);
+                }
+                barrier += SimDuration::from_millis(step);
+            }
+            prop_assert_eq!(chunked, sequential);
+        }
     }
 
     #[test]

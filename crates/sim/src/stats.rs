@@ -183,6 +183,17 @@ impl Samples {
         })
     }
 
+    /// Appends every observation of `other`, preserving `other`'s
+    /// insertion order after this set's existing samples — the merge
+    /// order shard-merging code relies on for determinism.
+    pub fn merge_from(&mut self, other: &Samples) {
+        if other.values.is_empty() {
+            return;
+        }
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
+
     /// Fraction of observations strictly greater than `threshold`
     /// (used for SLO-violation rates). Returns 0.0 when empty.
     pub fn fraction_above(&self, threshold: f64) -> f64 {

@@ -1,11 +1,10 @@
 //! Span events and the pluggable telemetry sink.
 
-use std::cell::{Ref, RefCell};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::timeseries::GaugeRow;
 
@@ -144,7 +143,10 @@ pub struct TraceMeta {
 /// before building a [`SpanEvent`] or [`GaugeRow`], and a sink must
 /// never influence the simulation (no RNG draws, no event scheduling —
 /// the trait gets no access to either).
-pub trait TelemetrySink: std::fmt::Debug {
+///
+/// Sinks are `Send` because the sharded runner moves each shard's
+/// engine (and therefore its sink) onto a worker thread at every epoch.
+pub trait TelemetrySink: std::fmt::Debug + Send {
     /// `false` skips span/gauge construction entirely.
     fn enabled(&self) -> bool;
 
@@ -190,7 +192,7 @@ pub struct MemoryStore {
 /// platform, and read the shared store through the other after the run.
 #[derive(Debug, Clone, Default)]
 pub struct MemorySink {
-    store: Rc<RefCell<MemoryStore>>,
+    store: Arc<Mutex<MemoryStore>>,
 }
 
 impl MemorySink {
@@ -203,10 +205,11 @@ impl MemorySink {
     ///
     /// # Panics
     ///
-    /// Panics if a clone of this sink is concurrently recording (the
-    /// engine never holds the borrow across a call boundary).
-    pub fn store(&self) -> Ref<'_, MemoryStore> {
-        self.store.borrow()
+    /// Panics if a clone of this sink poisoned the store by panicking
+    /// mid-record (the engine never holds the lock across a call
+    /// boundary).
+    pub fn store(&self) -> MutexGuard<'_, MemoryStore> {
+        self.store.lock().expect("telemetry store poisoned")
     }
 }
 
@@ -216,15 +219,15 @@ impl TelemetrySink for MemorySink {
     }
 
     fn begin(&mut self, meta: &TraceMeta) {
-        self.store.borrow_mut().meta = Some(meta.clone());
+        self.store().meta = Some(meta.clone());
     }
 
     fn record(&mut self, span: SpanEvent) {
-        self.store.borrow_mut().spans.push(span);
+        self.store().spans.push(span);
     }
 
     fn sample(&mut self, row: &GaugeRow) {
-        self.store.borrow_mut().rows.push(row.clone());
+        self.store().rows.push(row.clone());
     }
 }
 

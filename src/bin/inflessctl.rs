@@ -16,12 +16,19 @@ use infless::descriptor::Scenario;
 use infless::telemetry::{summarize_file, FileSink, NullSink, TelemetrySink};
 
 const USAGE: &str = "usage: inflessctl <scenario.json> [--seed N] [--json]
+                  [--shards N] [--canonical-json]
                   [--trace-out <path.jsonl>] [--timeseries-out <path.csv>]
        inflessctl trace summary <trace.jsonl>
 
 Runs a deployment scenario (see scenarios/ for examples) and prints the
 run report. --seed overrides the scenario's seed; --json emits the
 summary as JSON instead of a table.
+
+--shards N runs the INFless platform through the sharded epoch-barrier
+engine with N shards (INFless scenarios only; telemetry streaming is
+not available on this path). The report is byte-identical for every N.
+--canonical-json prints the report's canonical JSON rendering — the
+exact string the CI determinism gate byte-diffs between shard counts.
 
 --trace-out streams per-request lifecycle spans (arrival, enqueued,
 batch_formed, exec_start, complete, dropped, shed, displaced, retried)
@@ -42,6 +49,8 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut seed: Option<u64> = None;
     let mut json = false;
+    let mut canonical = false;
+    let mut shards: Option<usize> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut timeseries_out: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
@@ -51,6 +60,11 @@ fn main() -> ExitCode {
                 _ => return usage("--seed needs an integer"),
             },
             "--json" => json = true,
+            "--canonical-json" => canonical = true,
+            "--shards" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v >= 1 => shards = Some(v),
+                _ => return usage("--shards needs a positive integer"),
+            },
             "--trace-out" => match args.next() {
                 Some(p) => trace_out = Some(PathBuf::from(p)),
                 None => return usage("--trace-out needs a path"),
@@ -81,20 +95,30 @@ fn main() -> ExitCode {
     if let Some(seed) = seed {
         scenario.seed = seed;
     }
-    let sink: Box<dyn TelemetrySink> = if trace_out.is_some() || timeseries_out.is_some() {
-        match FileSink::create(trace_out.as_deref(), timeseries_out.as_deref()) {
-            Ok(sink) => Box::new(sink),
-            Err(e) => {
-                eprintln!("error: failed to open telemetry output: {e}");
-                return ExitCode::FAILURE;
-            }
+    let result = if let Some(shards) = shards {
+        if trace_out.is_some() || timeseries_out.is_some() {
+            return usage("--shards does not support telemetry streaming");
         }
+        scenario.run_sharded(shards)
     } else {
-        Box::new(NullSink)
+        let sink: Box<dyn TelemetrySink> = if trace_out.is_some() || timeseries_out.is_some() {
+            match FileSink::create(trace_out.as_deref(), timeseries_out.as_deref()) {
+                Ok(sink) => Box::new(sink),
+                Err(e) => {
+                    eprintln!("error: failed to open telemetry output: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            Box::new(NullSink)
+        };
+        scenario.run_with_telemetry(sink)
     };
-    match scenario.run_with_telemetry(sink) {
+    match result {
         Ok(report) => {
-            if json {
+            if canonical {
+                println!("{}", report.canonical_json());
+            } else if json {
                 print_json(&report);
             } else {
                 print_table(&report);

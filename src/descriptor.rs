@@ -41,6 +41,7 @@ use infless_core::chains::ChainSpec;
 use infless_core::engine::FunctionInfo;
 use infless_core::metrics::RunReport;
 use infless_core::platform::{ColdStartConfig, InflessConfig, InflessPlatform};
+use infless_core::ShardedInfless;
 use infless_faults::{FaultPlan, FaultSchedule};
 use infless_models::ModelId;
 use infless_sim::SimDuration;
@@ -184,6 +185,15 @@ fn default_seed() -> u64 {
     42
 }
 
+/// Everything a platform run needs, built once from the descriptor.
+struct ScenarioParts {
+    functions: Vec<FunctionInfo>,
+    workload: Workload,
+    chains: Vec<ChainSpec>,
+    cluster: ClusterSpec,
+    schedule: FaultSchedule,
+}
+
 /// Errors building or running a scenario.
 #[derive(Debug)]
 pub enum ScenarioError {
@@ -309,6 +319,77 @@ impl Scenario {
         &self,
         sink: Box<dyn infless_telemetry::TelemetrySink>,
     ) -> Result<RunReport, ScenarioError> {
+        let parts = self.build_parts()?;
+        let report = match self.platform {
+            PlatformKind::Infless => InflessPlatform::with_chains(
+                parts.cluster,
+                parts.functions,
+                parts.chains,
+                self.infless_config(),
+                self.seed,
+            )
+            .with_fault_schedule(parts.schedule)
+            .with_telemetry(sink)
+            .run(&parts.workload),
+            PlatformKind::Openfaas => OpenFaasPlus::new(parts.cluster, parts.functions, self.seed)
+                .with_fault_schedule(parts.schedule)
+                .with_telemetry(sink)
+                .run(&parts.workload),
+            PlatformKind::Batch => BatchPlatform::new(parts.cluster, parts.functions, self.seed)
+                .with_fault_schedule(parts.schedule)
+                .with_telemetry(sink)
+                .run(&parts.workload),
+        };
+        Ok(report)
+    }
+
+    /// As [`Scenario::run`], but drives the INFless platform through
+    /// the sharded epoch-barrier engine ([`ShardedInfless`]) with
+    /// `shards` shards. The report is a pure function of the scenario
+    /// and the shard count — and byte-identical across shard counts —
+    /// so this is the surface the CI determinism gate byte-diffs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::run`]; additionally [`ScenarioError::Invalid`]
+    /// when `shards` is zero or the scenario targets a baseline
+    /// platform (only the INFless engine is sharded).
+    pub fn run_sharded(&self, shards: usize) -> Result<RunReport, ScenarioError> {
+        if shards == 0 {
+            return Err(ScenarioError::Invalid("--shards must be at least 1".into()));
+        }
+        if self.platform != PlatformKind::Infless {
+            return Err(ScenarioError::Invalid(
+                "sharded execution requires the INFless platform".into(),
+            ));
+        }
+        let parts = self.build_parts()?;
+        let report = ShardedInfless::with_chains(
+            parts.cluster,
+            parts.functions,
+            parts.chains,
+            self.infless_config(),
+            self.seed,
+        )
+        .with_fault_schedule(parts.schedule)
+        .run(&parts.workload, shards);
+        Ok(report)
+    }
+
+    /// The INFless configuration every scenario run uses (LSTH
+    /// keep-alive, defaults elsewhere) — shared by the legacy and
+    /// sharded paths so their reports stay comparable.
+    fn infless_config(&self) -> InflessConfig {
+        InflessConfig {
+            coldstart: ColdStartConfig::Lsth { gamma: 0.5 },
+            ..InflessConfig::default()
+        }
+    }
+
+    /// Builds everything a platform needs from the descriptor: the
+    /// function table, the workload, the chains, the cluster spec and
+    /// the fault schedule.
+    fn build_parts(&self) -> Result<ScenarioParts, ScenarioError> {
         let functions: Vec<FunctionInfo> = self
             .functions
             .iter()
@@ -364,30 +445,13 @@ impl Scenario {
             }
             None => FaultSchedule::empty(),
         };
-        let report = match self.platform {
-            PlatformKind::Infless => InflessPlatform::with_chains(
-                cluster,
-                functions,
-                chains,
-                InflessConfig {
-                    coldstart: ColdStartConfig::Lsth { gamma: 0.5 },
-                    ..InflessConfig::default()
-                },
-                self.seed,
-            )
-            .with_fault_schedule(schedule)
-            .with_telemetry(sink)
-            .run(&workload),
-            PlatformKind::Openfaas => OpenFaasPlus::new(cluster, functions, self.seed)
-                .with_fault_schedule(schedule)
-                .with_telemetry(sink)
-                .run(&workload),
-            PlatformKind::Batch => BatchPlatform::new(cluster, functions, self.seed)
-                .with_fault_schedule(schedule)
-                .with_telemetry(sink)
-                .run(&workload),
-        };
-        Ok(report)
+        Ok(ScenarioParts {
+            functions,
+            workload,
+            chains,
+            cluster,
+            schedule,
+        })
     }
 
     fn build_load(
@@ -520,6 +584,23 @@ mod tests {
         // The max_batch cap holds: classify never batches beyond 8.
         let classify = &report.functions[1];
         assert!(classify.per_batch_completed.keys().all(|b| *b <= 8));
+    }
+
+    #[test]
+    fn sharded_run_is_shard_count_invariant() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        let r1 = s.run_sharded(1).unwrap();
+        let r3 = s.run_sharded(3).unwrap();
+        assert_eq!(r1.canonical_json(), r3.canonical_json());
+    }
+
+    #[test]
+    fn sharded_run_rejects_baselines_and_zero_shards() {
+        let s = Scenario::from_json(MINIMAL).unwrap();
+        assert!(s.run_sharded(0).is_err());
+        let batch = MINIMAL.replace("\"infless\"", "\"batch\"");
+        let s = Scenario::from_json(&batch).unwrap();
+        assert!(s.run_sharded(2).is_err());
     }
 
     #[test]
