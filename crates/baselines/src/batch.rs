@@ -224,6 +224,18 @@ impl BatchPlatform {
                         self.pump(f, &mut queue);
                     }
                 }
+                // Never scheduled here (BATCH boots cold), but handled
+                // totally, mirroring InstanceReady.
+                EngineEvent::SwapComplete(id) => {
+                    let function = self
+                        .engine
+                        .is_live(id)
+                        .then(|| self.engine.instance(id).function().raw());
+                    self.engine.on_swap_complete(id, &mut queue);
+                    if let Some(f) = function {
+                        self.pump(f, &mut queue);
+                    }
+                }
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
                     // Stale if a fault killed the instance mid-batch.

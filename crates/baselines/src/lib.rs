@@ -10,6 +10,10 @@
 //!   configuration, uniform scaling, a fixed keep-alive window and the
 //!   OTP buffer's extra dispatch latency. A best-fit placement variant
 //!   gives the paper's **BATCH+RS** system (Fig. 17b).
+//! * [`Torpor`] — a GPU-memory-tier baseline (Yu et al.): the same
+//!   reactive semantics as OpenFaaS+, but every model's weights stay
+//!   pinned in host RAM and a launch is a pipelined PCIe swap-in
+//!   instead of a container boot + disk load.
 //! * [`lambda`] — an AWS-Lambda-like platform model (proportional
 //!   CPU-memory allocation, CPU only) for the §2 motivation study
 //!   (Fig. 2, Fig. 3).
@@ -26,6 +30,7 @@ pub mod batch;
 pub mod cost;
 pub mod lambda;
 pub mod openfaas;
+pub mod torpor;
 
 pub use batch::{
     uniform_plan, BatchConfig, BatchPlacement, BatchPlatform, UniformPlan, BATCH_PROFILE_MARGIN,
@@ -33,3 +38,4 @@ pub use batch::{
 pub use cost::{CostModel, CostSummary};
 pub use lambda::{LambdaModel, LAMBDA_MEMORY_STEPS_MB};
 pub use openfaas::{OpenFaasConfig, OpenFaasPlus};
+pub use torpor::{Torpor, TorporConfig};

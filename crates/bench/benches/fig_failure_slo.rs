@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates INFless on healthy clusters; this experiment
 //! asks how much of its SLO advantage survives when machines crash,
-//! instances die, cold starts fail and stragglers appear. All three
+//! instances die, cold starts fail and stragglers appear. All four
 //! systems face the *identical* seeded fault schedule at each
 //! intensity, so the gaps are recovery-policy gaps:
 //!
@@ -12,7 +12,10 @@
 //! * OpenFaaS+ retries reactively (a displaced request triggers the
 //!   same rate-limited pod launches a fresh arrival would);
 //! * BATCH re-buffers displaced requests but cannot add capacity until
-//!   its next scaling tick.
+//!   its next scaling tick;
+//! * Torpor recovers reactively like OpenFaaS+, but every replacement
+//!   launch is a PCIe swap-in from the host model cache instead of a
+//!   container boot — its time-to-recapacity isolates the memory tier.
 //!
 //! Reported per (system, intensity): SLO violation rate (shed requests
 //! count as violations), requests shed, and mean time-to-recapacity —
@@ -20,10 +23,12 @@
 //! each fault.
 
 use infless_bench::{
-    header, maybe_quick, pattern_workload, quick, record, run_parallel, timeseries_json, System,
+    fault_schedule_for, header, maybe_quick, pattern_workload, quick, record, run_parallel,
+    timeseries_json, System,
 };
 use infless_cluster::ClusterSpec;
 use infless_core::apps::Application;
+use infless_core::runconfig::RunConfig;
 use infless_faults::FaultPlan;
 use infless_sim::SimDuration;
 use infless_telemetry::{MemorySink, SpanKind};
@@ -54,12 +59,19 @@ fn main() {
 
     let mut jobs = Vec::new();
     for &intensity in intensities {
-        for sys in System::trio() {
+        for sys in System::all() {
             let functions = app.functions().to_vec();
             let workload = &workload;
             jobs.push(move || {
                 let plan = FaultPlan::sweep(intensity);
-                sys.run_with_faults(cluster, &functions, workload, 42, &plan)
+                let schedule = fault_schedule_for(&plan, cluster, workload, 42);
+                sys.execute(
+                    cluster,
+                    &functions,
+                    workload,
+                    42,
+                    RunConfig::new().fault_schedule(schedule),
+                )
             });
         }
     }
@@ -71,8 +83,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for (i, &intensity) in intensities.iter().enumerate() {
-        for (s, sys) in System::trio().iter().enumerate() {
-            let r = &reports[i * System::trio().len() + s];
+        for (s, sys) in System::all().iter().enumerate() {
+            let r = &reports[i * System::all().len() + s];
             let recap = r.failures.mean_time_to_recapacity_ms();
             println!(
                 "{:<10} {:<10} {:>8.2}% {:>9} {:>9} {:>9} {:>12} {:>12}",
@@ -110,13 +122,15 @@ fn main() {
     // spans alone — it must agree with the collector's counters.
     let top = *intensities.last().expect("non-empty sweep");
     let sink = MemorySink::new();
-    let audited = System::Infless.run_with_faults_traced(
+    let schedule = fault_schedule_for(&FaultPlan::sweep(top), cluster, &workload, 42);
+    let audited = System::Infless.execute(
         cluster,
         app.functions(),
         &workload,
         42,
-        &FaultPlan::sweep(top),
-        Box::new(sink.clone()),
+        RunConfig::new()
+            .fault_schedule(schedule)
+            .telemetry(Box::new(sink.clone())),
     );
     let store = sink.store();
     let count = |k: SpanKind| store.spans.iter().filter(|s| s.kind == k).count() as u64;

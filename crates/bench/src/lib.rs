@@ -19,11 +19,13 @@
 use std::fs;
 use std::path::PathBuf;
 
-use infless_baselines::{BatchConfig, BatchPlacement, BatchPlatform, OpenFaasPlus};
+use infless_baselines::{BatchConfig, BatchPlacement, BatchPlatform, OpenFaasPlus, Torpor};
 use infless_cluster::ClusterSpec;
 use infless_core::engine::FunctionInfo;
 use infless_core::metrics::RunReport;
 use infless_core::platform::{InflessConfig, InflessPlatform};
+use infless_core::runconfig::RunConfig;
+use infless_core::sharded::ShardedInfless;
 use infless_faults::{FaultPlan, FaultSchedule};
 use infless_models::CacheOutcome;
 use infless_sim::SimDuration;
@@ -73,7 +75,7 @@ fn results_dir() -> PathBuf {
     dir.join("target").join("infless-results")
 }
 
-/// The three platforms under comparison.
+/// The platforms under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum System {
     /// The one-to-one baseline.
@@ -84,12 +86,26 @@ pub enum System {
     BatchRs,
     /// The paper's system.
     Infless,
+    /// The GPU-memory-tier baseline (host-RAM model cache + PCIe
+    /// swap-in launches).
+    Torpor,
 }
 
 impl System {
     /// The Figs. 11/12/15 comparison trio.
     pub fn trio() -> [System; 3] {
         [System::OpenFaasPlus, System::Batch, System::Infless]
+    }
+
+    /// The trio plus the Torpor swap baseline — the cold-start and
+    /// failure-sweep comparison set.
+    pub fn all() -> [System; 4] {
+        [
+            System::OpenFaasPlus,
+            System::Batch,
+            System::Torpor,
+            System::Infless,
+        ]
     }
 
     /// Display name.
@@ -99,10 +115,12 @@ impl System {
             System::Batch => "BATCH",
             System::BatchRs => "BATCH+RS",
             System::Infless => "INFless",
+            System::Torpor => "Torpor",
         }
     }
 
-    /// Runs this system on the given deployment and workload.
+    /// Runs this system with default knobs — shorthand for
+    /// [`System::execute`] with a default [`RunConfig`].
     pub fn run(
         self,
         cluster: ClusterSpec,
@@ -110,77 +128,55 @@ impl System {
         workload: &Workload,
         seed: u64,
     ) -> RunReport {
-        match self {
-            System::OpenFaasPlus => {
-                OpenFaasPlus::new(cluster, functions.to_vec(), seed).run(workload)
-            }
-            System::Batch => BatchPlatform::new(cluster, functions.to_vec(), seed).run(workload),
-            System::BatchRs => BatchPlatform::with_config(
-                cluster,
-                functions.to_vec(),
-                BatchConfig {
-                    placement: BatchPlacement::BestFit,
-                    ..BatchConfig::default()
-                },
-                seed,
-            )
-            .run(workload),
-            System::Infless => self.run_infless(cluster, functions, workload, seed),
+        self.execute(cluster, functions, workload, seed, RunConfig::new())
+    }
+
+    /// Runs this system under the unified execution API: shards, fault
+    /// schedule, telemetry sink and residency knobs all ride in
+    /// `config`. A default config is the classic single-core,
+    /// fault-free, telemetry-free run, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails [`RunConfig::validate`], or when a
+    /// sharded run (an explicit shard count, even 1) is requested for
+    /// a system other than INFless — the baselines have no
+    /// epoch-barrier driver.
+    pub fn execute(
+        self,
+        cluster: ClusterSpec,
+        functions: &[FunctionInfo],
+        workload: &Workload,
+        seed: u64,
+        config: RunConfig,
+    ) -> RunReport {
+        if let Err(e) = config.validate() {
+            panic!("invalid run config for {}: {e}", self.name());
         }
-    }
-
-    fn run_infless(
-        self,
-        cluster: ClusterSpec,
-        functions: &[FunctionInfo],
-        workload: &Workload,
-        seed: u64,
-    ) -> RunReport {
-        InflessPlatform::new(cluster, functions.to_vec(), InflessConfig::default(), seed)
-            .run(workload)
-    }
-
-    /// Like [`System::run`], but with faults injected from `plan`. The
-    /// schedule is generated once from `(plan, cluster, workload span,
-    /// seed)` — every system invoked with the same arguments faces the
-    /// *identical* sequence of crashes, kills and stragglers, so
-    /// differences in the resulting reports are recovery-policy
-    /// differences, not luck.
-    pub fn run_with_faults(
-        self,
-        cluster: ClusterSpec,
-        functions: &[FunctionInfo],
-        workload: &Workload,
-        seed: u64,
-        plan: &FaultPlan,
-    ) -> RunReport {
-        self.run_with_faults_traced(
-            cluster,
-            functions,
-            workload,
-            seed,
-            plan,
-            Box::new(infless_telemetry::NullSink),
-        )
-    }
-
-    /// As [`System::run_with_faults`], but attaches `sink` so the run
-    /// emits per-request lifecycle spans and time-series gauges.
-    /// Passing [`infless_telemetry::NullSink`] is bit-identical to
-    /// [`System::run_with_faults`].
-    pub fn run_with_faults_traced(
-        self,
-        cluster: ClusterSpec,
-        functions: &[FunctionInfo],
-        workload: &Workload,
-        seed: u64,
-        plan: &FaultPlan,
-        sink: Box<dyn infless_telemetry::TelemetrySink>,
-    ) -> RunReport {
-        let horizon = workload
-            .end_time()
-            .saturating_since(infless_sim::SimTime::ZERO);
-        let schedule = FaultSchedule::generate(plan, cluster.servers, horizon, seed);
+        let sharded = config.is_sharded().then(|| config.effective_shards());
+        // Empty schedule and NullSink are the platforms' own defaults;
+        // attaching them explicitly is bit-identical to not doing so.
+        let schedule = config.fault_schedule.unwrap_or_else(FaultSchedule::empty);
+        let sink = config
+            .telemetry
+            .unwrap_or_else(|| Box::new(infless_telemetry::NullSink));
+        let infless_config = || {
+            let mut cfg = InflessConfig::default();
+            if let Some(residency) = config.residency {
+                cfg.residency = residency;
+            }
+            cfg
+        };
+        if let Some(shards) = sharded {
+            assert!(
+                self == System::Infless,
+                "sharded execution is INFless-only; {} has no epoch-barrier driver",
+                self.name()
+            );
+            return ShardedInfless::new(cluster, functions.to_vec(), infless_config(), seed)
+                .with_fault_schedule(schedule)
+                .run(workload, shards);
+        }
         match self {
             System::OpenFaasPlus => OpenFaasPlus::new(cluster, functions.to_vec(), seed)
                 .with_fault_schedule(schedule)
@@ -202,14 +198,34 @@ impl System {
             .with_fault_schedule(schedule)
             .with_telemetry(sink)
             .run(workload),
+            System::Torpor => Torpor::new(cluster, functions.to_vec(), seed)
+                .with_fault_schedule(schedule)
+                .with_telemetry(sink)
+                .run(workload),
             System::Infless => {
-                InflessPlatform::new(cluster, functions.to_vec(), InflessConfig::default(), seed)
+                InflessPlatform::new(cluster, functions.to_vec(), infless_config(), seed)
                     .with_fault_schedule(schedule)
                     .with_telemetry(sink)
                     .run(workload)
             }
         }
     }
+}
+
+/// Generates the seeded fault schedule for a `(plan, cluster,
+/// workload, seed)` tuple. Every system handed the same arguments
+/// faces the *identical* sequence of crashes, kills and stragglers,
+/// so report differences are recovery-policy differences, not luck.
+pub fn fault_schedule_for(
+    plan: &FaultPlan,
+    cluster: ClusterSpec,
+    workload: &Workload,
+    seed: u64,
+) -> FaultSchedule {
+    let horizon = workload
+        .end_time()
+        .saturating_since(infless_sim::SimTime::ZERO);
+    FaultSchedule::generate(plan, cluster.servers, horizon, seed)
 }
 
 /// Builds per-function loads of the same trace pattern (independent

@@ -14,6 +14,10 @@ pub struct Placement {
     server: ServerId,
     gpu_index: Option<usize>,
     mem_mb: f64,
+    // Defaulted so placements serialized before the host/device memory
+    // split still load (they reserved no device memory).
+    #[serde(default)]
+    device_mb: f64,
 }
 
 impl Placement {
@@ -27,9 +31,15 @@ impl Placement {
         self.gpu_index
     }
 
-    /// The memory reserved by the allocation, in MB.
+    /// The host memory reserved by the allocation, in MB.
     pub fn mem_mb(self) -> f64 {
         self.mem_mb
+    }
+
+    /// The GPU device memory reserved by the allocation, in MB (zero
+    /// when the caller does not model the device-memory tier).
+    pub fn device_mb(self) -> f64 {
+        self.device_mb
     }
 }
 
@@ -78,11 +88,22 @@ pub struct Server {
     gpu_free: Vec<u32>,
     mem_capacity_mb: f64,
     mem_free_mb: f64,
+    // Per-device GPU memory books (MB), same indexing as the SM-share
+    // vectors. Defaulted so pre-split serialized servers still load
+    // (their allocations reserved no device memory, so empty books are
+    // consistent).
+    #[serde(default)]
+    gpu_mem_capacity_mb: Vec<f64>,
+    #[serde(default)]
+    gpu_mem_free_mb: Vec<f64>,
     instances: usize,
     // Defaulted so pre-fault-model serialized servers still load.
     #[serde(default)]
     health: ServerHealth,
 }
+
+/// Per-device GPU memory of the testbed's 2080Ti-class cards, MB.
+pub const DEFAULT_GPU_MEM_MB: f64 = 11.0 * 1024.0;
 
 impl Server {
     /// Creates a server with `cpu_capacity` cores, one entry in `gpus`
@@ -114,10 +135,34 @@ impl Server {
         gpus: &[u32],
         mem_capacity_mb: f64,
     ) -> Self {
+        Self::with_memory_split(id, cpu_capacity, gpus, mem_capacity_mb, DEFAULT_GPU_MEM_MB)
+    }
+
+    /// Creates a server with an explicit host/device memory split:
+    /// `mem_capacity_mb` of host memory plus `gpu_mem_per_device_mb` of
+    /// memory on each physical GPU. Device memory only constrains
+    /// allocations that declare a device demand
+    /// ([`Self::allocate_with_split`]); the classic paths reserve none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_capacity` is zero or either memory capacity is
+    /// not positive/finite.
+    pub fn with_memory_split(
+        id: ServerId,
+        cpu_capacity: u32,
+        gpus: &[u32],
+        mem_capacity_mb: f64,
+        gpu_mem_per_device_mb: f64,
+    ) -> Self {
         assert!(cpu_capacity > 0, "a server needs CPU capacity");
         assert!(
             mem_capacity_mb > 0.0 && mem_capacity_mb.is_finite(),
             "a server needs memory capacity"
+        );
+        assert!(
+            gpu_mem_per_device_mb > 0.0 && gpu_mem_per_device_mb.is_finite(),
+            "a GPU needs device memory capacity"
         );
         Server {
             id,
@@ -127,6 +172,8 @@ impl Server {
             gpu_free: gpus.to_vec(),
             mem_capacity_mb,
             mem_free_mb: mem_capacity_mb,
+            gpu_mem_capacity_mb: vec![gpu_mem_per_device_mb; gpus.len()],
+            gpu_mem_free_mb: vec![gpu_mem_per_device_mb; gpus.len()],
             instances: 0,
             health: ServerHealth::Up,
         }
@@ -157,14 +204,24 @@ impl Server {
         self.gpu_free.iter().sum()
     }
 
-    /// Total memory in MB.
+    /// Total host memory in MB.
     pub fn mem_capacity_mb(&self) -> f64 {
         self.mem_capacity_mb
     }
 
-    /// Currently unallocated memory in MB.
+    /// Currently unallocated host memory in MB.
     pub fn mem_free_mb(&self) -> f64 {
         self.mem_free_mb
+    }
+
+    /// Total GPU device memory across all devices, MB.
+    pub fn gpu_mem_capacity_total_mb(&self) -> f64 {
+        self.gpu_mem_capacity_mb.iter().sum()
+    }
+
+    /// Currently unallocated GPU device memory across all devices, MB.
+    pub fn gpu_mem_free_total_mb(&self) -> f64 {
+        self.gpu_mem_free_mb.iter().sum()
     }
 
     /// Number of instances currently placed on this server.
@@ -196,15 +253,38 @@ impl Server {
         self.fits_with_memory(cfg, 0.0)
     }
 
-    /// [`Self::fits`] with an additional memory demand in MB.
+    /// [`Self::fits`] with an additional host-memory demand in MB.
     pub fn fits_with_memory(&self, cfg: ResourceConfig, mem_mb: f64) -> bool {
+        self.fits_with_split(cfg, mem_mb, 0.0)
+    }
+
+    /// [`Self::fits_with_memory`] with an additional GPU device-memory
+    /// demand in MB: a single device must supply both the SM share and
+    /// the device memory. `device_mb == 0.0` is exactly the classic
+    /// check.
+    pub fn fits_with_split(&self, cfg: ResourceConfig, mem_mb: f64, device_mb: f64) -> bool {
         if self.health != ServerHealth::Up {
             return false;
         }
         if cfg.cpu_cores() > self.cpu_free || mem_mb > self.mem_free_mb {
             return false;
         }
-        cfg.gpu_pct() == 0 || self.gpu_free.iter().any(|&f| f >= cfg.gpu_pct())
+        if cfg.gpu_pct() == 0 {
+            return device_mb <= 0.0;
+        }
+        self.gpu_free
+            .iter()
+            .enumerate()
+            .any(|(i, &f)| f >= cfg.gpu_pct() && self.device_mem_fits(i, device_mb))
+    }
+
+    /// Whether device `i` has `device_mb` MB free. Servers deserialized
+    /// from pre-split snapshots carry empty device books — their
+    /// allocations reserved no device memory, so an absent book is
+    /// treated as unconstrained.
+    #[inline]
+    fn device_mem_fits(&self, i: usize, device_mb: f64) -> bool {
+        self.gpu_mem_free_mb.get(i).is_none_or(|&f| f >= device_mb)
     }
 
     /// Allocates `cfg` with no memory demand; see
@@ -222,7 +302,35 @@ impl Server {
     ///
     /// Panics if `mem_mb` is negative or non-finite.
     pub fn allocate_with_memory(&mut self, cfg: ResourceConfig, mem_mb: f64) -> Option<Placement> {
+        self.allocate_with_split(cfg, mem_mb, 0.0)
+    }
+
+    /// [`Self::allocate_with_memory`] with an additional GPU
+    /// device-memory demand: the chosen device supplies both the SM
+    /// share and `device_mb` MB of device memory (best-fit by free
+    /// share among devices that satisfy both). `device_mb == 0.0`
+    /// behaves identically to the classic path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either memory demand is negative or non-finite, or if
+    /// a device demand is attached to a CPU-only configuration (there
+    /// is no device to hold it).
+    pub fn allocate_with_split(
+        &mut self,
+        cfg: ResourceConfig,
+        mem_mb: f64,
+        device_mb: f64,
+    ) -> Option<Placement> {
         assert!(mem_mb >= 0.0 && mem_mb.is_finite(), "bad memory demand");
+        assert!(
+            device_mb >= 0.0 && device_mb.is_finite(),
+            "bad device memory demand"
+        );
+        assert!(
+            device_mb == 0.0 || cfg.gpu_pct() > 0,
+            "device memory demand on a CPU-only configuration"
+        );
         if self.health != ServerHealth::Up {
             return None;
         }
@@ -236,7 +344,7 @@ impl Server {
                 .gpu_free
                 .iter()
                 .enumerate()
-                .filter(|(_, &f)| f >= cfg.gpu_pct())
+                .filter(|&(i, &f)| f >= cfg.gpu_pct() && self.device_mem_fits(i, device_mb))
                 .min_by_key(|(_, &f)| f)
                 .map(|(i, _)| i)?;
             Some(best)
@@ -245,12 +353,16 @@ impl Server {
         self.mem_free_mb -= mem_mb;
         if let Some(i) = gpu_index {
             self.gpu_free[i] -= cfg.gpu_pct();
+            if let Some(f) = self.gpu_mem_free_mb.get_mut(i) {
+                *f -= device_mb;
+            }
         }
         self.instances += 1;
         Some(Placement {
             server: self.id,
             gpu_index,
             mem_mb,
+            device_mb,
         })
     }
 
@@ -285,6 +397,9 @@ impl Server {
                     "GPU release exceeds device capacity"
                 );
                 self.gpu_free[i] = (self.gpu_free[i] + pct).min(self.gpu_capacity[i]);
+                if let Some(f) = self.gpu_mem_free_mb.get_mut(i) {
+                    *f = (*f + placement.device_mb).min(self.gpu_mem_capacity_mb[i]);
+                }
             }
             _ => panic!("placement/config GPU mismatch"),
         }
@@ -454,6 +569,49 @@ mod tests {
         let s = Server::new(ServerId::new(0), 32, &[100, 100]);
         assert_eq!(s.mem_capacity_mb(), 128.0 * 1024.0);
         assert_eq!(s.mem_free_mb(), s.mem_capacity_mb());
+        assert_eq!(s.gpu_mem_capacity_total_mb(), 2.0 * DEFAULT_GPU_MEM_MB);
+        assert_eq!(s.gpu_mem_free_total_mb(), s.gpu_mem_capacity_total_mb());
+    }
+
+    #[test]
+    fn device_memory_constrains_gpu_placement() {
+        let mut s = Server::with_memory_split(ServerId::new(0), 32, &[100, 100], 1e5, 1000.0);
+        let cfg = ResourceConfig::new(1, 10);
+        // Fill device 0's memory with a 600 MB model; a second 600 MB
+        // model no longer fits there but lands on device 1, even though
+        // best-fit-by-share alone would have preferred device 0.
+        let a = s.allocate_with_split(cfg, 600.0, 600.0).unwrap();
+        assert_eq!(a.gpu_index(), Some(0));
+        assert_eq!(a.device_mb(), 600.0);
+        let b = s.allocate_with_split(cfg, 600.0, 600.0).unwrap();
+        assert_eq!(b.gpu_index(), Some(1));
+        // Both devices' memory is now below 600 MB free: a third does
+        // not fit despite ample SM share.
+        assert!(!s.fits_with_split(cfg, 600.0, 600.0));
+        assert!(s.allocate_with_split(cfg, 600.0, 600.0).is_none());
+        // Zero-device-demand allocations are untouched by the wall.
+        assert!(s.fits_with_split(cfg, 600.0, 0.0));
+        s.release(cfg, a);
+        s.release(cfg, b);
+        assert_eq!(s.gpu_mem_free_total_mb(), 2000.0);
+    }
+
+    #[test]
+    fn zero_device_demand_matches_classic_path() {
+        let mut classic = server();
+        let mut split = server();
+        let cfg = ResourceConfig::new(2, 30);
+        let a = classic.allocate_with_memory(cfg, 500.0).unwrap();
+        let b = split.allocate_with_split(cfg, 500.0, 0.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(classic, split);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU-only")]
+    fn device_demand_on_cpu_only_config_panics() {
+        let mut s = server();
+        s.allocate_with_split(ResourceConfig::cpu(1), 100.0, 100.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::ids::ServerId;
-use crate::server::{Placement, Server, ServerHealth};
+use crate::server::{Placement, Server, ServerHealth, DEFAULT_GPU_MEM_MB};
 
 /// Shape of a cluster to build.
 ///
@@ -29,6 +29,11 @@ pub struct ClusterSpec {
     pub gpus_per_server: usize,
     /// Memory per server, MB (Table 2: 128 GB).
     pub mem_per_server_mb: f64,
+    /// Device memory per GPU, MB. Zero (the serde default, so
+    /// pre-tier snapshots keep parsing) means "use the 2080Ti-class
+    /// default" ([`DEFAULT_GPU_MEM_MB`]).
+    #[serde(default)]
+    pub gpu_mem_per_device_mb: f64,
 }
 
 impl ClusterSpec {
@@ -40,6 +45,17 @@ impl ClusterSpec {
             cores_per_server: 32,
             gpus_per_server: 2,
             mem_per_server_mb: 128.0 * 1024.0,
+            gpu_mem_per_device_mb: DEFAULT_GPU_MEM_MB,
+        }
+    }
+
+    /// The per-device memory to build servers with: the configured
+    /// value, or the 2080Ti-class default when unset/zero.
+    pub fn device_mem_mb(&self) -> f64 {
+        if self.gpu_mem_per_device_mb > 0.0 {
+            self.gpu_mem_per_device_mb
+        } else {
+            DEFAULT_GPU_MEM_MB
         }
     }
 
@@ -201,11 +217,12 @@ impl ClusterState {
         let gpus = vec![100u32; spec.gpus_per_server];
         let servers = (0..spec.servers)
             .map(|i| {
-                Server::with_memory(
+                Server::with_memory_split(
                     ServerId::new(i),
                     spec.cores_per_server,
                     &gpus,
                     spec.mem_per_server_mb,
+                    spec.device_mem_mb(),
                 )
             })
             .collect();
@@ -263,7 +280,12 @@ impl ClusterState {
                     placement,
                 } => {
                     let got = self
-                        .allocate_on_with_memory(placement.server(), cfg, mem_mb)
+                        .allocate_on_with_split(
+                            placement.server(),
+                            cfg,
+                            mem_mb,
+                            placement.device_mb(),
+                        )
                         .expect("replica replay: allocation no longer fits");
                     assert_eq!(
                         got, placement,
@@ -411,16 +433,29 @@ impl ClusterState {
         self.allocate_on_with_memory(server, cfg, 0.0)
     }
 
-    /// [`Self::allocate_on`] with an additional memory demand in MB.
+    /// [`Self::allocate_on`] with an additional host-memory demand in
+    /// MB.
     pub fn allocate_on_with_memory(
         &mut self,
         server: ServerId,
         cfg: ResourceConfig,
         mem_mb: f64,
     ) -> Result<Placement, PlacementError> {
+        self.allocate_on_with_split(server, cfg, mem_mb, 0.0)
+    }
+
+    /// [`Self::allocate_on_with_memory`] with an additional per-device
+    /// GPU-memory demand in MB, booked against the chosen device.
+    pub fn allocate_on_with_split(
+        &mut self,
+        server: ServerId,
+        cfg: ResourceConfig,
+        mem_mb: f64,
+        device_mb: f64,
+    ) -> Result<Placement, PlacementError> {
         self.note_touch(server.raw());
         let placement = self.servers[server.raw()]
-            .allocate_with_memory(cfg, mem_mb)
+            .allocate_with_split(cfg, mem_mb, device_mb)
             .ok_or(PlacementError::InsufficientResources)?;
         self.record(ClusterOp::Allocate {
             cfg,
@@ -438,18 +473,30 @@ impl ClusterState {
         self.allocate_anywhere_with_memory(cfg, 0.0)
     }
 
-    /// [`Self::allocate_anywhere`] with an additional memory demand.
+    /// [`Self::allocate_anywhere`] with an additional host-memory
+    /// demand.
     pub fn allocate_anywhere_with_memory(
         &mut self,
         cfg: ResourceConfig,
         mem_mb: f64,
     ) -> Result<Placement, PlacementError> {
+        self.allocate_anywhere_with_split(cfg, mem_mb, 0.0)
+    }
+
+    /// [`Self::allocate_anywhere_with_memory`] with an additional
+    /// per-device GPU-memory demand.
+    pub fn allocate_anywhere_with_split(
+        &mut self,
+        cfg: ResourceConfig,
+        mem_mb: f64,
+        device_mb: f64,
+    ) -> Result<Placement, PlacementError> {
         for i in 0..self.servers.len() {
-            if !self.servers[i].fits_with_memory(cfg, mem_mb) {
+            if !self.servers[i].fits_with_split(cfg, mem_mb, device_mb) {
                 continue;
             }
             self.note_touch(i);
-            if let Some(p) = self.servers[i].allocate_with_memory(cfg, mem_mb) {
+            if let Some(p) = self.servers[i].allocate_with_split(cfg, mem_mb, device_mb) {
                 self.record(ClusterOp::Allocate {
                     cfg,
                     mem_mb,
@@ -535,6 +582,22 @@ impl ClusterState {
             .sum()
     }
 
+    /// Total GPU device memory across the cluster, MB.
+    pub fn gpu_mem_capacity_mb(&self) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| s.gpu_mem_capacity_total_mb())
+            .sum()
+    }
+
+    /// GPU device memory currently reserved across the cluster, MB.
+    pub fn gpu_mem_in_use_mb(&self) -> f64 {
+        self.servers
+            .iter()
+            .map(|s| s.gpu_mem_capacity_total_mb() - s.gpu_mem_free_total_mb())
+            .sum()
+    }
+
     /// Number of servers hosting at least one instance.
     pub fn active_servers(&self) -> usize {
         self.servers.iter().filter(|s| s.is_active()).count()
@@ -600,6 +663,7 @@ mod tests {
             cores_per_server: 2,
             gpus_per_server: 0,
             mem_per_server_mb: 1024.0,
+            gpu_mem_per_device_mb: 0.0,
         }
         .build();
         assert!(c.allocate_anywhere(ResourceConfig::cpu(2)).is_ok());
@@ -737,6 +801,46 @@ mod tests {
         c.try_place(cfg, 128.0).unwrap();
         c.commit_txn();
         assert_eq!(c.take_journal().len(), 1);
+    }
+
+    /// Device-memory bookings ride the same journal: a replayed
+    /// split allocation lands on the recorded device and restores the
+    /// replica's device books bit-identically.
+    #[test]
+    fn journal_replay_covers_device_memory() {
+        let mut a = ClusterSpec::testbed().build();
+        let mut b = a.clone();
+        a.enable_journal();
+
+        let cfg = ResourceConfig::new(2, 40);
+        let p0 = a.allocate_anywhere_with_split(cfg, 512.0, 6000.0).unwrap();
+        assert!(p0.device_mb() > 0.0);
+        let p1 = a
+            .allocate_on_with_split(ServerId::new(2), cfg, 256.0, 8000.0)
+            .unwrap();
+        a.release(cfg, p0);
+        let _ = p1;
+
+        let ops = a.take_journal();
+        b.apply_ops(&ops);
+        assert_eq!(a, b);
+        assert!((a.gpu_mem_in_use_mb() - 8000.0).abs() < 1e-9);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn device_memory_aggregates_track_bookings() {
+        let mut c = ClusterSpec::large(2).build();
+        assert_eq!(c.gpu_mem_capacity_mb(), 2.0 * 2.0 * DEFAULT_GPU_MEM_MB);
+        assert_eq!(c.gpu_mem_in_use_mb(), 0.0);
+        let cfg = ResourceConfig::new(1, 25);
+        let p = c.allocate_anywhere_with_split(cfg, 0.0, 1234.0).unwrap();
+        assert!((c.gpu_mem_in_use_mb() - 1234.0).abs() < 1e-9);
+        c.release(cfg, p);
+        assert_eq!(c.gpu_mem_in_use_mb(), 0.0);
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub trait ColdStartPolicy: std::fmt::Debug + Send {
     /// The windows to apply at `now`.
     fn windows(&mut self, now: SimTime) -> Windows;
 
+    /// How long to keep a model's weights *host-cached* after its last
+    /// GPU residency lapses — the second tier of the residency state
+    /// machine (`GpuResident → HostCached → Cold`). Host memory is
+    /// cheap relative to device memory, so the default simply stretches
+    /// the keep-alive window: a model worth keeping on a GPU for `k` is
+    /// worth keeping in host RAM for `4k`.
+    fn host_keep_alive(&mut self, now: SimTime) -> SimDuration {
+        self.windows(now).keep_alive.mul_f64(4.0)
+    }
+
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -264,6 +274,31 @@ impl ColdStartPolicy for Lsth {
             (None, Some(s)) => s,
             (None, None) => conservative(),
         }
+    }
+
+    fn host_keep_alive(&mut self, now: SimTime) -> SimDuration {
+        // Tiered LSTH: the host tier reads a *deeper* tail of the same
+        // two histograms (99.9th instead of 99th) — idle gaps too rare
+        // to justify device residency still argue for a host copy,
+        // because a swap-in at ~0.3 s is an order of magnitude cheaper
+        // than a boot. Never below the stretched device window.
+        const HOST_TAIL: f64 = 0.999;
+        let deep = |h: &BinnedHistogram| -> Option<SimDuration> {
+            if h.count() < MIN_SAMPLES || h.overflow_fraction() > 0.5 {
+                return None;
+            }
+            h.quantile_upper_edge(HOST_TAIL)
+                .map(SimDuration::from_secs_f64)
+        };
+        let long = deep(&self.long.histogram(now));
+        let short = deep(&self.short.histogram(now));
+        let blended = match (long, short) {
+            (Some(l), Some(s)) => l.mul_f64(self.gamma) + s.mul_f64(1.0 - self.gamma),
+            (Some(l), None) => l,
+            (None, Some(s)) => s,
+            (None, None) => conservative().keep_alive,
+        };
+        blended.max(self.windows(now).keep_alive.mul_f64(4.0))
     }
 
     fn name(&self) -> &'static str {
@@ -484,6 +519,31 @@ mod tests {
     #[should_panic(expected = "long-term")]
     fn lsth_rejects_inverted_durations() {
         Lsth::with_durations(0.5, SimDuration::from_mins(10), SimDuration::from_hours(1));
+    }
+
+    /// Tiered eviction: the host tier always out-waits the device
+    /// tier, and LSTH's deep-tail host window reacts to rare long
+    /// gaps that the 99th-percentile device window shrugs off.
+    #[test]
+    fn host_keep_alive_outlasts_device_keep_alive() {
+        let mut lsth = Lsth::new(0.5);
+        let mut t = SimTime::ZERO;
+        for _ in 0..40 {
+            t += SimDuration::from_mins(5);
+            lsth.record_idle(t, SimDuration::from_mins(5));
+        }
+        let device = lsth.windows(t).keep_alive;
+        let host = lsth.host_keep_alive(t);
+        assert!(
+            host >= device.mul_f64(4.0),
+            "host {host:?} device {device:?}"
+        );
+
+        // The default-impl path (HHP) stretches the device window.
+        let mut hhp = HybridHistogram::new();
+        let t2 = feed_regular(&mut hhp, SimDuration::from_mins(20), 10);
+        let device = hhp.windows(t2).keep_alive;
+        assert_eq!(hhp.host_keep_alive(t2), device.mul_f64(4.0));
     }
 
     #[test]

@@ -92,6 +92,10 @@ pub enum EngineEvent {
     Arrival(usize),
     /// A cold/pre-warmed start finished.
     InstanceReady(InstanceId),
+    /// A Torpor-style host→device model swap finished; the instance
+    /// becomes ready. Separate from [`EngineEvent::InstanceReady`] so
+    /// platforms (and traces) can tell a swap-in from a boot.
+    SwapComplete(InstanceId),
     /// A batch queue's wait budget may have expired.
     BatchTimeout(InstanceId),
     /// A running batch finished.
@@ -164,6 +168,11 @@ pub struct Engine {
     /// How MPS interference reads co-resident SM activity; see
     /// [`Self::use_interference_snapshot`].
     interference_snapshot: Option<Vec<u32>>,
+    /// When `true`, GPU instance launches book the model's weights
+    /// against the chosen device's memory (the residency tier's
+    /// device-memory constraint). Off by default so a tier-disabled
+    /// run allocates exactly like the pre-tier engine.
+    device_memory: bool,
     /// When `true`, capacity-loss probes are owned by an external
     /// coordinator: launches append to `launch_log` instead of
     /// crediting the internal FIFO, and faults book no probes here.
@@ -186,7 +195,7 @@ pub struct Engine {
 #[derive(Debug, Clone, Copy)]
 struct InstanceMeta {
     wait_budget: SimDuration,
-    cold: bool,
+    startup: StartupKind,
 }
 
 /// One live instance's slab entry: the instance itself plus the
@@ -265,6 +274,7 @@ impl Engine {
                 &format!("engine/{platform_name}"),
             )),
             interference_snapshot: None,
+            device_memory: false,
             recapacity_external: false,
             launch_log: Vec::new(),
             beta,
@@ -344,6 +354,25 @@ impl Engine {
     /// `server * gpus_per_server + gpu`.
     pub fn gpu_busy_totals(&self) -> &[u32] {
         &self.gpu_busy_pct
+    }
+
+    /// Turns on device-memory booking: subsequent GPU launches reserve
+    /// the model's weight footprint on the chosen device, so placement
+    /// respects per-GPU memory capacity. Leave off (the default) to
+    /// allocate exactly like the pre-tier engine.
+    pub fn enable_device_memory(&mut self) {
+        self.device_memory = true;
+    }
+
+    /// The per-device GPU-memory demand a launch of `function` with
+    /// `config` books: the model's weights for GPU configs when
+    /// device-memory booking is on, zero otherwise.
+    pub fn device_demand(&self, function: usize, config: InstanceConfig) -> f64 {
+        if self.device_memory && config.resources().gpu_pct() > 0 {
+            self.functions[function].spec().size_mb()
+        } else {
+            0.0
+        }
     }
 
     /// Hands capacity-loss probe ownership to an external coordinator:
@@ -527,7 +556,7 @@ impl Engine {
             inst,
             meta: InstanceMeta {
                 wait_budget,
-                cold: matches!(startup, StartupKind::Cold),
+                startup,
             },
             in_flight: None,
         }));
@@ -557,10 +586,40 @@ impl Engine {
                 }
             }
         }
-        if ready_at > self.now {
+        if matches!(startup, StartupKind::SwapIn) {
+            if self.telemetry.enabled() {
+                self.emit_swap(SpanKind::SwapBegin, self.now, function, id, placement);
+            }
+            if ready_at > self.now {
+                queue.schedule(ready_at, EngineEvent::SwapComplete(id));
+            }
+        } else if ready_at > self.now {
             queue.schedule(ready_at, EngineEvent::InstanceReady(id));
         }
         id
+    }
+
+    /// Records one instance-scoped swap span. Keyed by a synthetic
+    /// request id with the high bit set, so it can never collide with a
+    /// real request in per-request trace validation.
+    fn emit_swap(
+        &mut self,
+        kind: SpanKind,
+        t: SimTime,
+        function: usize,
+        id: InstanceId,
+        placement: infless_cluster::Placement,
+    ) {
+        self.telemetry.record(SpanEvent {
+            t_s: t.as_secs_f64(),
+            kind,
+            request: (1u64 << 63) | id.raw(),
+            function: function as u32,
+            instance: id.raw() as i64,
+            server: placement.server().raw() as i64,
+            batch: 0,
+            fault: FaultTag::None,
+        });
     }
 
     /// Allocates anywhere (first-fit) and launches — the baseline path.
@@ -579,9 +638,10 @@ impl Engine {
         let mem = self
             .hardware
             .instance_memory_mb(self.functions[function].spec());
-        let placement = self
-            .cluster
-            .allocate_anywhere_with_memory(config.resources(), mem)?;
+        let device_mb = self.device_demand(function, config);
+        let placement =
+            self.cluster
+                .allocate_anywhere_with_split(config.resources(), mem, device_mb)?;
         Ok(self.launch_preallocated(function, config, placement, startup, wait_budget, queue))
     }
 
@@ -603,9 +663,10 @@ impl Engine {
         let mem = self
             .hardware
             .instance_memory_mb(self.functions[function].spec());
-        let placement = self
-            .cluster
-            .allocate_on_with_memory(server, config.resources(), mem)?;
+        let device_mb = self.device_demand(function, config);
+        let placement =
+            self.cluster
+                .allocate_on_with_split(server, config.resources(), mem, device_mb)?;
         Ok(self.launch_preallocated(function, config, placement, startup, wait_budget, queue))
     }
 
@@ -682,6 +743,21 @@ impl Engine {
         self.try_start(id, queue);
     }
 
+    /// Handles [`EngineEvent::SwapComplete`]: the host→device transfer
+    /// finished — record the span and treat the instance as ready.
+    pub fn on_swap_complete(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
+        if !self.is_live(id) {
+            return;
+        }
+        if self.telemetry.enabled() {
+            let slot = self.slot(id);
+            let function = slot.inst.function().raw();
+            let placement = slot.inst.placement();
+            self.emit_swap(SpanKind::SwapComplete, self.now, function, id, placement);
+        }
+        self.try_start(id, queue);
+    }
+
     /// Handles [`EngineEvent::BatchTimeout`].
     pub fn on_batch_timeout(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
         if !self.is_live(id) {
@@ -720,7 +796,9 @@ impl Engine {
         let placement = inst.placement();
         let batch_setting = config.batch();
         let ready_at = inst.ready_at();
-        let was_cold = slot.meta.cold;
+        // Swap-ins attribute their (much shorter) startup wait the same
+        // way cold boots do; pre-warmed attaches stay invisible.
+        let was_cold = !matches!(slot.meta.startup, StartupKind::PreWarmed);
         let budget = slot.meta.wait_budget;
         self.in_flight_count -= 1;
         let (w, _, _) = self.weights(config);
@@ -1140,11 +1218,16 @@ impl Engine {
         (self.beta * c + g, c, g)
     }
 
-    fn startup_delay(&self, function: usize, startup: StartupKind) -> SimDuration {
+    /// The startup latency a launch of `function` pays for a given
+    /// startup kind — the cost term Algorithm 1 weighs when it can
+    /// choose between a swap-in and a boot.
+    pub fn startup_delay(&self, function: usize, startup: StartupKind) -> SimDuration {
         match startup {
             StartupKind::Cold => self.hardware.cold_start(self.functions[function].spec()),
             // Image resident: container attach + runtime init only.
             StartupKind::PreWarmed => SimDuration::from_millis(200),
+            // Host-cached weights: pipelined PCIe upload.
+            StartupKind::SwapIn => self.hardware.swap_in(self.functions[function].spec()),
         }
     }
 
@@ -1263,6 +1346,7 @@ mod tests {
             engine.advance(t);
             match ev {
                 EngineEvent::InstanceReady(id) => engine.on_instance_ready(id, queue),
+                EngineEvent::SwapComplete(id) => engine.on_swap_complete(id, queue),
                 EngineEvent::BatchTimeout(id) => engine.on_batch_timeout(id, queue),
                 EngineEvent::BatchComplete(id) => {
                     // Faults can kill an instance mid-batch; its
@@ -1448,6 +1532,7 @@ mod tests {
             cores_per_server: 8,
             gpus_per_server: 1,
             mem_per_server_mb: 128.0 * 1024.0,
+            gpu_mem_per_device_mb: 0.0,
         };
         let mut engine = Engine::new("t", cluster, HardwareModel::default(), functions, 2);
         let mut queue = EventQueue::new();
@@ -1706,6 +1791,76 @@ mod tests {
         assert!(
             (mean - 200.0).abs() < 1.0,
             "recapacity should equal the prewarmed startup delay, got {mean}ms"
+        );
+    }
+
+    /// Tentpole: a swap-in launch is far cheaper than a boot, rides its
+    /// own `SwapComplete` event, and attributes its startup wait to the
+    /// requests that queued behind it.
+    #[test]
+    fn swap_in_is_faster_than_boot_and_attributed() {
+        let (mut engine, mut queue) = engine();
+        let swap = engine.startup_delay(0, StartupKind::SwapIn);
+        let cold = engine.startup_delay(0, StartupKind::Cold);
+        let warm = engine.startup_delay(0, StartupKind::PreWarmed);
+        assert!(warm < swap && swap < cold, "{warm} < {swap} < {cold}");
+        let id = engine
+            .launch_anywhere(
+                0,
+                cfg(),
+                StartupKind::SwapIn,
+                SimDuration::from_millis(30),
+                &mut queue,
+            )
+            .unwrap();
+        // Request arrives while the model is still swapping in.
+        let req = engine.mint_request(0);
+        engine.enqueue(id, req, &mut queue);
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 1);
+        assert_eq!(report.swap_launches, 1);
+        assert_eq!(report.cold_launches, 0);
+        assert_eq!(report.functions[0].cold_requests, 1);
+        let cold_ms = report.functions[0].cold_ms.mean();
+        assert!(
+            (200.0..1000.0).contains(&cold_ms),
+            "swap wait is sub-second, got {cold_ms}ms"
+        );
+    }
+
+    /// Swap-based recovery re-arms capacity faster than boot-based
+    /// recovery — the mean time-to-recapacity mechanism `fig_swap`
+    /// pins at the bench level.
+    #[test]
+    fn swap_recovery_beats_boot_on_recapacity() {
+        let run = |kind: StartupKind| {
+            let (mut engine, mut queue) = engine();
+            engine
+                .launch_anywhere(
+                    0,
+                    cfg(),
+                    StartupKind::PreWarmed,
+                    SimDuration::MAX,
+                    &mut queue,
+                )
+                .unwrap();
+            drain(&mut engine, &mut queue);
+            engine.on_fault(FaultEvent::InstanceKill { selector: 0 });
+            engine
+                .launch_anywhere(0, cfg(), kind, SimDuration::MAX, &mut queue)
+                .unwrap();
+            engine
+                .finish()
+                .failures
+                .mean_time_to_recapacity_ms()
+                .unwrap()
+        };
+        let boot = run(StartupKind::Cold);
+        let swap = run(StartupKind::SwapIn);
+        assert!(
+            swap < boot / 2.0,
+            "swap recovery {swap}ms should crush boot recovery {boot}ms"
         );
     }
 

@@ -67,7 +67,9 @@ pub mod engine;
 pub mod metrics;
 pub mod platform;
 pub mod predictor;
+pub mod residency;
 pub mod router;
+pub mod runconfig;
 pub mod scheduler;
 pub mod sharded;
 
@@ -78,6 +80,8 @@ pub use engine::{Engine, EngineEvent, FunctionInfo};
 pub use metrics::{FunctionReport, RunReport, StartupKind};
 pub use platform::{InflessConfig, InflessPlatform};
 pub use predictor::CopPredictor;
+pub use residency::ResidencyConfig;
 pub use router::{DeficitRouter, LeastLoadedScratch, RouterEntry};
+pub use runconfig::{RunConfig, RunConfigError};
 pub use scheduler::{PlacementStrategy, ScheduledInstance, Scheduler, SchedulerConfig};
 pub use sharded::ShardedInfless;

@@ -22,6 +22,9 @@ pub enum StartupKind {
     Cold,
     /// The image was pre-warmed (or already resident): fast attach.
     PreWarmed,
+    /// The model was host-cached and swapped onto a GPU (Torpor-style
+    /// pipelined upload): much faster than a boot, slower than attach.
+    SwapIn,
 }
 
 /// Per-function results.
@@ -172,6 +175,8 @@ pub struct RunReport {
     pub cold_launches: u64,
     /// Launches served from a pre-warmed image.
     pub prewarmed_launches: u64,
+    /// Launches served by swapping a host-cached model onto a GPU.
+    pub swap_launches: u64,
     /// Instances retired.
     pub retirements: u64,
     /// ∫ (β·cpu + gpu) allocated dt, in weighted-resource · seconds.
@@ -385,6 +390,7 @@ impl RunReport {
             "launches": self.launches,
             "cold_launches": self.cold_launches,
             "prewarmed_launches": self.prewarmed_launches,
+            "swap_launches": self.swap_launches,
             "retirements": self.retirements,
             "weighted_resource_seconds": self.weighted_resource_seconds,
             "weighted_idle_seconds": self.weighted_idle_seconds,
@@ -426,6 +432,7 @@ pub struct Collector {
     launches: u64,
     cold_launches: u64,
     prewarmed_launches: u64,
+    swap_launches: u64,
     retirements: u64,
     usage: Vec<ResourceUsage>,
     fragment_samples: Samples,
@@ -453,6 +460,7 @@ impl Collector {
             launches: 0,
             cold_launches: 0,
             prewarmed_launches: 0,
+            swap_launches: 0,
             retirements: 0,
             usage: vec![ResourceUsage::default(); functions.len()],
             fragment_samples: Samples::new(),
@@ -543,6 +551,7 @@ impl Collector {
         match kind {
             StartupKind::Cold => self.cold_launches += 1,
             StartupKind::PreWarmed => self.prewarmed_launches += 1,
+            StartupKind::SwapIn => self.swap_launches += 1,
         }
         *self.config_launches.entry((function, config)).or_insert(0) += 1;
     }
@@ -677,6 +686,7 @@ impl Collector {
         self.launches += other.launches;
         self.cold_launches += other.cold_launches;
         self.prewarmed_launches += other.prewarmed_launches;
+        self.swap_launches += other.swap_launches;
         self.retirements += other.retirements;
         self.fragment_samples.merge_from(&other.fragment_samples);
         self.sched_overhead_us.merge_from(&other.sched_overhead_us);
@@ -728,6 +738,7 @@ impl Collector {
             launches: self.launches,
             cold_launches: self.cold_launches,
             prewarmed_launches: self.prewarmed_launches,
+            swap_launches: self.swap_launches,
             retirements: self.retirements,
             weighted_resource_seconds: usage,
             weighted_idle_seconds: (usage - busy).max(0.0),
@@ -854,13 +865,15 @@ mod tests {
         c.launch(0, cfg, StartupKind::Cold);
         c.launch(0, cfg, StartupKind::PreWarmed);
         c.launch(1, cfg, StartupKind::Cold);
+        c.launch(1, cfg, StartupKind::SwapIn);
         c.retire();
         let r = c.finish(SimTime::from_secs(1));
-        assert_eq!(r.launches, 3);
+        assert_eq!(r.launches, 4);
         assert_eq!(r.cold_launches, 2);
         assert_eq!(r.prewarmed_launches, 1);
+        assert_eq!(r.swap_launches, 1);
         assert_eq!(r.retirements, 1);
-        assert!((r.cold_launch_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.cold_launch_rate() - 2.0 / 4.0).abs() < 1e-12);
         assert_eq!(r.config_launches[&(0, cfg)], 2);
     }
 

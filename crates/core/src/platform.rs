@@ -31,6 +31,7 @@ use crate::coldstart::{
 use crate::engine::{Engine, EngineEvent, FunctionInfo};
 use crate::metrics::{RunReport, StartupKind};
 use crate::predictor::{CopPredictor, DEFAULT_OFFSET};
+use crate::residency::ResidencyConfig;
 use crate::router::{DeficitRouter, RouterEntry};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 
@@ -84,6 +85,9 @@ pub struct InflessConfig {
     /// Hardware calibration override (testbed defaults otherwise) —
     /// used by the interference/sensitivity ablations.
     pub hardware: HardwareCalibration,
+    /// GPU memory tier (Torpor-style model swapping). Disabled by
+    /// default: runs stay bit-identical to the pre-tier engine.
+    pub residency: ResidencyConfig,
 }
 
 impl Default for InflessConfig {
@@ -100,6 +104,7 @@ impl Default for InflessConfig {
             emergency_backoff: SimDuration::from_millis(200),
             chain_split: ChainSplit::default(),
             hardware: HardwareCalibration::default(),
+            residency: ResidencyConfig::default(),
         }
     }
 }
@@ -219,11 +224,16 @@ struct FnState {
     /// Epoch-mode only: dispatch throughput lost to kill directives
     /// since the last barrier, recaptured at the next flush.
     pending_lost_rate: f64,
-    /// Epoch-mode only: the warm-image verdict captured when the first
-    /// unplaceable request of the epoch was deferred, evaluated against
-    /// the *pre-arrival* activity — exactly the evidence the legacy
-    /// emergency path uses at scale-out time.
-    pending_warm: Option<bool>,
+    /// Epoch-mode only: the startup-kind verdict captured when the
+    /// first unplaceable request of the epoch was deferred, evaluated
+    /// against the *pre-arrival* activity — exactly the evidence the
+    /// legacy emergency path uses at scale-out time.
+    pending_startup: Option<StartupKind>,
+    /// When the model's weights last entered host RAM (any launch),
+    /// `None` before the first launch. With the residency tier enabled
+    /// the host copy survives past instance retirement for the host
+    /// keep-alive window, turning relaunches into swap-ins.
+    host_copy_since: Option<SimTime>,
 }
 
 /// The INFless platform. Create with [`InflessPlatform::new`], then
@@ -305,6 +315,9 @@ impl InflessPlatform {
         let scheduler = Scheduler::new(config.scheduler);
         let n = functions.len();
         let mut engine = Engine::new("INFless", cluster, hardware, functions, seed);
+        if config.residency.enabled {
+            engine.enable_device_memory();
+        }
         engine.collector.mark_started(construction_started);
         engine.collector.set_profile_cache(cache_outcome);
         let fns = (0..n)
@@ -325,7 +338,8 @@ impl InflessPlatform {
                 last_idle_recorded: SimTime::ZERO,
                 pending: Vec::new(),
                 pending_lost_rate: 0.0,
-                pending_warm: None,
+                pending_startup: None,
+                host_copy_since: None,
             })
             .collect();
         InflessPlatform {
@@ -391,6 +405,7 @@ impl InflessPlatform {
             match ev {
                 EngineEvent::Arrival(f) => self.on_arrival(f, &mut queue),
                 EngineEvent::InstanceReady(id) => self.engine.on_instance_ready(id, &mut queue),
+                EngineEvent::SwapComplete(id) => self.engine.on_swap_complete(id, &mut queue),
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
                     // A fault may have killed the instance mid-batch;
@@ -449,6 +464,7 @@ impl InflessPlatform {
             match ev {
                 EngineEvent::Arrival(f) => self.on_arrival(f, queue),
                 EngineEvent::InstanceReady(id) => self.engine.on_instance_ready(id, queue),
+                EngineEvent::SwapComplete(id) => self.engine.on_swap_complete(id, queue),
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, queue),
                 EngineEvent::BatchComplete(id) => {
                     if let Some(done) = self.engine.on_batch_complete(id, queue) {
@@ -487,16 +503,15 @@ impl InflessPlatform {
             needed += (rps - assigned).max(1.0);
         }
         if needed > 0.0 {
-            let startup = match self.fns[f].pending_warm.take() {
-                Some(true) => StartupKind::PreWarmed,
-                Some(false) => StartupKind::Cold,
+            let startup = match self.fns[f].pending_startup.take() {
+                Some(kind) => kind,
                 // Pure lost-rate recapture (no deferred arrival): the
                 // same live check the legacy fault path runs.
                 None => self.startup_kind(f),
             };
             self.scale_out(f, needed, startup, queue);
         } else {
-            self.fns[f].pending_warm = None;
+            self.fns[f].pending_startup = None;
         }
         let pending = std::mem::take(&mut self.fns[f].pending);
         for p in pending {
@@ -568,13 +583,13 @@ impl InflessPlatform {
             // the pending buffer for the barrier flush (which scales
             // out once, deterministically) instead of triggering an
             // emergency launch whose placement would depend on which
-            // shard got there first. The warm-image verdict is frozen
+            // shard got there first. The startup-kind verdict is frozen
             // now, against the pre-arrival activity, because by flush
             // time this very arrival would count as "recent activity"
             // and turn every first launch spuriously pre-warmed.
-            if self.fns[f].pending_warm.is_none() {
-                let warm = self.image_warm_since(f, prev_activity, prev_had_activity);
-                self.fns[f].pending_warm = Some(warm);
+            if self.fns[f].pending_startup.is_none() {
+                let kind = self.startup_kind_since(f, prev_activity, prev_had_activity);
+                self.fns[f].pending_startup = Some(kind);
             }
             self.fns[f].pending.push(PendingRequest::Fresh(req));
             return;
@@ -677,11 +692,7 @@ impl InflessPlatform {
         let rps = self.instant_rps(f, now).max(1.0);
         let assigned: f64 = self.fns[f].dispatch.iter().map(|e| e.window.r_up()).sum();
         let residual = (rps - assigned).max(1.0);
-        let startup = if self.image_warm_since(f, prev_activity, prev_had_activity) {
-            StartupKind::PreWarmed
-        } else {
-            StartupKind::Cold
-        };
+        let startup = self.startup_kind_since(f, prev_activity, prev_had_activity);
         self.scale_out(f, residual, startup, queue) > 0
     }
 
@@ -796,12 +807,15 @@ impl InflessPlatform {
     ) -> usize {
         let function = self.engine.functions()[f].clone();
         let slo = function.slo();
+        let (startup_cost, device_mb) = self.schedule_cost(f, startup);
         let wall = Instant::now();
-        let outcome = self.scheduler.schedule(
+        let outcome = self.scheduler.schedule_with_cost(
             &self.predictor,
             &function,
             residual,
             self.engine.cluster_mut(),
+            startup_cost,
+            device_mb,
         );
         let elapsed_us = wall.elapsed().as_secs_f64() * 1e6;
         self.engine.collector.sched_overhead(elapsed_us);
@@ -819,18 +833,89 @@ impl InflessPlatform {
                 predicted_exec: si.predicted_exec,
             });
         }
+        if launched > 0 && self.config.residency.enabled {
+            // The launches pulled the weights through host RAM; the
+            // copy now outlives the instances for the host window.
+            self.fns[f].host_copy_since = Some(self.engine.now());
+        }
         launched
     }
 
+    /// Algorithm 1's startup-cost term: the amortized launch delay and
+    /// the device-memory demand the scheduler must book. Both are zero
+    /// with the residency tier disabled, which keeps `schedule`'s
+    /// decisions bit-identical to the pre-tier scheduler.
+    fn schedule_cost(&mut self, f: usize, startup: StartupKind) -> (SimDuration, f64) {
+        if self.config.residency.enabled {
+            (
+                self.engine.startup_delay(f, startup),
+                self.engine.functions()[f].spec().size_mb(),
+            )
+        } else {
+            (SimDuration::ZERO, 0.0)
+        }
+    }
+
     /// The startup kind a fresh launch of `f` would get right now —
-    /// the single warm-image check shared by the scaler, fault
+    /// the single residency check shared by the scaler, fault
     /// recovery and consolidation paths.
     fn startup_kind(&mut self, f: usize) -> StartupKind {
-        if self.image_warm(f) {
+        let last = self.fns[f].last_activity;
+        let had = self.fns[f].had_activity;
+        self.startup_kind_since(f, last, had)
+    }
+
+    /// Residency tier check against explicit (pre-arrival) activity
+    /// evidence: live instances ⇒ pre-warmed attach, an unexpired
+    /// host-RAM copy ⇒ PCIe swap-in, otherwise a full cold boot. The
+    /// middle tier exists only with [`ResidencyConfig::enabled`] set.
+    fn startup_kind_since(
+        &mut self,
+        f: usize,
+        last_activity: SimTime,
+        had_activity: bool,
+    ) -> StartupKind {
+        if self.image_warm_since(f, last_activity, had_activity) {
             StartupKind::PreWarmed
+        } else if self.host_resident_since(f, last_activity, had_activity) {
+            StartupKind::SwapIn
         } else {
             StartupKind::Cold
         }
+    }
+
+    /// Whether the model still holds a host-RAM copy: launched at
+    /// least once, small enough for the host cache, and inside the
+    /// tiered-LSTH host keep-alive window since its last load or
+    /// activity. Strictly per-function state — the sharded driver
+    /// relies on this never consulting other functions' books.
+    fn host_resident_since(
+        &mut self,
+        f: usize,
+        last_activity: SimTime,
+        had_activity: bool,
+    ) -> bool {
+        let residency = self.config.residency;
+        if !residency.enabled {
+            return false;
+        }
+        let Some(loaded) = self.fns[f].host_copy_since else {
+            return false;
+        };
+        if self.engine.functions()[f].spec().size_mb() > residency.host_cache_mb {
+            return false;
+        }
+        let now = self.engine.now();
+        let anchor = if had_activity {
+            loaded.max(last_activity)
+        } else {
+            loaded
+        };
+        let window = self.fns[f]
+            .coldstart
+            .host_keep_alive(now)
+            .mul_f64(residency.host_retention);
+        now.saturating_since(anchor) < window
     }
 
     // --- fault handling & recovery -----------------------------------------
@@ -1007,11 +1092,27 @@ impl InflessPlatform {
         // clone, and no second `schedule()` call whose placements could
         // diverge from the dry run's.
         let function = self.engine.functions()[f].clone();
+        // With the tier enabled the dry run needs the startup-cost
+        // term up front. The residency check refreshes keep-alive
+        // windows as a side effect, so the disabled path must not run
+        // it here — a *failed* trial would otherwise perturb window
+        // refresh timing that the pre-tier engine never touched.
+        let (startup_cost, device_mb) = if self.config.residency.enabled {
+            let startup = self.startup_kind(f);
+            self.schedule_cost(f, startup)
+        } else {
+            (SimDuration::ZERO, 0.0)
+        };
         self.engine.cluster_mut().begin_txn();
         let wall = Instant::now();
-        let trial =
-            self.scheduler
-                .schedule(&self.predictor, &function, rps, self.engine.cluster_mut());
+        let trial = self.scheduler.schedule_with_cost(
+            &self.predictor,
+            &function,
+            rps,
+            self.engine.cluster_mut(),
+            startup_cost,
+            device_mb,
+        );
         let elapsed_us = wall.elapsed().as_secs_f64() * 1e6;
         self.engine.collector.sched_overhead(elapsed_us);
         if trial.unplaced_rps > rps * 0.05 || trial.instances.is_empty() {
@@ -1032,7 +1133,7 @@ impl InflessPlatform {
         // Commit: keep the dry run's own allocations (placed capacity
         // therefore equals promised capacity by construction), launch
         // the optimized instances and adopt them as the dispatch set.
-        // The startup kind comes from the same warm-image check as the
+        // The startup kind comes from the same residency check as the
         // fault-recovery path — not an unconditional PreWarmed.
         self.engine.cluster_mut().commit_txn();
         self.fns[f].last_consolidation = now;
@@ -1051,6 +1152,9 @@ impl InflessPlatform {
                 sent: 0,
                 predicted_exec: si.predicted_exec,
             });
+        }
+        if self.config.residency.enabled {
+            self.fns[f].host_copy_since = Some(now);
         }
         // Park the old set — but if the new set covers less than the
         // controller's target (the dry run tolerates ≤ 5 % unplaced),
@@ -1233,12 +1337,6 @@ impl InflessPlatform {
     /// `true` when a new instance would start from a warm image: the
     /// function already has live instances (image resident on a node)
     /// or the pre-warm window has loaded it in anticipation.
-    fn image_warm(&mut self, f: usize) -> bool {
-        let last = self.fns[f].last_activity;
-        let had = self.fns[f].had_activity;
-        self.image_warm_since(f, last, had)
-    }
-
     fn image_warm_since(&mut self, f: usize, last_activity: SimTime, had_activity: bool) -> bool {
         let now = self.engine.now();
         if !self.engine.instances_of(f).is_empty() {

@@ -1,0 +1,104 @@
+//! Model residency tiers: Torpor-style model swapping between host
+//! RAM and GPU device memory.
+//!
+//! A deployed model occupies one of three tiers at any time:
+//!
+//! - **Cold** — the weights live nowhere; a launch pays the full
+//!   container boot plus model load from disk.
+//! - **HostCached** — the weights are pinned in a server's host RAM; a
+//!   launch pays only the (pipelined) PCIe swap-in.
+//! - **GpuResident** — the weights sit in device memory behind a live
+//!   instance; a launch is a pre-warmed container attach.
+//!
+//! The tier a fresh launch starts from is decided per function by the
+//! platform's cold-start manager: live instances ⇒ `GpuResident`
+//! (pre-warmed), an unexpired host copy ⇒ `HostCached` (swap-in),
+//! otherwise `Cold`. Host copies expire on the *host* keep-alive
+//! window — the LSTH deep-tail window of
+//! [`ColdStartPolicy::host_keep_alive`](crate::coldstart::ColdStartPolicy::host_keep_alive),
+//! which always outlasts the device-tier keep-alive — so a model whose
+//! idle-time histogram shows long gaps is demoted from RAM earlier
+//! than one with a heavy recurrence tail.
+//!
+//! Everything here is opt-in: with [`ResidencyConfig::enabled`] left
+//! `false` (the default) the platform is bit-identical to one built
+//! before the tier existed — no device-memory booking, no swap
+//! launches, no startup-cost term in Algorithm 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Default per-function host-cache budget, MB (64 GB-class servers
+/// leave plenty of RAM next to the largest deployed models).
+pub const DEFAULT_HOST_CACHE_MB: f64 = 16.0 * 1024.0;
+
+/// Residency knobs for the GPU memory tier. `Copy` so it can ride
+/// inside [`InflessConfig`](crate::platform::InflessConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ResidencyConfig {
+    /// Master switch. `false` (the default) keeps runs bit-identical
+    /// to the pre-tier engine.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Host-RAM budget a single model may occupy, MB. A model larger
+    /// than this is never host-cached (its relaunches stay cold).
+    #[serde(default = "default_host_cache_mb")]
+    pub host_cache_mb: f64,
+    /// Multiplier on the policy's host keep-alive window (1.0 =
+    /// use the tiered-LSTH window as computed).
+    #[serde(default = "default_host_retention")]
+    pub host_retention: f64,
+}
+
+fn default_host_cache_mb() -> f64 {
+    DEFAULT_HOST_CACHE_MB
+}
+
+fn default_host_retention() -> f64 {
+    1.0
+}
+
+impl Default for ResidencyConfig {
+    fn default() -> Self {
+        ResidencyConfig {
+            enabled: false,
+            host_cache_mb: DEFAULT_HOST_CACHE_MB,
+            host_retention: 1.0,
+        }
+    }
+}
+
+impl ResidencyConfig {
+    /// The tier enabled with default knobs — what the Torpor baseline
+    /// and the `fig_swap` sweeps run.
+    pub fn enabled() -> Self {
+        ResidencyConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let cfg = ResidencyConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.host_cache_mb, DEFAULT_HOST_CACHE_MB);
+        assert_eq!(cfg.host_retention, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip_and_defaults() {
+        let cfg = ResidencyConfig::enabled();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ResidencyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+        // An empty block deserializes to the defaults.
+        let empty: ResidencyConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, ResidencyConfig::default());
+    }
+}

@@ -114,6 +114,7 @@ proptest! {
                         engine.advance(t);
                         match ev {
                             EngineEvent::InstanceReady(id) => engine.on_instance_ready(id, &mut queue),
+                            EngineEvent::SwapComplete(id) => engine.on_swap_complete(id, &mut queue),
                             EngineEvent::BatchTimeout(id) => engine.on_batch_timeout(id, &mut queue),
                             EngineEvent::BatchComplete(id) => {
                                 engine.on_batch_complete(id, &mut queue);
@@ -153,6 +154,7 @@ proptest! {
             engine.advance(t);
             match ev {
                 EngineEvent::InstanceReady(id) => engine.on_instance_ready(id, &mut queue),
+                EngineEvent::SwapComplete(id) => engine.on_swap_complete(id, &mut queue),
                 EngineEvent::BatchTimeout(id) => engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
                     engine.on_batch_complete(id, &mut queue);

@@ -136,6 +136,15 @@ pub struct HardwareCalibration {
     pub coldstart_base_s: f64,
     /// Model-load bandwidth from local SSD, MB per second.
     pub model_load_mb_per_s: f64,
+    /// Fixed overhead of swapping a host-cached model onto a GPU,
+    /// seconds: CUDA context attach + pinned-buffer setup. Distinctly
+    /// above the 200 ms pre-warmed attach (the weights still move), far
+    /// below a container boot.
+    pub swap_base_s: f64,
+    /// Fraction of the host→device weight transfer hidden behind
+    /// pipelined layer-by-layer upload (Torpor/FaaSwap overlap the copy
+    /// of later layers with the execution of earlier ones).
+    pub swap_overlap: f64,
 }
 
 impl Default for HardwareCalibration {
@@ -155,6 +164,8 @@ impl Default for HardwareCalibration {
             mps_interference: 0.12,
             coldstart_base_s: 1.2,
             model_load_mb_per_s: 250.0,
+            swap_base_s: 0.25,
+            swap_overlap: 0.5,
         }
     }
 }
@@ -284,6 +295,18 @@ impl HardwareModel {
     pub fn cold_start(&self, spec: &ModelSpec) -> SimDuration {
         let cal = &self.calibration;
         let secs = cal.coldstart_base_s + spec.size_mb() / cal.model_load_mb_per_s;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Swap-in duration for a model whose weights are already resident
+    /// in host memory: pinned-buffer setup plus the non-overlapped part
+    /// of the PCIe host→device transfer. Always cheaper than
+    /// [`Self::cold_start`] (no container boot, no disk load), always
+    /// dearer than a pre-warmed attach (the weights still cross PCIe).
+    pub fn swap_in(&self, spec: &ModelSpec) -> SimDuration {
+        let cal = &self.calibration;
+        let transfer_s = spec.size_mb() * 1024.0 / cal.pcie_kb_per_s;
+        let secs = cal.swap_base_s + transfer_s * (1.0 - cal.swap_overlap);
         SimDuration::from_secs_f64(secs)
     }
 

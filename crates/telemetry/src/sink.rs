@@ -34,6 +34,11 @@ pub enum SpanKind {
     Displaced,
     /// The displaced request was successfully re-dispatched.
     Retried,
+    /// A host-cached model began swapping onto a GPU (instance-scoped:
+    /// keyed by a synthetic instance request id, not a real request).
+    SwapBegin,
+    /// The swap finished and the instance became ready.
+    SwapComplete,
 }
 
 impl SpanKind {
@@ -49,6 +54,8 @@ impl SpanKind {
             SpanKind::Shed => "shed",
             SpanKind::Displaced => "displaced",
             SpanKind::Retried => "retried",
+            SpanKind::SwapBegin => "swap_begin",
+            SpanKind::SwapComplete => "swap_complete",
         }
     }
 
@@ -64,6 +71,8 @@ impl SpanKind {
             "shed" => SpanKind::Shed,
             "displaced" => SpanKind::Displaced,
             "retried" => SpanKind::Retried,
+            "swap_begin" => SpanKind::SwapBegin,
+            "swap_complete" => SpanKind::SwapComplete,
             _ => return None,
         })
     }
@@ -485,6 +494,8 @@ mod tests {
             SpanKind::Shed,
             SpanKind::Displaced,
             SpanKind::Retried,
+            SpanKind::SwapBegin,
+            SpanKind::SwapComplete,
         ] {
             assert_eq!(SpanKind::parse(kind.name()), Some(kind));
         }

@@ -52,6 +52,10 @@ pub struct TraceSummary {
     pub displaced: u64,
     /// Retried spans.
     pub retried: u64,
+    /// Swap-begin spans (instance-scoped, synthetic request ids).
+    pub swap_begins: u64,
+    /// Swap-complete spans.
+    pub swap_completes: u64,
     /// Displaced spans per fault annotation (wire names).
     pub displaced_by_fault: BTreeMap<&'static str, u64>,
     /// Per-function tallies, indexed like `functions`.
@@ -104,6 +108,13 @@ impl fmt::Display for TraceSummary {
         )?;
         for (tag, n) in &self.displaced_by_fault {
             writeln!(f, "           displaced by {tag}: {n}")?;
+        }
+        if self.swap_begins + self.swap_completes > 0 {
+            writeln!(
+                f,
+                "swaps:     {} begun, {} completed",
+                self.swap_begins, self.swap_completes
+            )?;
         }
         if !self.latency_ms.is_empty() {
             writeln!(
@@ -264,6 +275,10 @@ pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
                 *summary.displaced_by_fault.entry(fault.name()).or_insert(0) += 1;
             }
             SpanKind::Retried => summary.retried += 1,
+            // Instance-scoped: synthetic request ids, never terminal,
+            // excluded from the gateway conservation law.
+            SpanKind::SwapBegin => summary.swap_begins += 1,
+            SpanKind::SwapComplete => summary.swap_completes += 1,
         }
     }
     Ok(summary)
@@ -314,6 +329,31 @@ mod tests {
         // Render the human summary (smoke: no panic, mentions counts).
         let text = s.to_string();
         assert!(text.contains("2 arrivals"));
+    }
+
+    /// Swap spans ride synthetic high-bit request ids so they never
+    /// collide with real requests in the per-request validation, and
+    /// they stay out of the gateway conservation law.
+    #[test]
+    fn swap_spans_are_counted_and_non_terminal() {
+        let synth = (1u64 << 63) | 7;
+        let trace = format!(
+            concat!(
+                "{{\"meta\":{{\"platform\":\"Torpor\",\"functions\":[\"f\"]}}}}\n",
+                "{{\"t_s\":0.1,\"kind\":\"swap_begin\",\"req\":{synth},\"fn\":0,\"inst\":7,\"srv\":1,\"batch\":0,\"fault\":\"none\"}}\n",
+                "{{\"t_s\":0.2,\"kind\":\"arrival\",\"req\":0,\"fn\":0,\"inst\":-1,\"srv\":-1,\"batch\":0,\"fault\":\"none\"}}\n",
+                "{{\"t_s\":0.4,\"kind\":\"swap_complete\",\"req\":{synth},\"fn\":0,\"inst\":7,\"srv\":1,\"batch\":0,\"fault\":\"none\"}}\n",
+                "{{\"t_s\":0.5,\"kind\":\"complete\",\"req\":0,\"fn\":0,\"inst\":7,\"srv\":1,\"batch\":1,\"fault\":\"none\"}}\n",
+            ),
+            synth = synth
+        );
+        let s = summarize(trace.as_bytes()).unwrap();
+        assert_eq!(s.swap_begins, 1);
+        assert_eq!(s.swap_completes, 1);
+        assert_eq!(s.arrivals, 1);
+        assert_eq!(s.completed, 1);
+        assert!(s.conserved());
+        assert!(s.to_string().contains("1 begun, 1 completed"));
     }
 
     #[test]

@@ -13,7 +13,8 @@ use std::process::ExitCode;
 
 use infless::core::RunReport;
 use infless::descriptor::Scenario;
-use infless::telemetry::{summarize_file, FileSink, NullSink, TelemetrySink};
+use infless::telemetry::{summarize_file, FileSink};
+use infless::RunConfig;
 
 const USAGE: &str = "usage: inflessctl <scenario.json> [--seed N] [--json]
                   [--shards N] [--canonical-json]
@@ -62,7 +63,10 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--canonical-json" => canonical = true,
             "--shards" => match args.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(v)) if v >= 1 => shards = Some(v),
+                Some(Ok(v)) => match RunConfig::validate_explicit_shards(v) {
+                    Ok(()) => shards = Some(v),
+                    Err(e) => return usage(&e.to_string()),
+                },
                 _ => return usage("--shards needs a positive integer"),
             },
             "--trace-out" => match args.next() {
@@ -95,26 +99,22 @@ fn main() -> ExitCode {
     if let Some(seed) = seed {
         scenario.seed = seed;
     }
-    let result = if let Some(shards) = shards {
-        if trace_out.is_some() || timeseries_out.is_some() {
-            return usage("--shards does not support telemetry streaming");
-        }
-        scenario.run_sharded(shards)
-    } else {
-        let sink: Box<dyn TelemetrySink> = if trace_out.is_some() || timeseries_out.is_some() {
-            match FileSink::create(trace_out.as_deref(), timeseries_out.as_deref()) {
-                Ok(sink) => Box::new(sink),
-                Err(e) => {
-                    eprintln!("error: failed to open telemetry output: {e}");
-                    return ExitCode::FAILURE;
-                }
+    let mut config = RunConfig::new();
+    if let Some(shards) = shards {
+        config = config.shards(shards);
+    }
+    if trace_out.is_some() || timeseries_out.is_some() {
+        match FileSink::create(trace_out.as_deref(), timeseries_out.as_deref()) {
+            Ok(sink) => config = config.telemetry(Box::new(sink)),
+            Err(e) => {
+                eprintln!("error: failed to open telemetry output: {e}");
+                return ExitCode::FAILURE;
             }
-        } else {
-            Box::new(NullSink)
-        };
-        scenario.run_with_telemetry(sink)
-    };
-    match result {
+        }
+    }
+    // An invalid combination (e.g. --shards with telemetry streaming)
+    // surfaces through RunConfig::validate inside execute.
+    match scenario.execute(config) {
         Ok(report) => {
             if canonical {
                 println!("{}", report.canonical_json());

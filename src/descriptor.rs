@@ -13,6 +13,7 @@
 //!
 //! ```
 //! use infless::descriptor::Scenario;
+//! use infless::RunConfig;
 //!
 //! let json = r#"{
 //!   "platform": "infless",
@@ -24,10 +25,15 @@
 //!   ]
 //! }"#;
 //! let scenario = Scenario::from_json(json)?;
-//! let report = scenario.run()?;
+//! let report = scenario.execute(RunConfig::new())?;
 //! assert!(report.total_completed() > 0);
 //! # Ok::<(), infless::descriptor::ScenarioError>(())
 //! ```
+//!
+//! Shards, telemetry sinks, fault schedules and residency overrides
+//! all ride in the [`RunConfig`] — `RunConfig::new().shards(4)`
+//! replays the same scenario through the epoch-barrier sharded engine,
+//! byte-identically.
 
 use std::fmt;
 use std::fs;
@@ -41,6 +47,8 @@ use infless_core::chains::ChainSpec;
 use infless_core::engine::FunctionInfo;
 use infless_core::metrics::RunReport;
 use infless_core::platform::{ColdStartConfig, InflessConfig, InflessPlatform};
+use infless_core::residency::ResidencyConfig;
+use infless_core::runconfig::RunConfig;
 use infless_core::ShardedInfless;
 use infless_faults::{FaultPlan, FaultSchedule};
 use infless_models::ModelId;
@@ -71,6 +79,8 @@ pub struct ClusterDescriptor {
     pub gpus_per_server: usize,
     /// Memory per server, MB.
     pub mem_per_server_mb: f64,
+    /// Device memory per GPU, MB (0 = hardware default).
+    pub gpu_mem_per_device_mb: f64,
 }
 
 impl Default for ClusterDescriptor {
@@ -81,6 +91,7 @@ impl Default for ClusterDescriptor {
             cores_per_server: t.cores_per_server,
             gpus_per_server: t.gpus_per_server,
             mem_per_server_mb: t.mem_per_server_mb,
+            gpu_mem_per_device_mb: t.gpu_mem_per_device_mb,
         }
     }
 }
@@ -92,6 +103,7 @@ impl ClusterDescriptor {
             cores_per_server: self.cores_per_server,
             gpus_per_server: self.gpus_per_server,
             mem_per_server_mb: self.mem_per_server_mb,
+            gpu_mem_per_device_mb: self.gpu_mem_per_device_mb,
         }
     }
 }
@@ -179,6 +191,10 @@ pub struct Scenario {
     /// Omitted or all-zero means a healthy cluster.
     #[serde(default)]
     pub faults: Option<FaultPlan>,
+    /// GPU memory-tier knobs (INFless platform only). Omitted means
+    /// disabled — the run stays bit-identical to the pre-tier engine.
+    #[serde(default)]
+    pub residency: ResidencyConfig,
 }
 
 fn default_seed() -> u64 {
@@ -297,35 +313,62 @@ impl Scenario {
     }
 
     /// Builds the function table, chains and workload, runs the chosen
-    /// platform to completion, and returns the report.
+    /// platform to completion under `config`, and returns the report.
+    ///
+    /// The [`RunConfig`] carries everything that varies a run of the
+    /// same descriptor: shard count (an explicit count — even 1 —
+    /// drives the INFless platform through the epoch-barrier
+    /// [`ShardedInfless`] engine, byte-identically for every shard
+    /// count), a telemetry sink
+    /// (attaching [`infless_telemetry::NullSink`] is bit-identical to
+    /// attaching none), an explicit fault schedule (overrides the
+    /// descriptor's `faults` plan when set), and a residency override
+    /// (overrides the descriptor's `residency` block when set).
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError`] if a CSV load cannot be read or a
-    /// referenced row is missing.
-    pub fn run(&self) -> Result<RunReport, ScenarioError> {
-        self.run_with_telemetry(Box::new(infless_telemetry::NullSink))
-    }
+    /// referenced row is missing; [`ScenarioError::Invalid`] when
+    /// `config` fails [`RunConfig::validate`] or requests a sharded
+    /// run for a baseline platform (only the INFless engine is
+    /// sharded).
+    pub fn execute(&self, config: RunConfig) -> Result<RunReport, ScenarioError> {
+        config
+            .validate()
+            .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
+        let sharded = config.is_sharded().then(|| config.effective_shards());
+        let mut parts = self.build_parts()?;
+        if let Some(schedule) = config.fault_schedule {
+            parts.schedule = schedule;
+        }
+        let sink = config
+            .telemetry
+            .unwrap_or_else(|| Box::new(infless_telemetry::NullSink));
+        let infless_config = self.infless_config(config.residency);
 
-    /// As [`Scenario::run`], but attaches `sink` to the platform so the
-    /// run emits per-request lifecycle spans and time-series gauges.
-    /// Passing [`infless_telemetry::NullSink`] is equivalent to
-    /// [`Scenario::run`] — bit-identical, not merely statistically so.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::run`].
-    pub fn run_with_telemetry(
-        &self,
-        sink: Box<dyn infless_telemetry::TelemetrySink>,
-    ) -> Result<RunReport, ScenarioError> {
-        let parts = self.build_parts()?;
+        if let Some(shards) = sharded {
+            if self.platform != PlatformKind::Infless {
+                return Err(ScenarioError::Invalid(
+                    "sharded execution requires the INFless platform".into(),
+                ));
+            }
+            return Ok(ShardedInfless::with_chains(
+                parts.cluster,
+                parts.functions,
+                parts.chains,
+                infless_config,
+                self.seed,
+            )
+            .with_fault_schedule(parts.schedule)
+            .run(&parts.workload, shards));
+        }
+
         let report = match self.platform {
             PlatformKind::Infless => InflessPlatform::with_chains(
                 parts.cluster,
                 parts.functions,
                 parts.chains,
-                self.infless_config(),
+                infless_config,
                 self.seed,
             )
             .with_fault_schedule(parts.schedule)
@@ -343,45 +386,14 @@ impl Scenario {
         Ok(report)
     }
 
-    /// As [`Scenario::run`], but drives the INFless platform through
-    /// the sharded epoch-barrier engine ([`ShardedInfless`]) with
-    /// `shards` shards. The report is a pure function of the scenario
-    /// and the shard count — and byte-identical across shard counts —
-    /// so this is the surface the CI determinism gate byte-diffs.
-    ///
-    /// # Errors
-    ///
-    /// As [`Scenario::run`]; additionally [`ScenarioError::Invalid`]
-    /// when `shards` is zero or the scenario targets a baseline
-    /// platform (only the INFless engine is sharded).
-    pub fn run_sharded(&self, shards: usize) -> Result<RunReport, ScenarioError> {
-        if shards == 0 {
-            return Err(ScenarioError::Invalid("--shards must be at least 1".into()));
-        }
-        if self.platform != PlatformKind::Infless {
-            return Err(ScenarioError::Invalid(
-                "sharded execution requires the INFless platform".into(),
-            ));
-        }
-        let parts = self.build_parts()?;
-        let report = ShardedInfless::with_chains(
-            parts.cluster,
-            parts.functions,
-            parts.chains,
-            self.infless_config(),
-            self.seed,
-        )
-        .with_fault_schedule(parts.schedule)
-        .run(&parts.workload, shards);
-        Ok(report)
-    }
-
     /// The INFless configuration every scenario run uses (LSTH
-    /// keep-alive, defaults elsewhere) — shared by the legacy and
-    /// sharded paths so their reports stay comparable.
-    fn infless_config(&self) -> InflessConfig {
+    /// keep-alive, the descriptor's residency block unless overridden
+    /// by the run config) — shared by the single-core and sharded
+    /// paths so their reports stay comparable.
+    fn infless_config(&self, residency_override: Option<ResidencyConfig>) -> InflessConfig {
         InflessConfig {
             coldstart: ColdStartConfig::Lsth { gamma: 0.5 },
+            residency: residency_override.unwrap_or(self.residency),
             ..InflessConfig::default()
         }
     }
@@ -513,7 +525,8 @@ mod tests {
         let s = Scenario::from_json(MINIMAL).unwrap();
         assert_eq!(s.seed, 42, "seed defaults");
         assert_eq!(s.cluster.cores_per_server, 32, "cluster fields default");
-        let report = s.run().unwrap();
+        assert!(!s.residency.enabled, "residency defaults to disabled");
+        let report = s.execute(RunConfig::new()).unwrap();
         assert_eq!(report.total_completed() + report.total_dropped(), 150);
     }
 
@@ -578,7 +591,10 @@ mod tests {
             ],
             "chains": [ { "name": "pipeline", "stages": ["detect", "classify"], "e2e_slo_ms": 450 } ]
         }"#;
-        let report = Scenario::from_json(json).unwrap().run().unwrap();
+        let report = Scenario::from_json(json)
+            .unwrap()
+            .execute(RunConfig::new())
+            .unwrap();
         assert_eq!(report.chains.len(), 1);
         assert!(report.chains[0].completed > 100);
         // The max_batch cap holds: classify never batches beyond 8.
@@ -589,18 +605,49 @@ mod tests {
     #[test]
     fn sharded_run_is_shard_count_invariant() {
         let s = Scenario::from_json(MINIMAL).unwrap();
-        let r1 = s.run_sharded(1).unwrap();
-        let r3 = s.run_sharded(3).unwrap();
+        let r1 = s.execute(RunConfig::new().shards(1)).unwrap();
+        let r3 = s.execute(RunConfig::new().shards(3)).unwrap();
         assert_eq!(r1.canonical_json(), r3.canonical_json());
     }
 
     #[test]
-    fn sharded_run_rejects_baselines_and_zero_shards() {
+    fn sharded_run_rejects_baselines_and_bad_configs() {
+        // Explicit zero shards is a uniform RunConfig error (the CLI
+        // surfaces it before execute is ever reached).
+        assert!(infless_core::runconfig::RunConfig::validate_explicit_shards(0).is_err());
+        // Sharded + telemetry is rejected by RunConfig::validate.
         let s = Scenario::from_json(MINIMAL).unwrap();
-        assert!(s.run_sharded(0).is_err());
+        let cfg = RunConfig::new()
+            .shards(2)
+            .telemetry(Box::new(infless_telemetry::NullSink));
+        assert!(s.execute(cfg).is_err());
+        // Only the INFless engine is sharded.
         let batch = MINIMAL.replace("\"infless\"", "\"batch\"");
         let s = Scenario::from_json(&batch).unwrap();
-        assert!(s.run_sharded(2).is_err());
+        assert!(s.execute(RunConfig::new().shards(2)).is_err());
+    }
+
+    #[test]
+    fn residency_block_round_trips_and_rejects_unknown_fields() {
+        let json = MINIMAL.replace(
+            "\"platform\": \"infless\",",
+            "\"platform\": \"infless\", \"residency\": { \"enabled\": true },",
+        );
+        let s = Scenario::from_json(&json).unwrap();
+        assert!(s.residency.enabled);
+        assert_eq!(
+            s.residency.host_cache_mb,
+            infless_core::residency::DEFAULT_HOST_CACHE_MB,
+            "omitted knobs take their defaults"
+        );
+        let report = s.execute(RunConfig::new()).unwrap();
+        assert_eq!(report.total_completed() + report.total_dropped(), 150);
+
+        let bad = MINIMAL.replace(
+            "\"platform\": \"infless\",",
+            "\"platform\": \"infless\", \"residency\": { \"enabld\": true },",
+        );
+        assert!(Scenario::from_json(&bad).is_err());
     }
 
     #[test]
@@ -623,7 +670,10 @@ mod tests {
                 ]
             }}"#
         );
-        let report = Scenario::from_json(&json).unwrap().run().unwrap();
+        let report = Scenario::from_json(&json)
+            .unwrap()
+            .execute(RunConfig::new())
+            .unwrap();
         // ~10 rps over 5 minutes.
         let total = report.total_completed() + report.total_dropped();
         assert!((2000..4500).contains(&(total as usize)), "total {total}");

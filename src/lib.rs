@@ -11,6 +11,7 @@ pub mod descriptor;
 pub use infless_baselines as baselines;
 pub use infless_cluster as cluster;
 pub use infless_core as core;
+pub use infless_core::{ResidencyConfig, RunConfig, RunConfigError};
 pub use infless_models as models;
 pub use infless_sim as sim;
 pub use infless_telemetry as telemetry;

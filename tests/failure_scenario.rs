@@ -4,6 +4,7 @@
 //! retry and shedding.
 
 use infless::descriptor::Scenario;
+use infless::RunConfig;
 use infless_cluster::ClusterSpec;
 use infless_core::metrics::RunReport;
 use infless_core::platform::{InflessConfig, InflessPlatform};
@@ -44,7 +45,7 @@ fn shipped_failure_scenario_runs_with_faults_firing() {
             &format!("\"platform\": \"{platform}\""),
         );
         let scenario = Scenario::from_json(&json).expect("valid");
-        let report = scenario.run().expect("runs");
+        let report = scenario.execute(RunConfig::new()).expect("runs");
         let total = report.total_completed() + report.total_dropped();
         assert!(
             report.failures.any(),
@@ -70,7 +71,10 @@ fn recovery_metrics_are_reported() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("scenarios")
         .join("failure_sweep.json");
-    let report = Scenario::from_file(&path).unwrap().run().unwrap();
+    let report = Scenario::from_file(&path)
+        .unwrap()
+        .execute(RunConfig::new())
+        .unwrap();
     let f = &report.failures;
     assert!(f.server_crashes > 0 || f.instances_killed > 0);
     if f.server_recoveries > 0 {
@@ -100,6 +104,7 @@ proptest! {
             cores_per_server: 16,
             gpus_per_server: 1,
             mem_per_server_mb: 64.0 * 1024.0,
+            gpu_mem_per_device_mb: 0.0,
         };
         let functions = vec![
             infless_core::engine::FunctionInfo::new(

@@ -2,6 +2,7 @@
 //! pipeline must produce working runs across platforms.
 
 use infless::descriptor::{PlatformKind, Scenario};
+use infless::RunConfig;
 
 #[test]
 fn shipped_scenarios_parse_and_validate() {
@@ -37,7 +38,7 @@ fn same_descriptor_runs_on_every_platform() {
     };
     for platform in ["infless", "openfaas", "batch"] {
         let scenario = Scenario::from_json(&template(platform)).expect("valid");
-        let report = scenario.run().expect("runs");
+        let report = scenario.execute(RunConfig::new()).expect("runs");
         let total = report.total_completed() + report.total_dropped();
         assert_eq!(total, 500, "{platform}: accounted {total}");
         assert!(
@@ -62,8 +63,8 @@ fn seed_override_changes_nothing_but_noise() {
     let mut b = Scenario::from_json(json).expect("valid");
     a.seed = 1;
     b.seed = 1;
-    let ra = a.run().expect("runs");
-    let rb = b.run().expect("runs");
+    let ra = a.execute(RunConfig::new()).expect("runs");
+    let rb = b.execute(RunConfig::new()).expect("runs");
     assert_eq!(ra.total_completed(), rb.total_completed());
     assert_eq!(ra.launches, rb.launches);
     assert_eq!(PlatformKind::Infless, PlatformKind::Infless);

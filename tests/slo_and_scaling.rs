@@ -166,6 +166,7 @@ fn memory_tight_cluster_degrades_gracefully() {
         cores_per_server: 32,
         gpus_per_server: 2,
         mem_per_server_mb: per_instance_mb * 1.6,
+        gpu_mem_per_device_mb: 0.0,
     };
     let loads = vec![FunctionLoad::constant(2000.0, SimDuration::from_secs(20))];
     let workload = Workload::build(&loads, 44);

@@ -10,6 +10,7 @@ use std::io::BufRead;
 
 use infless::descriptor::Scenario;
 use infless::telemetry::{summarize_file, FileSink, MemorySink, NullSink, SpanKind};
+use infless::RunConfig;
 
 fn scenario() -> Scenario {
     Scenario::from_file("scenarios/failure_sweep.json").expect("shipped scenario parses")
@@ -23,7 +24,9 @@ fn failure_sweep_trace_is_parseable_and_consistent() {
     let gauges = dir.join("gauges.csv");
 
     let sink = FileSink::create(Some(&trace), Some(&gauges)).unwrap();
-    let report = scenario().run_with_telemetry(Box::new(sink)).unwrap();
+    let report = scenario()
+        .execute(RunConfig::new().telemetry(Box::new(sink)))
+        .unwrap();
 
     let summary = summarize_file(&trace).expect("trace parses and validates");
     assert_eq!(summary.platform, "INFless");
@@ -69,7 +72,7 @@ fn failure_sweep_trace_is_parseable_and_consistent() {
 fn trace_latency_histogram_matches_report_percentiles() {
     let sink = MemorySink::new();
     let report = scenario()
-        .run_with_telemetry(Box::new(sink.clone()))
+        .execute(RunConfig::new().telemetry(Box::new(sink.clone())))
         .unwrap();
     let store = sink.store();
     // Completion spans equal the report's completed count, so the
@@ -84,8 +87,10 @@ fn trace_latency_histogram_matches_report_percentiles() {
 
 #[test]
 fn null_sink_run_matches_plain_run() {
-    let plain = scenario().run().unwrap();
-    let nulled = scenario().run_with_telemetry(Box::new(NullSink)).unwrap();
+    let plain = scenario().execute(RunConfig::new()).unwrap();
+    let nulled = scenario()
+        .execute(RunConfig::new().telemetry(Box::new(NullSink)))
+        .unwrap();
     assert_eq!(plain.total_completed(), nulled.total_completed());
     assert_eq!(plain.total_dropped(), nulled.total_dropped());
     assert_eq!(plain.launches, nulled.launches);
@@ -102,7 +107,9 @@ fn every_jsonl_line_is_an_object_with_fixed_keys() {
     fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("trace.jsonl");
     let sink = FileSink::create(Some(&trace), None).unwrap();
-    scenario().run_with_telemetry(Box::new(sink)).unwrap();
+    scenario()
+        .execute(RunConfig::new().telemetry(Box::new(sink)))
+        .unwrap();
 
     let file = fs::File::open(&trace).unwrap();
     let mut lines = std::io::BufReader::new(file).lines();
