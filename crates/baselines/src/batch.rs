@@ -183,6 +183,17 @@ impl BatchPlatform {
         self
     }
 
+    /// Applies the autoregressive serving knobs: decode-batching
+    /// discipline plus device-memory booking for KV arenas. A disabled
+    /// config is a no-op (runs stay bit-identical).
+    pub fn with_llm(mut self, llm: infless_llm::LlmConfig) -> Self {
+        if llm.enabled {
+            self.engine.set_llm_batching(llm.batching);
+            self.engine.enable_device_memory();
+        }
+        self
+    }
+
     /// The uniform batchsize chosen for function `f` (None if no
     /// feasible configuration exists).
     pub fn uniform_batch(&self, f: usize) -> Option<u32> {
@@ -240,6 +251,12 @@ impl BatchPlatform {
                 EngineEvent::BatchComplete(id) => {
                     // Stale if a fault killed the instance mid-batch.
                     if let Some(done) = self.engine.on_batch_complete(id, &mut queue) {
+                        self.pump(done.function, &mut queue);
+                    }
+                }
+                EngineEvent::DecodeStep(id) => {
+                    // Some only when the episode drained (instance idle).
+                    if let Some(done) = self.engine.on_decode_step(id, &mut queue) {
                         self.pump(done.function, &mut queue);
                     }
                 }

@@ -114,6 +114,17 @@ impl OpenFaasPlus {
         self
     }
 
+    /// Applies the autoregressive serving knobs: decode-batching
+    /// discipline plus device-memory booking for KV arenas. A disabled
+    /// config is a no-op (runs stay bit-identical).
+    pub fn with_llm(mut self, llm: infless_llm::LlmConfig) -> Self {
+        if llm.enabled {
+            self.engine.set_llm_batching(llm.batching);
+            self.engine.enable_device_memory();
+        }
+        self
+    }
+
     /// Runs the workload to completion.
     pub fn run(mut self, workload: &Workload) -> RunReport {
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
@@ -144,6 +155,9 @@ impl OpenFaasPlus {
                     // Stale (None) if a fault killed the instance
                     // mid-batch; OpenFaaS has no chain relay to run.
                     self.engine.on_batch_complete(id, &mut queue);
+                }
+                EngineEvent::DecodeStep(id) => {
+                    self.engine.on_decode_step(id, &mut queue);
                 }
                 EngineEvent::ScalerTick => {
                     self.reap(t);

@@ -116,6 +116,18 @@ impl Torpor {
         self
     }
 
+    /// Applies the autoregressive serving knobs: decode-batching
+    /// discipline plus device-memory booking for KV arenas (Torpor
+    /// books weights already; this adds the arena term). A disabled
+    /// config is a no-op (runs stay bit-identical).
+    pub fn with_llm(mut self, llm: infless_llm::LlmConfig) -> Self {
+        if llm.enabled {
+            self.engine.set_llm_batching(llm.batching);
+            self.engine.enable_device_memory();
+        }
+        self
+    }
+
     /// Runs the workload to completion.
     pub fn run(mut self, workload: &Workload) -> RunReport {
         let mut queue: EventQueue<EngineEvent> = EventQueue::new();
@@ -140,6 +152,9 @@ impl Torpor {
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
                     self.engine.on_batch_complete(id, &mut queue);
+                }
+                EngineEvent::DecodeStep(id) => {
+                    self.engine.on_decode_step(id, &mut queue);
                 }
                 EngineEvent::ScalerTick => {
                     self.reap(t);

@@ -160,11 +160,13 @@ impl System {
         let sink = config
             .telemetry
             .unwrap_or_else(|| Box::new(infless_telemetry::NullSink));
+        let llm = config.llm.unwrap_or_default();
         let infless_config = || {
             let mut cfg = InflessConfig::default();
             if let Some(residency) = config.residency {
                 cfg.residency = residency;
             }
+            cfg.llm = llm;
             cfg
         };
         if let Some(shards) = sharded {
@@ -181,10 +183,12 @@ impl System {
             System::OpenFaasPlus => OpenFaasPlus::new(cluster, functions.to_vec(), seed)
                 .with_fault_schedule(schedule)
                 .with_telemetry(sink)
+                .with_llm(llm)
                 .run(workload),
             System::Batch => BatchPlatform::new(cluster, functions.to_vec(), seed)
                 .with_fault_schedule(schedule)
                 .with_telemetry(sink)
+                .with_llm(llm)
                 .run(workload),
             System::BatchRs => BatchPlatform::with_config(
                 cluster,
@@ -197,10 +201,12 @@ impl System {
             )
             .with_fault_schedule(schedule)
             .with_telemetry(sink)
+            .with_llm(llm)
             .run(workload),
             System::Torpor => Torpor::new(cluster, functions.to_vec(), seed)
                 .with_fault_schedule(schedule)
                 .with_telemetry(sink)
+                .with_llm(llm)
                 .run(workload),
             System::Infless => {
                 InflessPlatform::new(cluster, functions.to_vec(), infless_config(), seed)

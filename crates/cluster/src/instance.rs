@@ -207,6 +207,12 @@ impl Instance {
         self.queue_opened_at
     }
 
+    /// Read access to the queued requests, oldest first — admission
+    /// controllers (e.g. the KV-cache gate) inspect before draining.
+    pub fn queued(&self) -> impl Iterator<Item = &Request> + '_ {
+        self.queue.iter()
+    }
+
     /// Total requests completed over the instance's lifetime.
     pub fn completed_requests(&self) -> u64 {
         self.completed_requests
@@ -275,6 +281,70 @@ impl Instance {
         self.state = InstanceState::Busy { until };
         self.executed_batches += 1;
         batch
+    }
+
+    /// Like [`Self::begin_batch`], but takes at most `n` requests —
+    /// the autoregressive admission path, where the batch that fits is
+    /// bounded by KV-cache headroom rather than the configured
+    /// batchsize alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when [`Self::can_execute`] is false, or if `n`
+    /// is zero.
+    pub fn begin_batch_of(&mut self, n: usize, now: SimTime, until: SimTime) -> Vec<Request> {
+        assert!(n >= 1, "begin_batch_of needs at least one request");
+        assert!(
+            self.can_execute(now),
+            "begin_batch_of on a non-ready instance"
+        );
+        let take = n.min(self.config.batch as usize).min(self.queue.len());
+        let batch: Vec<Request> = self.queue.drain(..take).collect();
+        self.queue_opened_at = if self.queue.is_empty() {
+            None
+        } else {
+            Some(now)
+        };
+        self.state = InstanceState::Busy { until };
+        self.executed_batches += 1;
+        batch
+    }
+
+    /// Drains up to `n` queued requests *while busy* — continuous
+    /// batching admits waiting sequences into the running decode batch
+    /// at step boundaries without the instance ever going idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is not busy (joining an idle instance's
+    /// queue is what [`Self::begin_batch_of`] is for).
+    pub fn drain_queued(&mut self, n: usize, now: SimTime) -> Vec<Request> {
+        assert!(
+            matches!(self.state, InstanceState::Busy { .. }),
+            "drain_queued on a non-busy instance"
+        );
+        let take = n.min(self.queue.len());
+        let joined: Vec<Request> = self.queue.drain(..take).collect();
+        self.queue_opened_at = if self.queue.is_empty() {
+            None
+        } else {
+            Some(now)
+        };
+        joined
+    }
+
+    /// Extends the busy window to `until` — one decode step scheduled
+    /// after another without an idle gap in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is not busy.
+    pub fn extend_busy(&mut self, until: SimTime) {
+        assert!(
+            matches!(self.state, InstanceState::Busy { .. }),
+            "extend_busy on a non-busy instance"
+        );
+        self.state = InstanceState::Busy { until };
     }
 
     /// Marks the in-flight batch of `size` requests complete at `now`.
@@ -438,5 +508,45 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_batch_config_rejected() {
         InstanceConfig::new(0, ResourceConfig::cpu(1));
+    }
+
+    #[test]
+    fn continuous_join_and_extend_lifecycle() {
+        let mut inst = warm_instance(4);
+        let t0 = SimTime::from_millis(1);
+        for i in 0..3 {
+            inst.enqueue(request(i, t0), t0);
+        }
+        // KV headroom admits only 2 of the 3 queued requests.
+        let until = t0 + SimDuration::from_millis(10);
+        let batch = inst.begin_batch_of(2, t0, until);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(inst.queue_len(), 1);
+        assert_eq!(inst.queue_opened_at(), Some(t0));
+
+        // A decode-step boundary: one joiner drains into the running
+        // batch, the busy window rolls forward without going idle.
+        let t1 = t0 + SimDuration::from_millis(4);
+        let joined = inst.drain_queued(4, t1);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(inst.queue_opened_at(), None);
+        let until2 = t1 + SimDuration::from_millis(10);
+        inst.extend_busy(until2);
+        assert!(matches!(
+            inst.state(),
+            InstanceState::Busy { until } if until == until2
+        ));
+        inst.complete_batch(until2, 3);
+        assert_eq!(inst.completed_requests(), 3);
+        assert_eq!(inst.executed_batches(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-busy")]
+    fn drain_queued_while_idle_panics() {
+        let mut inst = warm_instance(2);
+        let t = SimTime::ZERO;
+        inst.enqueue(request(0, t), t);
+        inst.drain_queued(1, t);
     }
 }

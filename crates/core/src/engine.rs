@@ -20,12 +20,14 @@ use infless_cluster::{
     Request, RequestId, ServerHealth, ServerId,
 };
 use infless_faults::FaultEvent;
-use infless_models::{HardwareModel, ModelSpec};
+use infless_llm::{LlmBatching, LlmClass};
+use infless_models::{HardwareModel, ModelSpec, ResourceConfig};
 use infless_sim::{EventQueue, SimDuration, SimTime};
 use infless_telemetry::{
     FaultTag, GaugeRow, NullSink, SpanEvent, SpanKind, TelemetrySink, TraceMeta,
 };
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::metrics::{Collector, StartupKind};
 
@@ -36,6 +38,7 @@ pub struct FunctionInfo {
     spec: ModelSpec,
     slo: SimDuration,
     max_batch: u32,
+    llm: Option<LlmClass>,
 }
 
 impl FunctionInfo {
@@ -57,7 +60,16 @@ impl FunctionInfo {
             spec,
             slo,
             max_batch,
+            llm: None,
         }
+    }
+
+    /// Marks the function autoregressive: requests carry prompt/output
+    /// token counts and execute as prefill + decode episodes under the
+    /// two-phase (TTFT/TPOT) SLO model.
+    pub fn with_llm(mut self, llm: LlmClass) -> Self {
+        self.llm = Some(llm);
+        self
     }
 
     /// The model.
@@ -73,6 +85,11 @@ impl FunctionInfo {
     /// The per-function batchsize cap.
     pub fn max_batch(&self) -> u32 {
         self.max_batch
+    }
+
+    /// The autoregressive class parameters, if this function is one.
+    pub fn llm(&self) -> Option<&LlmClass> {
+        self.llm.as_ref()
     }
 }
 
@@ -100,6 +117,10 @@ pub enum EngineEvent {
     BatchTimeout(InstanceId),
     /// A running batch finished.
     BatchComplete(InstanceId),
+    /// An autoregressive decode-step boundary on this instance: every
+    /// active sequence produced one token; completed sequences leave
+    /// and (under continuous batching) queued requests may join.
+    DecodeStep(InstanceId),
     /// Periodic auto-scaler invocation.
     ScalerTick,
     /// An injected fault fires (see [`infless_faults`]).
@@ -165,6 +186,20 @@ pub struct Engine {
     next_instance: u64,
     next_request: u64,
     noise: NoiseRng,
+    /// Autoregressive decode-batching discipline (LLM functions only;
+    /// one-shot functions never consult it).
+    llm_batching: LlmBatching,
+    /// Live autoregressive episodes, keyed by raw instance id.
+    llm_episodes: HashMap<u64, LlmEpisode>,
+    /// Prompt/output token counts per in-system LLM request, keyed by
+    /// raw request id. Minted at arrival, removed at completion/shed.
+    token_table: HashMap<u64, TokenInfo>,
+    /// Lazily-created per-function token-count streams with
+    /// shard-invariant labels (`llm/{platform}/fn{i}`). Empty until an
+    /// LLM function mints its first request, so non-LLM runs never
+    /// touch them.
+    token_streams: Vec<Option<StdRng>>,
+    seed: u64,
     /// How MPS interference reads co-resident SM activity; see
     /// [`Self::use_interference_snapshot`].
     interference_snapshot: Option<Vec<u32>>,
@@ -212,6 +247,59 @@ struct InFlight {
     started: SimTime,
     exec: SimDuration,
     batch: Vec<Request>,
+}
+
+/// Prompt/output token counts minted at arrival for a request of an
+/// autoregressive function, plus decode progress (updated when a fault
+/// displaces the sequence, so retry estimates see the remaining work).
+#[derive(Debug, Clone, Copy)]
+struct TokenInfo {
+    prompt: u32,
+    output: u32,
+    produced: u32,
+}
+
+/// One sequence inside a running autoregressive episode.
+#[derive(Debug)]
+struct LlmSeq {
+    req: Request,
+    prompt: u32,
+    output: u32,
+    produced: u32,
+    /// When the sequence entered the batch (episode start or a
+    /// continuous join) — the queue/exec boundary of its breakdown.
+    admitted: SimTime,
+    first_token: Option<SimTime>,
+}
+
+/// A running autoregressive episode on one instance: one prefill pass
+/// followed by iteration-level decode steps until every sequence
+/// finishes (or, under continuous batching, forever replenished from
+/// the instance queue).
+#[derive(Debug)]
+struct LlmEpisode {
+    active: Vec<LlmSeq>,
+    /// `prompt + output` tokens reserved against the KV arena by the
+    /// admission gate (actual residency never exceeds the reservation,
+    /// so a step can never overflow the arena mid-episode).
+    reserved_tokens: u64,
+    /// Prompt tokens of sequences that joined since the last step,
+    /// folded into the next step's latency (piggybacked prefill).
+    pending_prefill_tokens: u64,
+    /// Sequences completed over the episode's lifetime.
+    completed: usize,
+    /// Episode-scoped slowdown (noise × interference × straggler),
+    /// drawn once at episode start so jitter cannot re-order steps.
+    slow: f64,
+}
+
+/// Samples one token count: inverse-CDF exponential with the given
+/// mean, rounded and clamped to ≥ 1. A single uniform draw per count
+/// keeps the per-function stream shard-invariant.
+fn sample_token_count<R: Rng + ?Sized>(rng: &mut R, mean: u32) -> u32 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let t = -f64::from(mean) * (1.0 - u).ln();
+    (t.round() as u32).max(1)
 }
 
 /// Weighted capacity lost to a fault, awaiting replacement launches.
@@ -273,6 +361,11 @@ impl Engine {
                 seed,
                 &format!("engine/{platform_name}"),
             )),
+            llm_batching: LlmBatching::Static,
+            llm_episodes: HashMap::new(),
+            token_table: HashMap::new(),
+            token_streams: Vec::new(),
+            seed,
             interference_snapshot: None,
             device_memory: false,
             recapacity_external: false,
@@ -365,14 +458,51 @@ impl Engine {
     }
 
     /// The per-device GPU-memory demand a launch of `function` with
-    /// `config` books: the model's weights for GPU configs when
+    /// `config` books: the model's weights — plus the KV-cache arena
+    /// for autoregressive functions — for GPU configs when
     /// device-memory booking is on, zero otherwise.
     pub fn device_demand(&self, function: usize, config: InstanceConfig) -> f64 {
         if self.device_memory && config.resources().gpu_pct() > 0 {
-            self.functions[function].spec().size_mb()
+            let f = &self.functions[function];
+            f.spec().size_mb() + f.llm().map_or(0.0, |l| l.kv_arena_mb)
         } else {
             0.0
         }
+    }
+
+    /// Sets the autoregressive decode-batching discipline (default:
+    /// run-to-completion static batching).
+    pub fn set_llm_batching(&mut self, batching: LlmBatching) {
+        self.llm_batching = batching;
+    }
+
+    /// The active autoregressive batching discipline.
+    pub fn llm_batching(&self) -> LlmBatching {
+        self.llm_batching
+    }
+
+    /// A best-case lower bound on re-serving `request` from scratch
+    /// when its function is autoregressive: prefill of the full prompt
+    /// on the richest grid slice plus the *remaining* decode tokens.
+    /// `None` for one-shot functions (the ordinary predictor applies)
+    /// or when the request's token entry is gone.
+    pub fn llm_retry_estimate(&self, request: &Request) -> Option<SimDuration> {
+        let function = request.function.raw();
+        let llm = self.functions[function].llm()?;
+        let info = self.token_table.get(&request.id.raw())?;
+        let best = ResourceConfig::new(1, 100);
+        let spec = self.functions[function].spec();
+        let prefill = self
+            .hardware
+            .prefill_latency(spec, u64::from(info.prompt.max(1)), best);
+        let remaining = info.output.saturating_sub(info.produced).max(1);
+        let step = self.hardware.decode_step_latency(
+            spec,
+            1,
+            f64::from(info.prompt) * llm.kv_mb_per_token,
+            best,
+        );
+        Some(prefill + step.mul_f64(f64::from(remaining - 1)))
     }
 
     /// Hands capacity-loss probe ownership to an external coordinator:
@@ -495,12 +625,38 @@ impl Engine {
             function: FunctionId::new(function),
             arrival,
         };
+        if self.functions[function].llm().is_some() {
+            let info = self.mint_tokens(function);
+            self.token_table.insert(id.raw(), info);
+        }
         if self.telemetry.enabled() {
             // Timestamped at the gateway arrival, which the BATCH
             // baseline backdates relative to "now".
             self.emit(SpanKind::Arrival, arrival, &request, -1, -1, 0);
         }
         request
+    }
+
+    /// Samples prompt/output token counts for a new LLM request from
+    /// the function's dedicated stream (label `llm/{platform}/fn{i}`).
+    /// Shard-invariant: a function is wholly owned by one shard and
+    /// draws happen in arrival order.
+    fn mint_tokens(&mut self, function: usize) -> TokenInfo {
+        let llm = *self.functions[function].llm().expect("LLM function");
+        if self.token_streams.len() != self.functions.len() {
+            self.token_streams
+                .resize_with(self.functions.len(), || None);
+        }
+        if self.token_streams[function].is_none() {
+            let label = format!("llm/{}/fn{function}", self.collector.platform());
+            self.token_streams[function] = Some(infless_sim::rng::stream(self.seed, &label));
+        }
+        let rng = self.token_streams[function].as_mut().expect("just created");
+        TokenInfo {
+            prompt: sample_token_count(rng, llm.prompt_tokens_mean),
+            output: sample_token_count(rng, llm.output_tokens_mean),
+            produced: 0,
+        }
     }
 
     /// Builds and records one span (`instance`/`server` are raw ids or
@@ -727,7 +883,10 @@ impl Engine {
         if was_empty && budget < SimDuration::MAX {
             queue.schedule(now + budget, EngineEvent::BatchTimeout(id));
         }
-        if full {
+        // LLM functions also try on every enqueue: under continuous
+        // batching an idle instance starts immediately (TTFT is the
+        // point), and `try_start` itself gates the static discipline.
+        if full || self.functions[request.function.raw()].llm().is_some() {
             self.try_start(id, queue);
         }
         true
@@ -845,6 +1004,7 @@ impl Engine {
 
     /// Records a dropped request.
     pub fn drop_request(&mut self, request: &Request) {
+        self.token_table.remove(&request.id.raw());
         self.collector.drop_request(request.function.raw());
         if self.telemetry.enabled() {
             self.emit(SpanKind::Dropped, self.now, request, -1, -1, 0);
@@ -855,6 +1015,7 @@ impl Engine {
     /// blown or no residual capacity). Counts as a drop for SLO
     /// purposes *and* in the failure section's shed tally.
     pub fn shed_request(&mut self, request: &Request) {
+        self.token_table.remove(&request.id.raw());
         self.collector.shed(request.function.raw());
         if self.telemetry.enabled() {
             self.emit(SpanKind::Shed, self.now, request, -1, -1, 0);
@@ -1083,6 +1244,31 @@ impl Engine {
             }
             displaced.extend(fl.batch);
         }
+        if let Some(ep) = self.llm_episodes.remove(&id.raw()) {
+            // An autoregressive episode was running: unwind the busy
+            // books exactly like an in-flight batch, free the resident
+            // KV of every active sequence, and displace them with
+            // their decode progress preserved for retry estimates.
+            self.in_flight_count -= 1;
+            let (w, _, _) = self.weights(config);
+            self.collector.busy_delta(function, self.now, -w);
+            if let Some(gpu) = placement.gpu_index() {
+                let device = self.device_index(placement.server(), gpu);
+                self.gpu_busy_pct[device] -= config.resources().gpu_pct();
+            }
+            let bpt = self.functions[function]
+                .llm()
+                .expect("episode on a non-LLM function")
+                .kv_bytes_per_token();
+            for seq in ep.active {
+                self.collector
+                    .kv_free((u64::from(seq.prompt) + u64::from(seq.produced)) * bpt);
+                if let Some(info) = self.token_table.get_mut(&seq.req.id.raw()) {
+                    info.produced = seq.produced;
+                }
+                displaced.push(seq.req);
+            }
+        }
         displaced.extend(inst.take_queue());
         self.cluster.release(config.resources(), placement);
         let (w, c, g) = self.weights(config);
@@ -1197,6 +1383,7 @@ impl Engine {
     /// the current instant.
     pub fn finish(mut self) -> crate::metrics::RunReport {
         self.telemetry.finish();
+        self.book_kv_residents();
         self.collector.finish(self.now)
     }
 
@@ -1207,7 +1394,38 @@ impl Engine {
     /// freeze.
     pub fn into_collector(mut self) -> Collector {
         self.telemetry.finish();
+        self.book_kv_residents();
         self.collector
+    }
+
+    /// Books the KV bytes still resident in live episodes at the
+    /// horizon, closing the conservation invariant
+    /// `allocated == freed + resident` exactly. Summation over the
+    /// (unordered) episode map is a u64 total, so the result does not
+    /// depend on iteration order.
+    fn book_kv_residents(&mut self) {
+        if self.llm_episodes.is_empty() {
+            return;
+        }
+        let mut total = 0u64;
+        for (raw, ep) in &self.llm_episodes {
+            let function = self.slots[*raw as usize]
+                .as_ref()
+                .expect("episode on a live instance")
+                .inst
+                .function()
+                .raw();
+            let bpt = self.functions[function]
+                .llm()
+                .expect("episode on a non-LLM function")
+                .kv_bytes_per_token();
+            total += ep
+                .active
+                .iter()
+                .map(|s| (u64::from(s.prompt) + u64::from(s.produced)) * bpt)
+                .sum::<u64>();
+        }
+        self.collector.kv_resident(total);
     }
 
     // --- internals -------------------------------------------------------
@@ -1232,15 +1450,22 @@ impl Engine {
     }
 
     /// Starts a batch on `id` if the instance is ready and the batch is
-    /// full or past its wait budget.
+    /// full or past its wait budget. Autoregressive functions divert to
+    /// [`Self::try_start_llm`].
     fn try_start(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
         let now = self.now;
+        let probe = self.slot(id);
+        if !probe.inst.can_execute(now) {
+            return;
+        }
+        let is_llm = self.functions[probe.inst.function().raw()].llm().is_some();
+        if is_llm {
+            self.try_start_llm(id, queue);
+            return;
+        }
         let slot = self.slot(id);
         let budget = slot.meta.wait_budget;
         let inst = &slot.inst;
-        if !inst.can_execute(now) {
-            return;
-        }
         let deadline_passed = inst
             .queue_opened_at()
             .map(|t| now >= t + budget)
@@ -1312,6 +1537,332 @@ impl Engine {
         self.in_flight_count += 1;
         queue.schedule(until, EngineEvent::BatchComplete(id));
     }
+
+    /// Starts an autoregressive episode on `id`: admits queued
+    /// sequences under the KV-arena gate, books their prompt KV, and
+    /// schedules the prefill's end as the first decode step (the first
+    /// token of every admitted sequence lands there).
+    fn try_start_llm(&mut self, id: InstanceId, queue: &mut EventQueue<EngineEvent>) {
+        let now = self.now;
+        let slot = self.slot(id);
+        let budget = slot.meta.wait_budget;
+        let inst = &slot.inst;
+        debug_assert!(inst.can_execute(now));
+        let config = inst.config();
+        let function = inst.function().raw();
+        let placement = inst.placement();
+        let llm = *self.functions[function].llm().expect("LLM function");
+        // Static batching forms episodes exactly like one-shot batches
+        // (full batch or past the wait budget). Continuous admits
+        // greedily: TTFT is the point, and later arrivals join the
+        // running batch at decode boundaries anyway.
+        if self.llm_batching == LlmBatching::Static {
+            let deadline_passed = inst
+                .queue_opened_at()
+                .map(|t| now >= t + budget)
+                .unwrap_or(false);
+            if !(inst.batch_full() || deadline_passed) {
+                return;
+            }
+        }
+        // KV admission: walk the queue in order, reserving
+        // `prompt + output` tokens per sequence against the arena. The
+        // head sequence is always admitted, so an oversized request
+        // cannot wedge the queue forever.
+        let cap = llm.arena_capacity_tokens();
+        let max_batch = config.batch() as usize;
+        let mut reserved = 0u64;
+        let mut infos: Vec<TokenInfo> = Vec::new();
+        let mut blocked = false;
+        for req in inst.queued() {
+            if infos.len() >= max_batch {
+                break;
+            }
+            let info = self.token_table[&req.id.raw()];
+            let need = u64::from(info.prompt) + u64::from(info.output);
+            if !infos.is_empty() && reserved + need > cap {
+                blocked = true;
+                break;
+            }
+            reserved += need;
+            infos.push(info);
+        }
+        if blocked {
+            self.collector.llm_cache_full(function);
+        }
+        debug_assert!(!infos.is_empty());
+        let prefill_tokens: u64 = infos.iter().map(|i| u64::from(i.prompt)).sum();
+        // Episode-scoped slowdown: one noise draw plus the start-time
+        // interference and straggler factors, applied to every phase.
+        let rng = match &mut self.noise {
+            NoiseRng::Shared(rng) => rng,
+            NoiseRng::PerFunction(streams) => &mut streams[function],
+        };
+        let mut slow = self.hardware.noise_factor(rng);
+        if let Some(gpu) = placement.gpu_index() {
+            let device = self.device_index(placement.server(), gpu);
+            let others = match &self.interference_snapshot {
+                Some(snap) => snap[device],
+                None => self.gpu_busy_pct[device],
+            };
+            let k = self.hardware.calibration().mps_interference;
+            slow *= 1.0 + k * f64::from(others) / 100.0;
+            self.gpu_busy_pct[device] += config.resources().gpu_pct();
+        }
+        if !self.straggle.is_empty() {
+            let server = placement.server();
+            if let Some(&(until_t, factor)) = self.straggle.get(&server) {
+                if now < until_t {
+                    slow *= factor;
+                    self.collector.straggled_batch();
+                } else {
+                    self.straggle.remove(&server);
+                }
+            }
+        }
+        let spec = self.functions[function].spec();
+        let prefill = self
+            .hardware
+            .prefill_latency(spec, prefill_tokens, config.resources())
+            .mul_f64(slow);
+        let until = now + prefill;
+        let n = infos.len();
+        let batch = self.slot_mut(id).inst.begin_batch_of(n, now, until);
+        debug_assert_eq!(batch.len(), n);
+        let bpt = llm.kv_bytes_per_token();
+        let telemetry_on = self.telemetry.enabled();
+        let mut active = Vec::with_capacity(n);
+        for (req, info) in batch.into_iter().zip(infos) {
+            self.collector.kv_alloc(u64::from(info.prompt) * bpt);
+            if telemetry_on {
+                self.emit(
+                    SpanKind::PrefillStart,
+                    now,
+                    &req,
+                    id.raw() as i64,
+                    placement.server().raw() as i64,
+                    n as u32,
+                );
+            }
+            active.push(LlmSeq {
+                req,
+                prompt: info.prompt,
+                output: info.output,
+                produced: 0,
+                admitted: now,
+                first_token: None,
+            });
+        }
+        let (w, _, _) = self.weights(config);
+        self.collector.busy_delta(function, now, w);
+        self.in_flight_count += 1;
+        self.llm_episodes.insert(
+            id.raw(),
+            LlmEpisode {
+                active,
+                reserved_tokens: reserved,
+                pending_prefill_tokens: 0,
+                completed: 0,
+                slow,
+            },
+        );
+        queue.schedule(until, EngineEvent::DecodeStep(id));
+    }
+
+    /// Handles [`EngineEvent::DecodeStep`]: every active sequence
+    /// produces one token (the first one closes the TTFT clock),
+    /// completed sequences leave and free their KV, continuous batching
+    /// admits queued joiners, and either the next step is scheduled or
+    /// the episode ends. Returns the requests that completed at the
+    /// episode's final step when the instance goes idle, `None`
+    /// otherwise — including for stale events on killed instances.
+    pub fn on_decode_step(
+        &mut self,
+        id: InstanceId,
+        queue: &mut EventQueue<EngineEvent>,
+    ) -> Option<CompletedBatch> {
+        if !self.is_live(id) {
+            return None;
+        }
+        let now = self.now;
+        let mut ep = self
+            .llm_episodes
+            .remove(&id.raw())
+            .expect("DecodeStep on a live instance without an episode");
+        let (function, config, placement, ready_at, was_cold, budget) = {
+            let slot = self.slot(id);
+            (
+                slot.inst.function().raw(),
+                slot.inst.config(),
+                slot.inst.placement(),
+                slot.inst.ready_at(),
+                !matches!(slot.meta.startup, StartupKind::PreWarmed),
+                slot.meta.wait_budget,
+            )
+        };
+        let llm = *self.functions[function].llm().expect("LLM function");
+        let bpt = llm.kv_bytes_per_token();
+        let batch_setting = config.batch();
+        let telemetry_on = self.telemetry.enabled();
+        let srv = placement.server().raw() as i64;
+        let inst_raw = id.raw() as i64;
+        let nseq = ep.active.len() as u32;
+        // 1. Every active sequence produces one token; first tokens
+        //    close the TTFT clock.
+        for i in 0..ep.active.len() {
+            let seq = &mut ep.active[i];
+            seq.produced += 1;
+            let first = seq.first_token.is_none();
+            if first {
+                seq.first_token = Some(now);
+            }
+            let req = seq.req;
+            let arrival = seq.req.arrival;
+            self.collector.kv_alloc(bpt);
+            if first {
+                self.collector
+                    .llm_first_token(function, now - arrival, llm.ttft_slo);
+                if telemetry_on {
+                    self.emit(SpanKind::FirstToken, now, &req, inst_raw, srv, nseq);
+                }
+            }
+        }
+        // 2. Completed sequences leave, freeing their KV.
+        let mut still_active = Vec::with_capacity(ep.active.len());
+        let mut finished = Vec::new();
+        for seq in ep.active.drain(..) {
+            if seq.produced >= seq.output {
+                finished.push(seq);
+            } else {
+                still_active.push(seq);
+            }
+        }
+        ep.active = still_active;
+        let mut completed_now = Vec::with_capacity(finished.len());
+        for seq in finished {
+            ep.reserved_tokens -= u64::from(seq.prompt) + u64::from(seq.output);
+            ep.completed += 1;
+            let wait = seq.admitted - seq.req.arrival;
+            let exec = now - seq.admitted;
+            let cold = if was_cold && ready_at > seq.req.arrival {
+                (ready_at - seq.req.arrival).min(wait)
+            } else {
+                SimDuration::ZERO
+            };
+            self.collector
+                .complete(function, wait, exec, cold, batch_setting);
+            let tpot = if seq.output > 1 {
+                let first = seq
+                    .first_token
+                    .expect("completed sequences produced tokens");
+                Some(SimDuration::from_secs_f64(
+                    (now - first).as_secs_f64() / f64::from(seq.output - 1),
+                ))
+            } else {
+                None
+            };
+            self.collector
+                .llm_complete(function, tpot, llm.tpot_slo, u64::from(seq.produced));
+            self.collector
+                .kv_free((u64::from(seq.prompt) + u64::from(seq.produced)) * bpt);
+            self.token_table.remove(&seq.req.id.raw());
+            if telemetry_on {
+                self.emit(SpanKind::DecodeComplete, now, &seq.req, inst_raw, srv, nseq);
+                self.emit(SpanKind::Complete, now, &seq.req, inst_raw, srv, nseq);
+            }
+            completed_now.push(seq.req);
+        }
+        // 3. Continuous batching: queued requests join at the boundary,
+        //    their prompt prefill folded into the next step's latency.
+        if self.llm_batching == LlmBatching::Continuous && !ep.active.is_empty() {
+            let cap = llm.arena_capacity_tokens();
+            let max_batch = config.batch() as usize;
+            loop {
+                if ep.active.len() >= max_batch {
+                    break;
+                }
+                let Some(head) = self.slot(id).inst.queued().next().copied() else {
+                    break;
+                };
+                let info = self.token_table[&head.id.raw()];
+                let need = u64::from(info.prompt) + u64::from(info.output);
+                if ep.reserved_tokens + need > cap {
+                    self.collector.llm_cache_full(function);
+                    break;
+                }
+                let joined = self.slot_mut(id).inst.drain_queued(1, now);
+                debug_assert_eq!(joined.len(), 1);
+                ep.reserved_tokens += need;
+                ep.pending_prefill_tokens += u64::from(info.prompt);
+                self.collector.kv_alloc(u64::from(info.prompt) * bpt);
+                if telemetry_on {
+                    self.emit(SpanKind::PrefillStart, now, &head, inst_raw, srv, nseq);
+                }
+                ep.active.push(LlmSeq {
+                    req: head,
+                    prompt: info.prompt,
+                    output: info.output,
+                    produced: 0,
+                    admitted: now,
+                    first_token: None,
+                });
+            }
+        }
+        if ep.active.is_empty() {
+            // Episode over: the instance goes idle and the one-shot
+            // completion plumbing (books, timeout re-arm, next start)
+            // takes back over.
+            let n = ep.completed;
+            self.slot_mut(id).inst.complete_batch(now, n);
+            self.in_flight_count -= 1;
+            let (w, _, _) = self.weights(config);
+            self.collector.busy_delta(function, now, -w);
+            if let Some(gpu) = placement.gpu_index() {
+                let device = self.device_index(placement.server(), gpu);
+                self.gpu_busy_pct[device] -= config.resources().gpu_pct();
+            }
+            self.try_start(id, queue);
+            let inst = &self.slot(id).inst;
+            if inst.queue_len() > 0 && budget < SimDuration::MAX {
+                if let Some(opened) = inst.queue_opened_at() {
+                    queue.schedule(opened + budget, EngineEvent::BatchTimeout(id));
+                }
+            }
+            Some(CompletedBatch {
+                function,
+                requests: completed_now,
+            })
+        } else {
+            // Next decode step: memory-bound on weights + resident KV,
+            // plus the piggybacked prefill of any joiners.
+            let resident: u64 = ep
+                .active
+                .iter()
+                .map(|s| u64::from(s.prompt) + u64::from(s.produced))
+                .sum();
+            let kv_mb = resident as f64 * llm.kv_mb_per_token;
+            let spec = self.functions[function].spec();
+            let mut step = self.hardware.decode_step_latency(
+                spec,
+                ep.active.len() as u32,
+                kv_mb,
+                config.resources(),
+            );
+            if ep.pending_prefill_tokens > 0 {
+                step += self.hardware.prefill_latency(
+                    spec,
+                    ep.pending_prefill_tokens,
+                    config.resources(),
+                );
+                ep.pending_prefill_tokens = 0;
+            }
+            let until = now + step.mul_f64(ep.slow);
+            self.slot_mut(id).inst.extend_busy(until);
+            self.llm_episodes.insert(id.raw(), ep);
+            queue.schedule(until, EngineEvent::DecodeStep(id));
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1354,6 +1905,9 @@ mod tests {
                     if engine.is_live(id) {
                         engine.on_batch_complete(id, queue);
                     }
+                }
+                EngineEvent::DecodeStep(id) => {
+                    engine.on_decode_step(id, queue);
                 }
                 EngineEvent::Fault(f) => {
                     engine.on_fault(f);
@@ -1935,5 +2489,193 @@ mod tests {
         let report = engine.finish();
         assert_eq!(report.total_completed(), 8);
         assert_eq!(report.functions[0].per_batch_completed[&4], 8);
+    }
+
+    // --- autoregressive (LLM) episodes -------------------------------
+
+    use infless_llm::{LlmBatching, LlmClass};
+
+    fn llm_engine(class: LlmClass, batching: LlmBatching) -> (Engine, EventQueue<EngineEvent>) {
+        let functions = vec![
+            FunctionInfo::new(ModelId::BertV1.spec(), SimDuration::from_secs(30)).with_llm(class),
+        ];
+        let mut engine = Engine::new(
+            "test",
+            ClusterSpec::testbed(),
+            HardwareModel::default(),
+            functions,
+            1,
+        );
+        engine.set_llm_batching(batching);
+        (engine, EventQueue::new())
+    }
+
+    fn gpu_cfg() -> InstanceConfig {
+        InstanceConfig::new(4, ResourceConfig::new(1, 50))
+    }
+
+    #[test]
+    fn llm_episode_records_ttft_tpot_and_conserves_kv() {
+        let (mut engine, mut queue) = llm_engine(LlmClass::chat(), LlmBatching::Static);
+        let id = engine
+            .launch_anywhere(
+                0,
+                gpu_cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::from_millis(30),
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 4);
+        let llm = report.functions[0].llm.as_ref().expect("LLM stats");
+        assert_eq!(llm.ttft_ms.count(), 4, "one first token per sequence");
+        assert!(llm.tpot_ms.count() >= 1, "multi-token outputs record TPOT");
+        assert!(llm.decoded_tokens >= 4, "every sequence decoded tokens");
+        assert!(llm.ttft_ms.mean() > 0.0);
+        // Every byte of KV allocated over the run was freed: no
+        // sequence is live at the horizon.
+        assert!(report.kv_allocated_bytes > 0);
+        assert_eq!(report.kv_resident_bytes, 0);
+        assert_eq!(report.kv_allocated_bytes, report.kv_freed_bytes);
+    }
+
+    #[test]
+    fn continuous_joiner_merges_into_running_episode() {
+        let (mut engine, mut queue) = llm_engine(LlmClass::chat(), LlmBatching::Continuous);
+        let id = engine
+            .launch_anywhere(
+                0,
+                gpu_cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        // First request starts an episode immediately (continuous mode
+        // does not wait for a full batch)...
+        let r1 = engine.mint_request(0);
+        assert!(engine.enqueue(id, r1, &mut queue));
+        // ...and a second arrival while the episode runs is admitted at
+        // a decode boundary instead of waiting for the instance to
+        // drain — with a MAX wait budget, a static second batch would
+        // never form, so completion of both proves the merge.
+        let r2 = engine.mint_request(0);
+        assert!(engine.enqueue(id, r2, &mut queue));
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 2);
+        let llm = report.functions[0].llm.as_ref().expect("LLM stats");
+        assert_eq!(llm.ttft_ms.count(), 2);
+        // Both sequences retired under the instance's batch setting.
+        assert_eq!(report.functions[0].per_batch_completed[&4], 2);
+        assert_eq!(report.kv_resident_bytes, 0);
+        assert_eq!(report.kv_allocated_bytes, report.kv_freed_bytes);
+    }
+
+    #[test]
+    fn static_mode_waits_for_full_batch() {
+        // The same two-request arrival under static batching leaves
+        // the partial batch queued forever on a MAX budget: run-to-
+        // completion never starts a batch early.
+        let (mut engine, mut queue) = llm_engine(LlmClass::chat(), LlmBatching::Static);
+        let id = engine
+            .launch_anywhere(
+                0,
+                gpu_cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        let r1 = engine.mint_request(0);
+        assert!(engine.enqueue(id, r1, &mut queue));
+        let r2 = engine.mint_request(0);
+        assert!(engine.enqueue(id, r2, &mut queue));
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 0);
+    }
+
+    #[test]
+    fn kv_full_arena_blocks_admission_and_is_counted() {
+        // An arena sized for roughly one mean sequence cannot admit a
+        // 4-deep batch at once: admission must stop at the headroom
+        // wall and count the blocked attempts, while the head sequence
+        // is always admitted so the queue cannot wedge.
+        let mut class = LlmClass::chat();
+        class.kv_arena_mb = 32.0; // 640 tokens; a mean chat seq is ~320
+        let (mut engine, mut queue) = llm_engine(class, LlmBatching::Static);
+        let id = engine
+            .launch_anywhere(
+                0,
+                gpu_cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::from_millis(30),
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        // Everybody completes eventually (across several episodes)...
+        assert_eq!(report.total_completed(), 4);
+        let llm = report.functions[0].llm.as_ref().expect("LLM stats");
+        // ...but the arena wall was hit on the way.
+        assert!(llm.cache_full_events >= 1, "tiny arena must block");
+        assert_eq!(report.kv_resident_bytes, 0);
+        assert_eq!(report.kv_allocated_bytes, report.kv_freed_bytes);
+    }
+
+    #[test]
+    fn kill_mid_episode_frees_kv_and_displaces_sequences() {
+        let (mut engine, mut queue) = llm_engine(LlmClass::chat(), LlmBatching::Static);
+        let id = engine
+            .launch_anywhere(
+                0,
+                gpu_cfg(),
+                StartupKind::PreWarmed,
+                SimDuration::MAX,
+                &mut queue,
+            )
+            .unwrap();
+        drain(&mut engine, &mut queue);
+        for _ in 0..4 {
+            let req = engine.mint_request(0);
+            assert!(engine.enqueue(id, req, &mut queue));
+        }
+        // The full batch prefilled and is mid-decode; kill the instance.
+        let outcome = engine.on_fault(FaultEvent::InstanceKill { selector: 0 });
+        assert_eq!(outcome.killed.len(), 1);
+        assert_eq!(outcome.displaced.len(), 4, "active sequences displace");
+        assert!(!engine.is_live(id));
+        // Displaced requests keep a token entry so the recovery path
+        // can cost their remaining work.
+        for req in &outcome.displaced {
+            assert!(
+                engine.llm_retry_estimate(req).is_some(),
+                "retry estimate must survive the kill"
+            );
+        }
+        drain(&mut engine, &mut queue);
+        let report = engine.finish();
+        assert_eq!(report.total_completed(), 0);
+        assert_eq!(report.failures.requests_displaced, 4);
+        // The kill freed every byte the prefill had pinned.
+        assert!(report.kv_allocated_bytes > 0);
+        assert_eq!(report.kv_resident_bytes, 0);
+        assert_eq!(report.kv_allocated_bytes, report.kv_freed_bytes);
     }
 }

@@ -27,6 +27,28 @@ pub enum StartupKind {
     SwapIn,
 }
 
+/// Token-level results of one autoregressive function (PR 8). Present
+/// only on functions that declared an LLM class; `None` keeps one-shot
+/// functions (and pre-LLM reports) untouched.
+#[derive(Debug, Clone, Default)]
+pub struct LlmFunctionStats {
+    /// Time-to-first-token of every admitted sequence, milliseconds
+    /// (arrival → end of its prefill).
+    pub ttft_ms: Log2Histogram,
+    /// Mean time-per-output-token of completed sequences with more
+    /// than one output token, milliseconds.
+    pub tpot_ms: Log2Histogram,
+    /// Sequences whose TTFT exceeded the class's `ttft_slo`.
+    pub ttft_violations: u64,
+    /// Completed sequences whose mean TPOT exceeded `tpot_slo`.
+    pub tpot_violations: u64,
+    /// Admission attempts blocked by a full KV arena (the request
+    /// stayed queued or was shed by the platform's policy).
+    pub cache_full_events: u64,
+    /// Output tokens decoded by completed sequences.
+    pub decoded_tokens: u64,
+}
+
 /// Per-function results.
 #[derive(Debug, Clone)]
 pub struct FunctionReport {
@@ -64,6 +86,8 @@ pub struct FunctionReport {
     pub cold_ms: Welford,
     /// Completed requests per serving-instance batchsize (Fig. 13a/b).
     pub per_batch_completed: HashMap<u32, u64>,
+    /// Token-level stats when this function is autoregressive.
+    pub llm: Option<LlmFunctionStats>,
 }
 
 impl FunctionReport {
@@ -84,6 +108,7 @@ impl FunctionReport {
             exec_ms: Welford::new(),
             cold_ms: Welford::new(),
             per_batch_completed: HashMap::new(),
+            llm: None,
         }
     }
 
@@ -223,6 +248,14 @@ pub struct RunReport {
     /// behind `#[serde(default)]` on its own type, so JSON snapshots
     /// written before the telemetry subsystem keep deserializing.
     pub timeseries_summary: TimeseriesSummary,
+    /// KV-cache bytes booked over the run (prompt KV at admission plus
+    /// one token's worth per decode). All-zero without LLM functions.
+    pub kv_allocated_bytes: u64,
+    /// KV-cache bytes released (sequence completion or displacement).
+    pub kv_freed_bytes: u64,
+    /// KV-cache bytes still resident in live episodes at the horizon.
+    /// Conservation invariant: `allocated == freed + resident`.
+    pub kv_resident_bytes: u64,
 }
 
 impl RunReport {
@@ -334,7 +367,7 @@ impl RunReport {
                     .map(|(b, n)| (*b, *n))
                     .collect();
                 per_batch.sort_unstable();
-                serde_json::json!({
+                let mut v = serde_json::json!({
                     "name": f.name,
                     "slo_ms": f.slo.as_millis_f64(),
                     "completed": f.completed,
@@ -350,7 +383,30 @@ impl RunReport {
                     "exec_ms_mean": f.exec_ms.mean(),
                     "cold_ms_mean": f.cold_ms.mean(),
                     "per_batch_completed": per_batch,
-                })
+                });
+                // The llm key only exists for autoregressive functions,
+                // appended after the base keys (the map is
+                // insertion-ordered), so pre-LLM reports stay
+                // byte-identical.
+                if let Some(llm) = &f.llm {
+                    if let serde_json::Value::Object(m) = &mut v {
+                        m.insert(
+                            "llm".to_string(),
+                            serde_json::json!({
+                                "first_tokens": llm.ttft_ms.count(),
+                                "ttft_p50_ms": llm.ttft_ms.quantile(0.50).unwrap_or(0.0),
+                                "ttft_p99_ms": llm.ttft_ms.quantile(0.99).unwrap_or(0.0),
+                                "ttft_violations": llm.ttft_violations,
+                                "tpot_p50_ms": llm.tpot_ms.quantile(0.50).unwrap_or(0.0),
+                                "tpot_p99_ms": llm.tpot_ms.quantile(0.99).unwrap_or(0.0),
+                                "tpot_violations": llm.tpot_violations,
+                                "cache_full_events": llm.cache_full_events,
+                                "decoded_tokens": llm.decoded_tokens,
+                            }),
+                        );
+                    }
+                }
+                v
             })
             .collect();
         let chains: Vec<serde_json::Value> = self
@@ -381,7 +437,7 @@ impl RunReport {
             })
             .collect();
         config_launches.sort_unstable();
-        let out = serde_json::json!({
+        let mut out = serde_json::json!({
             "platform": self.platform,
             "duration_s": self.duration.as_secs_f64(),
             "completed": self.total_completed(),
@@ -405,6 +461,20 @@ impl RunReport {
             "failures": self.failures,
             "timeseries_summary": self.timeseries_summary,
         });
+        // Like the per-function llm key: kv_cache appears only when the
+        // run actually served an autoregressive function.
+        if self.functions.iter().any(|f| f.llm.is_some()) || self.kv_allocated_bytes > 0 {
+            if let serde_json::Value::Object(m) = &mut out {
+                m.insert(
+                    "kv_cache".to_string(),
+                    serde_json::json!({
+                        "allocated_bytes": self.kv_allocated_bytes,
+                        "freed_bytes": self.kv_freed_bytes,
+                        "resident_bytes": self.kv_resident_bytes,
+                    }),
+                );
+            }
+        }
         serde_json::to_string_pretty(&out).expect("report serializes")
     }
 }
@@ -445,6 +515,9 @@ pub struct Collector {
     profile_cache: Option<CacheOutcome>,
     failures: FailureReport,
     timeseries: TimeseriesSummary,
+    kv_allocated_bytes: u64,
+    kv_freed_bytes: u64,
+    kv_resident_bytes: u64,
 }
 
 impl Collector {
@@ -473,6 +546,9 @@ impl Collector {
             profile_cache: None,
             failures: FailureReport::default(),
             timeseries: TimeseriesSummary::default(),
+            kv_allocated_bytes: 0,
+            kv_freed_bytes: 0,
+            kv_resident_bytes: 0,
         }
     }
 
@@ -664,6 +740,64 @@ impl Collector {
         self.failures.recapacity_ms.push(ms);
     }
 
+    fn llm_stats(&mut self, function: usize) -> &mut LlmFunctionStats {
+        self.functions[function]
+            .llm
+            .get_or_insert_with(LlmFunctionStats::default)
+    }
+
+    /// Records a sequence's first token (end of its prefill): the TTFT
+    /// sample and, when it blew `slo`, a TTFT violation.
+    pub fn llm_first_token(&mut self, function: usize, ttft: SimDuration, slo: SimDuration) {
+        let s = self.llm_stats(function);
+        s.ttft_ms.add(ttft.as_millis_f64());
+        if ttft > slo {
+            s.ttft_violations += 1;
+        }
+    }
+
+    /// Records a completed sequence's token-level outcome. `tpot` is
+    /// `None` for single-output-token sequences (no decode interval to
+    /// average).
+    pub fn llm_complete(
+        &mut self,
+        function: usize,
+        tpot: Option<SimDuration>,
+        slo: SimDuration,
+        decoded: u64,
+    ) {
+        let s = self.llm_stats(function);
+        s.decoded_tokens += decoded;
+        if let Some(t) = tpot {
+            s.tpot_ms.add(t.as_millis_f64());
+            if t > slo {
+                s.tpot_violations += 1;
+            }
+        }
+    }
+
+    /// Records an admission attempt blocked by a full KV arena.
+    pub fn llm_cache_full(&mut self, function: usize) {
+        self.llm_stats(function).cache_full_events += 1;
+    }
+
+    /// Books KV-cache bytes allocated (prompt KV at admission, one
+    /// token's worth per decode step).
+    pub fn kv_alloc(&mut self, bytes: u64) {
+        self.kv_allocated_bytes += bytes;
+    }
+
+    /// Books KV-cache bytes freed (completion or displacement).
+    pub fn kv_free(&mut self, bytes: u64) {
+        self.kv_freed_bytes += bytes;
+    }
+
+    /// Books KV-cache bytes still resident in live episodes at the
+    /// horizon (called once at freeze time by the engine).
+    pub fn kv_resident(&mut self, bytes: u64) {
+        self.kv_resident_bytes += bytes;
+    }
+
     /// Folds a shard's collector into this one (the coordinator's, by
     /// convention shard 0's).
     ///
@@ -709,6 +843,9 @@ impl Collector {
         f.requests_retried += g.requests_retried;
         f.requests_shed += g.requests_shed;
         f.recapacity_ms.extend(g.recapacity_ms.iter().copied());
+        self.kv_allocated_bytes += other.kv_allocated_bytes;
+        self.kv_freed_bytes += other.kv_freed_bytes;
+        self.kv_resident_bytes += other.kv_resident_bytes;
     }
 
     /// Freezes the collector into a report covering `[0, end]`.
@@ -763,6 +900,9 @@ impl Collector {
             profile_cache: self.profile_cache,
             failures: self.failures,
             timeseries_summary: self.timeseries,
+            kv_allocated_bytes: self.kv_allocated_bytes,
+            kv_freed_bytes: self.kv_freed_bytes,
+            kv_resident_bytes: self.kv_resident_bytes,
         }
     }
 }

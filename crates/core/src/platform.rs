@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use infless_cluster::{ClusterSpec, InstanceId, Request, RequestId};
 use infless_faults::{FaultEvent, FaultSchedule};
+use infless_llm::LlmConfig;
 use infless_models::{
     profile::ConfigGrid, HardwareCalibration, HardwareModel, ModelSpec, ProfileDatabase,
 };
@@ -88,6 +89,9 @@ pub struct InflessConfig {
     /// GPU memory tier (Torpor-style model swapping). Disabled by
     /// default: runs stay bit-identical to the pre-tier engine.
     pub residency: ResidencyConfig,
+    /// Autoregressive (LLM) serving. Disabled by default: runs stay
+    /// bit-identical to the pre-LLM engine.
+    pub llm: LlmConfig,
 }
 
 impl Default for InflessConfig {
@@ -105,6 +109,7 @@ impl Default for InflessConfig {
             chain_split: ChainSplit::default(),
             hardware: HardwareCalibration::default(),
             residency: ResidencyConfig::default(),
+            llm: LlmConfig::default(),
         }
     }
 }
@@ -305,17 +310,30 @@ impl InflessPlatform {
                 ChainSplit::Equal => split_slo_equal(chain),
             };
             for (&stage, slo) in chain.stages().iter().zip(slos) {
-                functions[stage] = FunctionInfo::with_max_batch(
+                let llm = functions[stage].llm().copied();
+                let mut rebuilt = FunctionInfo::with_max_batch(
                     functions[stage].spec().clone(),
                     slo,
                     functions[stage].max_batch(),
                 );
+                // The SLO override must not strip the stage's
+                // autoregressive class.
+                if let Some(llm) = llm {
+                    rebuilt = rebuilt.with_llm(llm);
+                }
+                functions[stage] = rebuilt;
             }
         }
         let scheduler = Scheduler::new(config.scheduler);
         let n = functions.len();
         let mut engine = Engine::new("INFless", cluster, hardware, functions, seed);
         if config.residency.enabled {
+            engine.enable_device_memory();
+        }
+        if config.llm.enabled {
+            engine.set_llm_batching(config.llm.batching);
+            // KV arenas are real device memory: book them against the
+            // per-GPU budget so placement respects cache headroom.
             engine.enable_device_memory();
         }
         engine.collector.mark_started(construction_started);
@@ -415,6 +433,13 @@ impl InflessPlatform {
                         self.relay_chain_stages(&done, &mut queue);
                     }
                 }
+                EngineEvent::DecodeStep(id) => {
+                    // Some only when the episode drained (instance idle).
+                    if let Some(done) = self.engine.on_decode_step(id, &mut queue) {
+                        self.fns[done.function].last_activity = t;
+                        self.relay_chain_stages(&done, &mut queue);
+                    }
+                }
                 EngineEvent::ScalerTick => {
                     self.scaler_tick(&mut queue);
                     if t < tick_horizon {
@@ -468,6 +493,12 @@ impl InflessPlatform {
                 EngineEvent::BatchTimeout(id) => self.engine.on_batch_timeout(id, queue),
                 EngineEvent::BatchComplete(id) => {
                     if let Some(done) = self.engine.on_batch_complete(id, queue) {
+                        self.fns[done.function].last_activity = t;
+                        self.relay_chain_stages(&done, queue);
+                    }
+                }
+                EngineEvent::DecodeStep(id) => {
+                    if let Some(done) = self.engine.on_decode_step(id, queue) {
                         self.fns[done.function].last_activity = t;
                         self.relay_chain_stages(&done, queue);
                     }
@@ -846,10 +877,21 @@ impl InflessPlatform {
     /// with the residency tier disabled, which keeps `schedule`'s
     /// decisions bit-identical to the pre-tier scheduler.
     fn schedule_cost(&mut self, f: usize, startup: StartupKind) -> (SimDuration, f64) {
+        // Autoregressive instances pin a KV-cache arena on device next
+        // to the weights; the scheduler must see that demand or it
+        // will over-pack GPUs the engine then refuses to launch on.
+        let kv_mb = self.engine.functions()[f]
+            .llm()
+            .map_or(0.0, |l| l.kv_arena_mb);
         if self.config.residency.enabled {
             (
                 self.engine.startup_delay(f, startup),
-                self.engine.functions()[f].spec().size_mb(),
+                self.engine.functions()[f].spec().size_mb() + kv_mb,
+            )
+        } else if kv_mb > 0.0 {
+            (
+                SimDuration::ZERO,
+                self.engine.functions()[f].spec().size_mb() + kv_mb,
             )
         } else {
             (SimDuration::ZERO, 0.0)
@@ -1018,14 +1060,22 @@ impl InflessPlatform {
         let elapsed = now.saturating_since(req.arrival);
         let feasible = elapsed < slo && {
             let budget = slo - elapsed;
-            let st = &self.fns[f];
-            let fastest = st
-                .dispatch
-                .iter()
-                .map(|e| e.predicted_exec)
-                .chain(st.parked.iter().map(|p| p.predicted_exec))
-                .min();
-            fastest.is_some_and(|exec| budget >= exec)
+            // Autoregressive requests judge feasibility through the
+            // two-phase estimate (re-prefill + remaining decode tokens
+            // × per-step cost) — their one-shot `predicted_exec` would
+            // wildly undershoot a long-generation retry.
+            if let Some(estimate) = self.engine.llm_retry_estimate(&req) {
+                budget >= estimate
+            } else {
+                let st = &self.fns[f];
+                let fastest = st
+                    .dispatch
+                    .iter()
+                    .map(|e| e.predicted_exec)
+                    .chain(st.parked.iter().map(|p| p.predicted_exec))
+                    .min();
+                fastest.is_some_and(|exec| budget >= exec)
+            }
         };
         if feasible
             && (self.dispatch(f, req, queue)

@@ -128,6 +128,41 @@ impl CopPredictor {
         result
     }
 
+    /// Predicted prefill latency of `prompt_tokens` total tokens under
+    /// `cfg`, inflated by the safety offset — the TTFT side of the
+    /// two-phase cost model.
+    pub fn prefill_latency(
+        &self,
+        spec: &ModelSpec,
+        prompt_tokens: u64,
+        cfg: ResourceConfig,
+    ) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.hardware
+                .prefill_latency(spec, prompt_tokens, cfg)
+                .as_secs_f64()
+                * self.offset,
+        )
+    }
+
+    /// Predicted single-decode-step latency with `seqs` active
+    /// sequences and `kv_mb` resident KV-cache, inflated by the safety
+    /// offset — the TPOT side of the two-phase cost model.
+    pub fn decode_step_latency(
+        &self,
+        spec: &ModelSpec,
+        seqs: u32,
+        kv_mb: f64,
+        cfg: ResourceConfig,
+    ) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.hardware
+                .decode_step_latency(spec, seqs, kv_mb, cfg)
+                .as_secs_f64()
+                * self.offset,
+        )
+    }
+
     /// The raw (un-inflated) combination of operator profiles, exposed
     /// for the Fig. 8 prediction-error experiment.
     pub fn combine_raw(&self, spec: &ModelSpec, batch: u32, cfg: ResourceConfig) -> Option<f64> {

@@ -19,6 +19,7 @@
 use std::fmt;
 
 use infless_faults::FaultSchedule;
+use infless_llm::LlmConfig;
 use infless_telemetry::TelemetrySink;
 
 use crate::residency::ResidencyConfig;
@@ -43,6 +44,9 @@ pub struct RunConfig {
     /// GPU memory tier knobs. `None` leaves the tier disabled (the
     /// pre-tier engine, bit-identical).
     pub residency: Option<ResidencyConfig>,
+    /// Autoregressive (LLM) serving knobs. `None` — or a config with
+    /// `enabled: false` — is bit-identical to the pre-LLM engine.
+    pub llm: Option<LlmConfig>,
 }
 
 impl fmt::Debug for RunConfig {
@@ -52,6 +56,7 @@ impl fmt::Debug for RunConfig {
             .field("fault_schedule", &self.fault_schedule)
             .field("telemetry", &self.telemetry.is_some())
             .field("residency", &self.residency)
+            .field("llm", &self.llm)
             .finish()
     }
 }
@@ -119,6 +124,12 @@ impl RunConfig {
         self
     }
 
+    /// Sets the autoregressive (LLM) serving knobs.
+    pub fn llm(mut self, llm: LlmConfig) -> Self {
+        self.llm = Some(llm);
+        self
+    }
+
     /// The shard count to run with: an unset (`Default`) zero means 1.
     pub fn effective_shards(&self) -> usize {
         if self.shards == 0 {
@@ -168,6 +179,7 @@ mod tests {
         assert!(cfg.fault_schedule.is_none());
         assert!(cfg.telemetry.is_none());
         assert!(cfg.residency.is_none());
+        assert!(cfg.llm.is_none());
         assert!(cfg.validate().is_ok());
     }
 
@@ -200,9 +212,11 @@ mod tests {
         let cfg = RunConfig::new()
             .shards(4)
             .fault_schedule(FaultSchedule::empty())
-            .residency(crate::residency::ResidencyConfig::enabled());
+            .residency(crate::residency::ResidencyConfig::enabled())
+            .llm(infless_llm::LlmConfig::continuous());
         assert_eq!(cfg.effective_shards(), 4);
         assert!(cfg.fault_schedule.is_some());
+        assert!(cfg.llm.is_some_and(|l| l.enabled));
         assert!(cfg.residency.is_some_and(|r| r.enabled));
         assert!(RunConfig::new().validate().is_ok());
     }

@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 
 use infless_cluster::{ClusterState, InstanceConfig, Placement, ServerId};
+use infless_llm::LlmClass;
 use infless_models::{ModelSpec, ResourceConfig};
 use infless_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -107,12 +108,29 @@ pub struct ScheduleOutcome {
 pub struct Scheduler {
     config: SchedulerConfig,
     /// Memoized rk-independent candidates (prediction + Eq. 1 window
-    /// feasibility) keyed by (model name, SLO, effective batch cap).
-    cache: HashMap<(&'static str, SimDuration, u32), CachedCandidates>,
+    /// feasibility) keyed by (model name, SLO, effective batch cap,
+    /// autoregressive-class discriminant). The last component keeps a
+    /// chat and a summarization function sharing one model from
+    /// aliasing each other's two-phase feasibility sets.
+    cache: HashMap<(&'static str, SimDuration, u32, Option<LlmKey>), CachedCandidates>,
     /// Per-round scratch: the rk-filtered view of the cached masters,
     /// reused across rounds and calls so the steady state allocates
     /// nothing.
     sets: Vec<Vec<Candidate>>,
+}
+
+/// The hashable fingerprint of an [`LlmClass`] for the candidate memo:
+/// every field the two-phase feasibility check reads, in integer form.
+type LlmKey = (u32, u32, SimDuration, SimDuration, u64);
+
+fn llm_key(llm: &LlmClass) -> LlmKey {
+    (
+        llm.prompt_tokens_mean,
+        llm.output_tokens_mean,
+        llm.ttft_slo,
+        llm.tpot_slo,
+        llm.arena_capacity_tokens(),
+    )
 }
 
 /// The memoized candidate sets for one (model, SLO, cap) key, in the
@@ -184,9 +202,10 @@ impl Scheduler {
         let slo = function.slo();
         let cap = self.config.max_batch.min(function.max_batch());
         let config = self.config;
+        let llm = function.llm().copied();
         let plan = self
             .cache
-            .entry((spec.name(), slo, cap))
+            .entry((spec.name(), slo, cap, llm.as_ref().map(llm_key)))
             .or_insert_with(|| {
                 let mut batches: Vec<u32> = predictor
                     .grid()
@@ -201,7 +220,10 @@ impl Scheduler {
                 }
                 let masters = batches
                     .iter()
-                    .map(|&b| master_candidates(predictor, spec, slo, b))
+                    .map(|&b| match &llm {
+                        Some(l) => llm_master_candidates(predictor, spec, slo, b, l),
+                        None => master_candidates(predictor, spec, slo, b),
+                    })
                     .collect();
                 CachedCandidates { batches, masters }
             });
@@ -295,6 +317,62 @@ fn master_candidates(
         let Some(t_exec) = predictor.predict(spec, b, cfg) else {
             continue;
         };
+        let Some(window) = RpsWindow::for_instance(t_exec, slo, b) else {
+            continue;
+        };
+        out.push(Candidate {
+            batch: b,
+            cfg,
+            window,
+            t_exec,
+        });
+    }
+    out
+}
+
+/// The two-phase `AvailableConfig` for autoregressive functions —
+/// Algorithm 1's feasibility check split along the prefill/decode
+/// boundary. A configuration survives only when
+///
+/// 1. a full batch of mean-length prompts prefills within the TTFT
+///    SLO (the compute-bound phase sets time-to-first-token), and
+/// 2. one decode step at the arena-capped concurrent-sequence
+///    capacity — the worst KV-cache pressure an admitted batch can
+///    reach — stays within the TPOT SLO.
+///
+/// The Eq. 1 window then uses the *effective* batch service time,
+/// prefill plus `output_tokens_mean` decode steps, so the arrival-rate
+/// bounds reflect the whole episode rather than a single pass.
+fn llm_master_candidates(
+    predictor: &CopPredictor,
+    spec: &ModelSpec,
+    slo: SimDuration,
+    b: u32,
+    llm: &LlmClass,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let prompt = u64::from(llm.prompt_tokens_mean);
+    // Concurrency is capped by both the batch knob and the KV arena.
+    let n_cap = b.min(llm.max_concurrent_seqs());
+    let kv_mb = (f64::from(n_cap)
+        * f64::from(llm.prompt_tokens_mean + llm.output_tokens_mean)
+        * llm.kv_mb_per_token)
+        .min(llm.kv_arena_mb);
+    for &cfg in predictor.grid().configs() {
+        // The KV arena lives in device memory: autoregressive
+        // instances are GPU-resident by construction.
+        if cfg.gpu_pct() == 0 {
+            continue;
+        }
+        let prefill = predictor.prefill_latency(spec, prompt.saturating_mul(u64::from(b)), cfg);
+        if prefill > llm.ttft_slo {
+            continue;
+        }
+        let step = predictor.decode_step_latency(spec, n_cap, kv_mb, cfg);
+        if step > llm.tpot_slo {
+            continue;
+        }
+        let t_exec = prefill + step.mul_f64(f64::from(llm.output_tokens_mean));
         let Some(window) = RpsWindow::for_instance(t_exec, slo, b) else {
             continue;
         };
@@ -844,6 +922,89 @@ mod tests {
         assert_eq!(out.unplaced_rps, 0.0);
         let capacity: f64 = out.instances.iter().map(|i| i.window.r_up()).sum();
         assert!(capacity >= 300.0, "cost-aware round under-provisioned");
+    }
+
+    #[test]
+    fn llm_two_phase_feasibility_gates_configs() {
+        // Autoregressive functions route through the two-phase cost
+        // model: every chosen configuration must be GPU-resident (the
+        // KV arena lives in device memory), prefill a full batch of
+        // mean prompts within the TTFT SLO, and hold the decode step
+        // under the TPOT SLO at arena-capped concurrency.
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::BertV1.spec();
+        let llm = LlmClass::chat();
+        let f = FunctionInfo::new(spec.clone(), slo_ms(5_000)).with_llm(llm);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(&p, &f, 50.0, &mut cluster);
+        assert!(!out.instances.is_empty(), "chat load must be placeable");
+        for inst in &out.instances {
+            let cfg = inst.config.resources();
+            assert!(cfg.gpu_pct() > 0, "LLM instances must hold a GPU slice");
+            let b = inst.config.batch();
+            let prefill =
+                p.prefill_latency(&spec, u64::from(llm.prompt_tokens_mean) * u64::from(b), cfg);
+            assert!(
+                prefill <= llm.ttft_slo,
+                "prefill {prefill:?} breaches TTFT SLO {:?}",
+                llm.ttft_slo
+            );
+            let n_cap = b.min(llm.max_concurrent_seqs());
+            let kv_mb = (f64::from(n_cap)
+                * f64::from(llm.prompt_tokens_mean + llm.output_tokens_mean)
+                * llm.kv_mb_per_token)
+                .min(llm.kv_arena_mb);
+            let step = p.decode_step_latency(&spec, n_cap, kv_mb, cfg);
+            assert!(
+                step <= llm.tpot_slo,
+                "decode step {step:?} breaches TPOT SLO {:?}",
+                llm.tpot_slo
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_tpot_slo_yields_no_instances() {
+        // A TPOT target no configuration can meet must surface as
+        // unplaced load, not as instances that will melt their SLO.
+        let p = predictor();
+        let mut cluster = ClusterSpec::testbed().build();
+        let spec = ModelId::BertV1.spec();
+        let mut llm = LlmClass::chat();
+        llm.tpot_slo = SimDuration::from_micros(1);
+        let f = FunctionInfo::new(spec, slo_ms(5_000)).with_llm(llm);
+        let out = Scheduler::new(SchedulerConfig::default()).schedule(&p, &f, 50.0, &mut cluster);
+        assert!(out.instances.is_empty());
+        assert!(out.unplaced_rps > 0.0);
+    }
+
+    #[test]
+    fn llm_and_oneshot_candidates_do_not_alias() {
+        // Same model, same SLO, same batch cap — one function one-shot,
+        // one autoregressive. The memo key's class discriminant must
+        // keep their candidate sets apart (the LLM set is GPU-only).
+        let p = predictor();
+        let spec = ModelId::BertV1.spec();
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let mut cluster = ClusterSpec::testbed().build();
+        let oneshot = sched.schedule(
+            &p,
+            &FunctionInfo::new(spec.clone(), slo_ms(5_000)),
+            10.0,
+            &mut cluster,
+        );
+        let llm = sched.schedule(
+            &p,
+            &FunctionInfo::new(spec, slo_ms(5_000)).with_llm(LlmClass::chat()),
+            10.0,
+            &mut cluster,
+        );
+        assert!(!oneshot.instances.is_empty());
+        assert!(!llm.instances.is_empty());
+        assert!(llm
+            .instances
+            .iter()
+            .all(|i| i.config.resources().gpu_pct() > 0));
     }
 
     #[test]

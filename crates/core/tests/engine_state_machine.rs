@@ -119,6 +119,9 @@ proptest! {
                             EngineEvent::BatchComplete(id) => {
                                 engine.on_batch_complete(id, &mut queue);
                             }
+                            EngineEvent::DecodeStep(id) => {
+                                engine.on_decode_step(id, &mut queue);
+                            }
                             EngineEvent::Arrival(_)
                             | EngineEvent::ScalerTick
                             | EngineEvent::DirectiveKill(..)
@@ -158,6 +161,9 @@ proptest! {
                 EngineEvent::BatchTimeout(id) => engine.on_batch_timeout(id, &mut queue),
                 EngineEvent::BatchComplete(id) => {
                     engine.on_batch_complete(id, &mut queue);
+                }
+                EngineEvent::DecodeStep(id) => {
+                    engine.on_decode_step(id, &mut queue);
                 }
                 EngineEvent::Arrival(_)
                 | EngineEvent::ScalerTick

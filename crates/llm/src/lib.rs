@@ -1,0 +1,201 @@
+//! Autoregressive (LLM) serving: the token-level function class.
+//!
+//! INFless models one-shot DNN inference; this crate adds the
+//! vocabulary for *autoregressive* functions, where a request carries a
+//! prompt and generates output tokens one decode step at a time:
+//!
+//! * **Prefill** — one batch-wide, compute-bound pass over every
+//!   admitted prompt. Its latency sets the time-to-first-token (TTFT).
+//! * **Decode** — an iteration-level loop producing one token per
+//!   active sequence per step, memory-bound on model weights + KV-cache
+//!   traffic. The per-step latency sets the time-per-output-token
+//!   (TPOT).
+//! * **KV-cache** — a per-instance GPU-memory arena that grows with
+//!   every decoded token and is freed when a sequence completes or is
+//!   displaced. Admission into a running batch is gated on arena
+//!   headroom.
+//!
+//! The execution engine, the two-phase extension of Algorithm 1, and
+//! the TTFT/TPOT report plumbing live in `infless-core`; this crate
+//! only defines the class parameters ([`LlmClass`]), the batching
+//! discipline ([`LlmBatching`]) and the run knob ([`LlmConfig`]) so
+//! that every layer (descriptor, RunConfig, engine, scheduler, bench)
+//! shares one definition.
+
+use infless_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How an autoregressive instance forms decode batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum LlmBatching {
+    /// Iteration-level (Orca/vLLM-style): queued requests join the
+    /// running batch at decode-step boundaries, completed sequences
+    /// leave immediately.
+    Continuous,
+    /// Run-to-completion: a batch is formed once and holds the
+    /// instance until every sequence in it finishes decoding.
+    #[default]
+    Static,
+}
+
+/// The autoregressive class parameters of one function.
+///
+/// Token counts are *means* of the per-request geometric-ish
+/// distributions sampled by the engine's deterministic per-function
+/// streams; SLOs are the two-phase targets Algorithm 1 checks
+/// (`ttft_slo` against prefill latency, `tpot_slo` against the decode
+/// step at max concurrent-sequence capacity). The function's existing
+/// end-to-end SLO still applies on top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmClass {
+    /// Mean prompt length, tokens.
+    pub prompt_tokens_mean: u32,
+    /// Mean generated-output length, tokens.
+    pub output_tokens_mean: u32,
+    /// Time-to-first-token SLO (arrival → end of prefill).
+    pub ttft_slo: SimDuration,
+    /// Time-per-output-token SLO (mean decode-step interval).
+    pub tpot_slo: SimDuration,
+    /// KV-cache footprint per token, MB (all layers, both K and V).
+    pub kv_mb_per_token: f64,
+    /// Per-instance KV arena, MB — booked against the instance's GPU
+    /// device memory at placement time.
+    pub kv_arena_mb: f64,
+}
+
+impl LlmClass {
+    /// A chat-style class: short prompts, short outputs, tight TTFT and
+    /// TPOT (interactive).
+    pub fn chat() -> Self {
+        LlmClass {
+            prompt_tokens_mean: 256,
+            output_tokens_mean: 64,
+            ttft_slo: SimDuration::from_millis(300),
+            tpot_slo: SimDuration::from_millis(40),
+            kv_mb_per_token: 0.05,
+            kv_arena_mb: 2048.0,
+        }
+    }
+
+    /// A batch-summarization class: long prompts, long outputs, loose
+    /// per-token targets (throughput-oriented; the e2e SLO dominates).
+    pub fn summarize() -> Self {
+        LlmClass {
+            prompt_tokens_mean: 1024,
+            output_tokens_mean: 256,
+            ttft_slo: SimDuration::from_secs(5),
+            tpot_slo: SimDuration::from_millis(200),
+            kv_mb_per_token: 0.05,
+            kv_arena_mb: 2048.0,
+        }
+    }
+
+    /// KV bytes held by one token (exact integer, used by the
+    /// conservation accounting).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        (self.kv_mb_per_token * 1_048_576.0) as u64
+    }
+
+    /// Total KV arena capacity in tokens (floor). Admission reserves
+    /// `prompt + output` tokens per sequence against this.
+    pub fn arena_capacity_tokens(&self) -> u64 {
+        if self.kv_mb_per_token <= 0.0 {
+            return u64::MAX;
+        }
+        (self.kv_arena_mb / self.kv_mb_per_token).floor() as u64
+    }
+
+    /// The maximum number of sequences the arena can hold
+    /// concurrently, assuming every sequence reaches its mean total
+    /// length (prompt + output). At least 1.
+    pub fn max_concurrent_seqs(&self) -> u32 {
+        let per_seq =
+            f64::from(self.prompt_tokens_mean + self.output_tokens_mean) * self.kv_mb_per_token;
+        if per_seq <= 0.0 {
+            return 1;
+        }
+        ((self.kv_arena_mb / per_seq).floor() as u32).max(1)
+    }
+}
+
+fn default_batching() -> LlmBatching {
+    LlmBatching::Static
+}
+
+/// The run-level LLM knob: disabled by default, which is pinned (like
+/// the residency tier) to be bit-identical to the pre-LLM engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LlmConfig {
+    /// Master switch. `false` leaves every LLM code path dormant.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Decode-batch discipline for autoregressive instances.
+    #[serde(default = "default_batching")]
+    pub batching: LlmBatching,
+}
+
+impl Default for LlmConfig {
+    fn default() -> Self {
+        LlmConfig {
+            enabled: false,
+            batching: LlmBatching::Static,
+        }
+    }
+}
+
+impl LlmConfig {
+    /// An enabled config with the default (static) batching.
+    pub fn enabled() -> Self {
+        LlmConfig {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// An enabled config with continuous (iteration-level) batching.
+    pub fn continuous() -> Self {
+        LlmConfig {
+            enabled: true,
+            batching: LlmBatching::Continuous,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_static() {
+        let cfg = LlmConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.batching, LlmBatching::Static);
+        assert!(LlmConfig::enabled().enabled);
+        assert_eq!(LlmConfig::continuous().batching, LlmBatching::Continuous);
+    }
+
+    #[test]
+    fn serde_round_trip_and_defaults() {
+        let cfg = LlmConfig::continuous();
+        let text = serde_json::to_string(&cfg).expect("serializes");
+        let back: LlmConfig = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, cfg);
+        // An empty object is the disabled default.
+        let empty: LlmConfig = serde_json::from_str("{}").expect("parses");
+        assert_eq!(empty, LlmConfig::default());
+        // Unknown fields are rejected.
+        assert!(serde_json::from_str::<LlmConfig>("{\"nope\": 1}").is_err());
+    }
+
+    #[test]
+    fn class_capacity_math() {
+        let chat = LlmClass::chat();
+        // 2048 MB / (320 tokens * 0.05 MB) = 128 sequences.
+        assert_eq!(chat.max_concurrent_seqs(), 128);
+        assert_eq!(chat.kv_bytes_per_token(), 52_428);
+        let s = LlmClass::summarize();
+        assert!(s.max_concurrent_seqs() >= 1);
+    }
+}

@@ -145,6 +145,31 @@ pub struct HardwareCalibration {
     /// pipelined layer-by-layer upload (Torpor/FaaSwap overlap the copy
     /// of later layers with the execution of earlier ones).
     pub swap_overlap: f64,
+    /// GPU device-memory bandwidth, MB per second (2080Ti-class:
+    /// 616 GB/s). A decode step streams the weights plus the resident
+    /// KV-cache once, so it is bound by this number, not by FLOPS.
+    #[serde(default = "default_gpu_mem_bw_mb_per_s")]
+    pub gpu_mem_bw_mb_per_s: f64,
+    /// Autoregressive compute cost: GFLOPs per token per MB of model
+    /// weights (≈ 2 FLOPs per parameter, fp16 weights).
+    #[serde(default = "default_token_gflops_per_mb")]
+    pub token_gflops_per_mb: f64,
+    /// Fixed per-decode-step overhead, seconds: kernel launches,
+    /// sampling, KV bookkeeping.
+    #[serde(default = "default_decode_overhead_s")]
+    pub decode_overhead_s: f64,
+}
+
+fn default_gpu_mem_bw_mb_per_s() -> f64 {
+    616_000.0
+}
+
+fn default_token_gflops_per_mb() -> f64 {
+    5e-4
+}
+
+fn default_decode_overhead_s() -> f64 {
+    1.5e-3
 }
 
 impl Default for HardwareCalibration {
@@ -166,6 +191,9 @@ impl Default for HardwareCalibration {
             model_load_mb_per_s: 250.0,
             swap_base_s: 0.25,
             swap_overlap: 0.5,
+            gpu_mem_bw_mb_per_s: default_gpu_mem_bw_mb_per_s(),
+            token_gflops_per_mb: default_token_gflops_per_mb(),
+            decode_overhead_s: default_decode_overhead_s(),
         }
     }
 }
@@ -263,6 +291,14 @@ impl HardwareModel {
         SimDuration::from_secs_f64(base * factor)
     }
 
+    /// One log-normal noise factor draw (median 1, the calibration's
+    /// sigma) — the same jitter [`Self::model_latency_noisy`] applies.
+    /// Autoregressive episodes draw one factor at prefill and apply it
+    /// to every phase, so noise cannot re-order decode steps.
+    pub fn noise_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        lognormal_factor(rng, self.calibration.noise_sigma)
+    }
+
     /// Ground-truth latency on a *fractional* CPU allocation — the AWS
     /// Lambda model, where CPU power is proportional to the configured
     /// memory (≈1 vCPU per 1769 MB). Used by the Fig. 2 motivation
@@ -315,6 +351,62 @@ impl HardwareModel {
     /// accounting in the cold-start experiments.
     pub fn instance_memory_mb(&self, spec: &ModelSpec) -> f64 {
         spec.size_mb() + 150.0
+    }
+
+    /// Prefill latency of an autoregressive batch: one compute-bound
+    /// pass over `prompt_tokens` total tokens (summed across the
+    /// admitted sequences). Sets the time-to-first-token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_tokens` is zero.
+    pub fn prefill_latency(
+        &self,
+        spec: &ModelSpec,
+        prompt_tokens: u64,
+        cfg: ResourceConfig,
+    ) -> SimDuration {
+        assert!(prompt_tokens >= 1, "prefill needs at least one token");
+        let cal = &self.calibration;
+        let work = cal.token_gflops_per_mb * spec.size_mb() * prompt_tokens as f64;
+        let rate = if cfg.is_cpu_only() {
+            cal.cpu_core_gflops * f64::from(cfg.cpu_cores()).powf(cal.cpu_scaling_exponent)
+        } else {
+            cal.gpu_pct_gflops * f64::from(cfg.gpu_pct())
+        };
+        SimDuration::from_secs_f64(cal.framework_base_s + work / rate)
+    }
+
+    /// Latency of one decode step: every active sequence produces one
+    /// token. On a GPU slice the step is memory-bound — the weights
+    /// plus the resident KV-cache stream through device memory once per
+    /// step, throttled by the slice's bandwidth share — so it is nearly
+    /// flat in `seqs` (that flatness is what makes batching decode
+    /// nearly free and continuous batching worthwhile). On CPU it is
+    /// compute-bound on `seqs` tokens of work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is zero.
+    pub fn decode_step_latency(
+        &self,
+        spec: &ModelSpec,
+        seqs: u32,
+        kv_mb: f64,
+        cfg: ResourceConfig,
+    ) -> SimDuration {
+        assert!(seqs >= 1, "a decode step needs at least one sequence");
+        let cal = &self.calibration;
+        let secs = if cfg.is_cpu_only() {
+            let work = cal.token_gflops_per_mb * spec.size_mb() * f64::from(seqs);
+            let rate =
+                cal.cpu_core_gflops * f64::from(cfg.cpu_cores()).powf(cal.cpu_scaling_exponent);
+            cal.decode_overhead_s + work / rate
+        } else {
+            let bw = cal.gpu_mem_bw_mb_per_s * f64::from(cfg.gpu_pct()) / 100.0;
+            cal.decode_overhead_s + (spec.size_mb() + kv_mb.max(0.0)) / bw
+        };
+        SimDuration::from_secs_f64(secs)
     }
 }
 
@@ -473,6 +565,36 @@ mod tests {
             large.as_secs_f64() < 10.0,
             "cold start stays in the seconds range"
         );
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_and_decode_is_memory_bound() {
+        let hw = hw();
+        let spec = ModelId::BertV1.spec();
+        let cfg = ResourceConfig::new(2, 40);
+        // Prefill grows linearly with prompt tokens.
+        let p256 = hw.prefill_latency(&spec, 256, cfg);
+        let p512 = hw.prefill_latency(&spec, 512, cfg);
+        assert!(p512 > p256);
+        // ... sublinearly (the fixed framework term amortizes).
+        assert!(p512.as_secs_f64() < 2.0 * p256.as_secs_f64());
+        // Decode is nearly flat in the sequence count (memory-bound):
+        // quadrupling the batch costs well under 2x per step.
+        let d1 = hw.decode_step_latency(&spec, 1, 100.0, cfg);
+        let d4 = hw.decode_step_latency(&spec, 4, 100.0, cfg);
+        assert!(d4.as_secs_f64() < 2.0 * d1.as_secs_f64());
+        // More resident KV means more bytes streamed per step.
+        let heavy = hw.decode_step_latency(&spec, 4, 2000.0, cfg);
+        assert!(heavy > d4);
+        // A bigger GPU slice speeds both phases up.
+        let fat = ResourceConfig::new(2, 80);
+        assert!(hw.prefill_latency(&spec, 512, fat) < p512);
+        assert!(hw.decode_step_latency(&spec, 4, 100.0, fat) < d4);
+        // CPU-only decode is compute-bound: it scales with seqs.
+        let cpu = ResourceConfig::cpu(4);
+        let c1 = hw.decode_step_latency(&spec, 1, 0.0, cpu);
+        let c8 = hw.decode_step_latency(&spec, 8, 0.0, cpu);
+        assert!(c8 > c1);
     }
 
     #[test]

@@ -136,6 +136,13 @@ impl Log2Histogram {
         if q == 1.0 {
             return Some(self.max);
         }
+        // One sample: every quantile is that exact observation (min ==
+        // max). Without this, interior quantiles returned the bucket
+        // representative — p50 and p99 disagreed with the sample by up
+        // to the bucket's relative error.
+        if self.count == 1 {
+            return Some(self.max);
+        }
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cum = self.zero_count;
         if target <= cum {
@@ -247,6 +254,20 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    /// Regression: a single-sample histogram must report that exact
+    /// sample at *every* quantile, not a bucket representative — a
+    /// one-completion LLM run's TTFT p50/p99 are the sample itself.
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        for v in [0.0, 1e-9, 0.37, 41.5, 1e12] {
+            let mut h = Log2Histogram::new();
+            h.add(v);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), Some(v), "v={v} q={q}");
+            }
+        }
     }
 
     #[test]

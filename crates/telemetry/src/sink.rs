@@ -39,6 +39,16 @@ pub enum SpanKind {
     SwapBegin,
     /// The swap finished and the instance became ready.
     SwapComplete,
+    /// An autoregressive sequence was admitted and its prompt prefill
+    /// began (for continuous joiners: folded into the next decode step).
+    PrefillStart,
+    /// The sequence's first output token landed (end of its prefill) —
+    /// the TTFT mark.
+    FirstToken,
+    /// The sequence decoded its last output token. A terminal
+    /// [`SpanKind::Complete`] still follows, so span-conservation
+    /// invariants hold unchanged for autoregressive requests.
+    DecodeComplete,
 }
 
 impl SpanKind {
@@ -56,6 +66,9 @@ impl SpanKind {
             SpanKind::Retried => "retried",
             SpanKind::SwapBegin => "swap_begin",
             SpanKind::SwapComplete => "swap_complete",
+            SpanKind::PrefillStart => "prefill_start",
+            SpanKind::FirstToken => "first_token",
+            SpanKind::DecodeComplete => "decode_complete",
         }
     }
 
@@ -73,6 +86,9 @@ impl SpanKind {
             "retried" => SpanKind::Retried,
             "swap_begin" => SpanKind::SwapBegin,
             "swap_complete" => SpanKind::SwapComplete,
+            "prefill_start" => SpanKind::PrefillStart,
+            "first_token" => SpanKind::FirstToken,
+            "decode_complete" => SpanKind::DecodeComplete,
             _ => return None,
         })
     }
@@ -496,6 +512,9 @@ mod tests {
             SpanKind::Retried,
             SpanKind::SwapBegin,
             SpanKind::SwapComplete,
+            SpanKind::PrefillStart,
+            SpanKind::FirstToken,
+            SpanKind::DecodeComplete,
         ] {
             assert_eq!(SpanKind::parse(kind.name()), Some(kind));
         }

@@ -56,6 +56,13 @@ pub struct TraceSummary {
     pub swap_begins: u64,
     /// Swap-complete spans.
     pub swap_completes: u64,
+    /// Prefill-start spans (one per admitted autoregressive sequence).
+    pub prefill_starts: u64,
+    /// First-token spans (one per admitted sequence — TTFT marks).
+    pub first_tokens: u64,
+    /// Decode-complete spans (one per finished sequence; its terminal
+    /// complete span follows separately).
+    pub decode_completes: u64,
     /// Displaced spans per fault annotation (wire names).
     pub displaced_by_fault: BTreeMap<&'static str, u64>,
     /// Per-function tallies, indexed like `functions`.
@@ -114,6 +121,13 @@ impl fmt::Display for TraceSummary {
                 f,
                 "swaps:     {} begun, {} completed",
                 self.swap_begins, self.swap_completes
+            )?;
+        }
+        if self.prefill_starts + self.first_tokens + self.decode_completes > 0 {
+            writeln!(
+                f,
+                "tokens:    {} prefills, {} first tokens, {} decode-completes",
+                self.prefill_starts, self.first_tokens, self.decode_completes
             )?;
         }
         if !self.latency_ms.is_empty() {
@@ -279,6 +293,11 @@ pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
             // excluded from the gateway conservation law.
             SpanKind::SwapBegin => summary.swap_begins += 1,
             SpanKind::SwapComplete => summary.swap_completes += 1,
+            // Token-level marks: non-terminal (the sequence's complete
+            // span still closes the gateway conservation law).
+            SpanKind::PrefillStart => summary.prefill_starts += 1,
+            SpanKind::FirstToken => summary.first_tokens += 1,
+            SpanKind::DecodeComplete => summary.decode_completes += 1,
         }
     }
     Ok(summary)
@@ -354,6 +373,29 @@ mod tests {
         assert_eq!(s.completed, 1);
         assert!(s.conserved());
         assert!(s.to_string().contains("1 begun, 1 completed"));
+    }
+
+    /// Token-level spans are non-terminal: the sequence's complete span
+    /// still closes the gateway conservation law.
+    #[test]
+    fn llm_spans_are_counted_and_non_terminal() {
+        let trace = concat!(
+            "{\"meta\":{\"platform\":\"INFless\",\"functions\":[\"chat\"]}}\n",
+            "{\"t_s\":0.1,\"kind\":\"arrival\",\"req\":0,\"fn\":0,\"inst\":-1,\"srv\":-1,\"batch\":0,\"fault\":\"none\"}\n",
+            "{\"t_s\":0.1,\"kind\":\"enqueued\",\"req\":0,\"fn\":0,\"inst\":0,\"srv\":0,\"batch\":0,\"fault\":\"none\"}\n",
+            "{\"t_s\":0.2,\"kind\":\"prefill_start\",\"req\":0,\"fn\":0,\"inst\":0,\"srv\":0,\"batch\":1,\"fault\":\"none\"}\n",
+            "{\"t_s\":0.3,\"kind\":\"first_token\",\"req\":0,\"fn\":0,\"inst\":0,\"srv\":0,\"batch\":1,\"fault\":\"none\"}\n",
+            "{\"t_s\":0.9,\"kind\":\"decode_complete\",\"req\":0,\"fn\":0,\"inst\":0,\"srv\":0,\"batch\":1,\"fault\":\"none\"}\n",
+            "{\"t_s\":0.9,\"kind\":\"complete\",\"req\":0,\"fn\":0,\"inst\":0,\"srv\":0,\"batch\":1,\"fault\":\"none\"}\n",
+        );
+        let s = summarize(trace.as_bytes()).unwrap();
+        assert_eq!(s.prefill_starts, 1);
+        assert_eq!(s.first_tokens, 1);
+        assert_eq!(s.decode_completes, 1);
+        assert_eq!(s.arrivals, 1);
+        assert_eq!(s.completed, 1);
+        assert!(s.conserved());
+        assert!(s.to_string().contains("1 prefills"));
     }
 
     #[test]

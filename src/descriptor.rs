@@ -51,6 +51,7 @@ use infless_core::residency::ResidencyConfig;
 use infless_core::runconfig::RunConfig;
 use infless_core::ShardedInfless;
 use infless_faults::{FaultPlan, FaultSchedule};
+use infless_llm::{LlmClass, LlmConfig};
 use infless_models::ModelId;
 use infless_sim::SimDuration;
 use infless_workload::{FunctionLoad, TracePattern, Workload};
@@ -140,6 +141,26 @@ pub enum LoadDescriptor {
     None,
 }
 
+/// The autoregressive class of one function, by workload archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum LlmClassKind {
+    /// Interactive chat: short prompts/outputs, tight TTFT and TPOT.
+    Chat,
+    /// Batch summarization: long prompts/outputs, loose per-token
+    /// targets (the end-to-end SLO dominates).
+    Summarize,
+}
+
+impl LlmClassKind {
+    fn to_class(self) -> LlmClass {
+        match self {
+            LlmClassKind::Chat => LlmClass::chat(),
+            LlmClassKind::Summarize => LlmClass::summarize(),
+        }
+    }
+}
+
 /// One deployed function (the Fig. 5 template).
 #[derive(Debug, Clone, Deserialize)]
 #[serde(deny_unknown_fields)]
@@ -153,6 +174,11 @@ pub struct FunctionDescriptor {
     /// Optional batchsize cap (`maxBatchsize`).
     #[serde(default)]
     pub max_batch: Option<u32>,
+    /// Optional autoregressive class (`chat` / `summarize`). Requires
+    /// the scenario's `llm` block to be enabled; omitted means the
+    /// function serves one-shot inference.
+    #[serde(default)]
+    pub llm_class: Option<LlmClassKind>,
     /// The offered load.
     pub load: LoadDescriptor,
 }
@@ -195,6 +221,10 @@ pub struct Scenario {
     /// disabled — the run stays bit-identical to the pre-tier engine.
     #[serde(default)]
     pub residency: ResidencyConfig,
+    /// Autoregressive (LLM) serving knobs. Omitted means disabled —
+    /// the run stays bit-identical to the pre-LLM engine.
+    #[serde(default)]
+    pub llm: LlmConfig,
 }
 
 fn default_seed() -> u64 {
@@ -293,6 +323,13 @@ impl Scenario {
             if let LoadDescriptor::Trace { pattern, .. } = &f.load {
                 parse_pattern(pattern)?;
             }
+            if f.llm_class.is_some() && !self.llm.enabled {
+                return Err(ScenarioError::Invalid(format!(
+                    "function {:?} declares an llm_class but the scenario's \
+                     llm block is disabled",
+                    f.name
+                )));
+            }
         }
         for c in &self.chains {
             if self.platform != PlatformKind::Infless {
@@ -337,14 +374,15 @@ impl Scenario {
             .validate()
             .map_err(|e| ScenarioError::Invalid(e.to_string()))?;
         let sharded = config.is_sharded().then(|| config.effective_shards());
-        let mut parts = self.build_parts()?;
+        let llm = config.llm.unwrap_or(self.llm);
+        let mut parts = self.build_parts(llm)?;
         if let Some(schedule) = config.fault_schedule {
             parts.schedule = schedule;
         }
         let sink = config
             .telemetry
             .unwrap_or_else(|| Box::new(infless_telemetry::NullSink));
-        let infless_config = self.infless_config(config.residency);
+        let infless_config = self.infless_config(config.residency, llm);
 
         if let Some(shards) = sharded {
             if self.platform != PlatformKind::Infless {
@@ -377,10 +415,12 @@ impl Scenario {
             PlatformKind::Openfaas => OpenFaasPlus::new(parts.cluster, parts.functions, self.seed)
                 .with_fault_schedule(parts.schedule)
                 .with_telemetry(sink)
+                .with_llm(llm)
                 .run(&parts.workload),
             PlatformKind::Batch => BatchPlatform::new(parts.cluster, parts.functions, self.seed)
                 .with_fault_schedule(parts.schedule)
                 .with_telemetry(sink)
+                .with_llm(llm)
                 .run(&parts.workload),
         };
         Ok(report)
@@ -390,10 +430,15 @@ impl Scenario {
     /// keep-alive, the descriptor's residency block unless overridden
     /// by the run config) — shared by the single-core and sharded
     /// paths so their reports stay comparable.
-    fn infless_config(&self, residency_override: Option<ResidencyConfig>) -> InflessConfig {
+    fn infless_config(
+        &self,
+        residency_override: Option<ResidencyConfig>,
+        llm: LlmConfig,
+    ) -> InflessConfig {
         InflessConfig {
             coldstart: ColdStartConfig::Lsth { gamma: 0.5 },
             residency: residency_override.unwrap_or(self.residency),
+            llm,
             ..InflessConfig::default()
         }
     }
@@ -401,16 +446,22 @@ impl Scenario {
     /// Builds everything a platform needs from the descriptor: the
     /// function table, the workload, the chains, the cluster spec and
     /// the fault schedule.
-    fn build_parts(&self) -> Result<ScenarioParts, ScenarioError> {
+    fn build_parts(&self, llm: LlmConfig) -> Result<ScenarioParts, ScenarioError> {
         let functions: Vec<FunctionInfo> = self
             .functions
             .iter()
             .map(|f| {
                 let id: ModelId = f.model.parse().expect("validated");
                 let slo = SimDuration::from_millis(f.slo_ms);
-                match f.max_batch {
+                let info = match f.max_batch {
                     Some(cap) => FunctionInfo::with_max_batch(id.spec(), slo, cap),
                     None => FunctionInfo::new(id.spec(), slo),
+                };
+                // Classes attach only when the effective llm block is
+                // enabled, so a disabled run is the pre-LLM engine.
+                match f.llm_class {
+                    Some(kind) if llm.enabled => info.with_llm(kind.to_class()),
+                    _ => info,
                 }
             })
             .collect();
@@ -648,6 +699,61 @@ mod tests {
             "\"platform\": \"infless\", \"residency\": { \"enabld\": true },",
         );
         assert!(Scenario::from_json(&bad).is_err());
+    }
+
+    const LLM_MINIMAL: &str = r#"{
+        "platform": "infless",
+        "cluster": { "servers": 2 },
+        "llm": { "enabled": true, "batching": "continuous" },
+        "functions": [
+            { "name": "chat", "model": "Bert-v1", "slo_ms": 10000, "llm_class": "chat",
+              "load": { "kind": "constant", "rps": 5.0, "duration_secs": 10 } }
+        ]
+    }"#;
+
+    #[test]
+    fn llm_block_round_trips_and_rejects_unknown_fields() {
+        let s = Scenario::from_json(LLM_MINIMAL).unwrap();
+        assert!(s.llm.enabled);
+        assert_eq!(s.llm.batching, infless_llm::LlmBatching::Continuous);
+        assert_eq!(s.functions[0].llm_class, Some(LlmClassKind::Chat));
+        // Omitted block is the disabled default.
+        let plain = Scenario::from_json(MINIMAL).unwrap();
+        assert!(!plain.llm.enabled);
+        assert_eq!(plain.llm.batching, infless_llm::LlmBatching::Static);
+        // Unknown fields inside the block are rejected.
+        let bad = LLM_MINIMAL.replace("\"enabled\"", "\"enbaled\"");
+        assert!(Scenario::from_json(&bad).is_err());
+        // Unknown class names are rejected.
+        let bad = LLM_MINIMAL.replace("\"chat\",", "\"poetry\",");
+        assert!(Scenario::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn llm_class_requires_enabled_block() {
+        let bad = LLM_MINIMAL.replace(
+            "\"llm\": { \"enabled\": true, \"batching\": \"continuous\" },",
+            "",
+        );
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("llm block is disabled"), "{err}");
+    }
+
+    #[test]
+    fn llm_scenario_reports_token_metrics() {
+        let s = Scenario::from_json(LLM_MINIMAL).unwrap();
+        let report = s.execute(RunConfig::new()).unwrap();
+        assert!(report.total_completed() > 0);
+        let llm = report.functions[0]
+            .llm
+            .as_ref()
+            .expect("LLM stats on an autoregressive function");
+        assert_eq!(llm.ttft_ms.count(), report.total_completed());
+        assert!(llm.decoded_tokens > 0);
+        assert_eq!(
+            report.kv_allocated_bytes,
+            report.kv_freed_bytes + report.kv_resident_bytes
+        );
     }
 
     #[test]
