@@ -114,6 +114,13 @@ impl OpenFaasPlus {
         self
     }
 
+    /// Attaches a shared metrics registry, fed at every scaler tick.
+    /// The registry never feeds back into the simulation.
+    pub fn with_metrics(mut self, handle: infless_telemetry::MetricsHandle) -> Self {
+        self.engine.set_metrics(handle);
+        self
+    }
+
     /// Applies the autoregressive serving knobs: decode-batching
     /// discipline plus device-memory booking for KV arenas. A disabled
     /// config is a no-op (runs stay bit-identical).

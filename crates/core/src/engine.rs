@@ -24,12 +24,13 @@ use infless_llm::{LlmBatching, LlmClass};
 use infless_models::{HardwareModel, ModelSpec, ResourceConfig};
 use infless_sim::{EventQueue, SimDuration, SimTime};
 use infless_telemetry::{
-    FaultTag, GaugeRow, NullSink, SpanEvent, SpanKind, TelemetrySink, TraceMeta,
+    BreakdownEvent, DecisionEvent, DecisionKind, DecisionReason, DecisionRecord, FaultTag,
+    GaugeRow, MetricsHandle, NullSink, SpanEvent, SpanKind, TelemetrySink, TraceMeta,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::metrics::{Collector, StartupKind};
+use crate::metrics::{Collector, LatencyParts, StartupKind};
 
 /// A deployed inference function: its model and latency SLO (the two
 /// fields of the paper's Fig. 5 template that matter to scheduling).
@@ -224,6 +225,41 @@ pub struct Engine {
     /// and schedules no events, so a sink-less run is bit-identical to
     /// one that predates the telemetry subsystem.
     telemetry: Box<dyn TelemetrySink>,
+    /// Gateway-arrival → (latest) instance-enqueue instant per
+    /// in-system request, feeding the queueing component of the
+    /// latency decomposition. Always maintained: the breakdown
+    /// histograms are part of the canonical report, so the map cannot
+    /// be gated on a sink.
+    enqueue_at: HashMap<u64, SimTime>,
+    /// Per-function monotonic decision sequence numbers — the
+    /// tiebreaker that makes a merged multi-shard decision trace
+    /// totally ordered (a function is wholly owned by one shard, so
+    /// its counter is globally unique).
+    decision_seq: Vec<u64>,
+    /// Per-function launch ordinals for the decision trace. Raw
+    /// instance ids are dense engine-local slot indices and therefore
+    /// differ across shard counts; launches within a function happen
+    /// in the same order at every shard count, so this ordinal is
+    /// shard-invariant. Observability-only: written when decisions are
+    /// enabled and never read by the simulation.
+    decision_inst_seq: Vec<u64>,
+    /// Raw instance id → launch ordinal, for decision events that
+    /// reference an already-launched instance.
+    decision_inst_ids: HashMap<u64, i64>,
+    /// Per-function arrival ordinals for the decision trace — the
+    /// request-id analogue of `decision_inst_seq`: raw request ids are
+    /// engine-global mint order and therefore shard-local, while a
+    /// function's arrivals happen in the same order at every shard
+    /// count. Observability-only.
+    decision_req_seq: Vec<u64>,
+    /// Raw request id → arrival ordinal.
+    decision_req_ids: HashMap<u64, i64>,
+    /// Host-cache occupancy gauge (MB), set by the owning platform
+    /// just before telemetry sampling.
+    host_cache_mb: f64,
+    /// Optional metrics registry; gauge families are refreshed on
+    /// every [`Self::record_gauges`] call.
+    metrics: Option<MetricsHandle>,
     now: SimTime,
 }
 
@@ -246,6 +282,9 @@ struct Slot {
 struct InFlight {
     started: SimTime,
     exec: SimDuration,
+    /// Execution estimate before the MPS-interference and straggler
+    /// multipliers — the decomposition's execution/interference split.
+    exec_base: SimDuration,
     batch: Vec<Request>,
 }
 
@@ -291,6 +330,10 @@ struct LlmEpisode {
     /// Episode-scoped slowdown (noise × interference × straggler),
     /// drawn once at episode start so jitter cannot re-order steps.
     slow: f64,
+    /// The interference × straggler share of `slow` (noise excluded):
+    /// dividing an episode latency by this recovers the
+    /// decomposition's pre-interference execution estimate.
+    interf: f64,
 }
 
 /// Samples one token count: inverse-CDF exponential with the given
@@ -373,6 +416,14 @@ impl Engine {
             beta,
             collector,
             telemetry: Box::new(NullSink),
+            enqueue_at: HashMap::new(),
+            decision_seq: vec![0; n],
+            decision_inst_seq: vec![0; n],
+            decision_inst_ids: HashMap::new(),
+            decision_req_seq: vec![0; n],
+            decision_req_ids: HashMap::new(),
+            host_cache_mb: 0.0,
+            metrics: None,
             now: SimTime::ZERO,
         }
     }
@@ -390,6 +441,116 @@ impl Engine {
                 .collect(),
         });
         self.telemetry = sink;
+    }
+
+    /// `true` when the attached sink wants decision records. Platforms
+    /// gate every [`DecisionEvent`] construction on this, mirroring the
+    /// span contract: a decision-less run builds nothing.
+    pub fn decisions_enabled(&self) -> bool {
+        self.telemetry.decisions_enabled()
+    }
+
+    /// Stamps `ev` with the clock and the function's next sequence
+    /// number, then forwards it to the sink. Callers gate on
+    /// [`Self::decisions_enabled`].
+    pub fn record_decision(&mut self, function: usize, mut ev: DecisionEvent) {
+        ev.t_s = self.now.as_secs_f64();
+        ev.function = function as u32;
+        ev.seq = self.next_decision_seq(function);
+        self.telemetry
+            .record_decision(&DecisionRecord::Decision(ev));
+    }
+
+    fn next_decision_seq(&mut self, function: usize) -> u64 {
+        let seq = self.decision_seq[function];
+        self.decision_seq[function] += 1;
+        seq
+    }
+
+    /// The shard-invariant launch ordinal assigned to `id` when its
+    /// launch decision was recorded, or `-1` if decisions were not
+    /// enabled at launch time. Observability-only.
+    pub fn decision_instance_ordinal(&self, id: InstanceId) -> i64 {
+        self.decision_inst_ids.get(&id.raw()).copied().unwrap_or(-1)
+    }
+
+    /// The shard-invariant arrival ordinal assigned to the request with
+    /// raw id `raw` when it was minted, or `-1` if decisions were not
+    /// enabled at mint time. Observability-only.
+    pub fn decision_request_ordinal(&self, raw: u64) -> i64 {
+        self.decision_req_ids.get(&raw).copied().unwrap_or(-1)
+    }
+
+    /// Emits one per-request latency decomposition on the decisions
+    /// channel. Callers gate on [`Self::decisions_enabled`].
+    fn emit_breakdown(
+        &mut self,
+        function: usize,
+        request: u64,
+        parts: LatencyParts,
+        total: SimDuration,
+    ) {
+        let seq = self.next_decision_seq(function);
+        // The trace carries the shard-invariant arrival ordinal, not
+        // the engine-local raw id (see `decision_req_ids`).
+        let request = self
+            .decision_req_ids
+            .get(&request)
+            .map(|&o| o as u64)
+            .unwrap_or(request);
+        self.telemetry
+            .record_decision(&DecisionRecord::Breakdown(BreakdownEvent {
+                t_s: self.now.as_secs_f64(),
+                function: function as u32,
+                seq,
+                request,
+                slo_ms: self.functions[function].slo().as_millis_f64(),
+                queue_ms: parts.queueing.as_millis_f64(),
+                batch_wait_ms: parts.batch_wait.as_millis_f64(),
+                startup_ms: parts.startup.as_millis_f64(),
+                exec_ms: parts.execution.as_millis_f64(),
+                interference_ms: parts.interference.as_millis_f64(),
+                total_ms: total.as_millis_f64(),
+            }));
+    }
+
+    /// Attaches a metrics registry. Gauge families (instances,
+    /// occupancy, queue depth, KV residency, host cache) are refreshed
+    /// at every telemetry sampling tick; the run layer adds the final
+    /// counter families from the report.
+    pub fn set_metrics(&mut self, handle: MetricsHandle) {
+        self.metrics = Some(handle);
+    }
+
+    /// Sets the host-cache occupancy gauge (MB). The residency-tier
+    /// platform refreshes this just before sampling telemetry.
+    pub fn set_host_cache_mb(&mut self, mb: f64) {
+        self.host_cache_mb = mb;
+    }
+
+    /// KV-cache bytes currently resident across live autoregressive
+    /// episodes. A u64 total over integer token counts, so the value is
+    /// independent of episode-map iteration order.
+    pub fn kv_resident_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for (raw, ep) in &self.llm_episodes {
+            let function = self.slots[*raw as usize]
+                .as_ref()
+                .expect("episode on a live instance")
+                .inst
+                .function()
+                .raw();
+            let bpt = self.functions[function]
+                .llm()
+                .expect("episode on a non-LLM function")
+                .kv_bytes_per_token();
+            total += ep
+                .active
+                .iter()
+                .map(|s| (u64::from(s.prompt) + u64::from(s.produced)) * bpt)
+                .sum::<u64>();
+        }
+        total
     }
 
     /// Switches execution-time noise to per-function streams keyed by
@@ -625,6 +786,11 @@ impl Engine {
             function: FunctionId::new(function),
             arrival,
         };
+        if self.telemetry.decisions_enabled() {
+            let ordinal = self.decision_req_seq[function] as i64;
+            self.decision_req_seq[function] += 1;
+            self.decision_req_ids.insert(id.raw(), ordinal);
+        }
         if self.functions[function].llm().is_some() {
             let info = self.mint_tokens(function);
             self.token_table.insert(id.raw(), info);
@@ -752,6 +918,24 @@ impl Engine {
         } else if ready_at > self.now {
             queue.schedule(ready_at, EngineEvent::InstanceReady(id));
         }
+        if self.telemetry.decisions_enabled() {
+            let ordinal = self.decision_inst_seq[function] as i64;
+            self.decision_inst_seq[function] += 1;
+            self.decision_inst_ids.insert(id.raw(), ordinal);
+            let mut ev = DecisionEvent::new(DecisionKind::Launch);
+            ev.instance = ordinal;
+            ev.server = placement.server().raw() as i64;
+            ev.batch = config.batch();
+            ev.cpu = config.resources().cpu_cores();
+            ev.gpu = config.resources().gpu_pct();
+            ev.reason = match startup {
+                StartupKind::Cold => DecisionReason::ColdBoot,
+                StartupKind::PreWarmed => DecisionReason::PreWarmed,
+                StartupKind::SwapIn => DecisionReason::SwapIn,
+            };
+            ev.value = delay.as_secs_f64();
+            self.record_decision(function, ev);
+        }
         id
     }
 
@@ -870,6 +1054,9 @@ impl Engine {
         }
         let server = inst.placement().server().raw() as i64;
         let full = inst.batch_full();
+        // Latest enqueue wins: a displaced request re-dispatched by the
+        // recovery path attributes the retry delay to queueing.
+        self.enqueue_at.insert(request.id.raw(), now);
         if self.telemetry.enabled() {
             self.emit(
                 SpanKind::Enqueued,
@@ -967,6 +1154,7 @@ impl Engine {
             self.gpu_busy_pct[device] -= config.resources().gpu_pct();
         }
         let telemetry_on = self.telemetry.enabled();
+        let decisions_on = self.telemetry.decisions_enabled();
         for req in &fl.batch {
             let wait = fl.started - req.arrival;
             let cold = if was_cold && ready_at > req.arrival {
@@ -974,8 +1162,17 @@ impl Engine {
             } else {
                 SimDuration::ZERO
             };
+            let enqueue_delay = self
+                .enqueue_at
+                .remove(&req.id.raw())
+                .map(|t| t.saturating_since(req.arrival))
+                .unwrap_or(SimDuration::ZERO);
+            let parts = LatencyParts::derive(wait, fl.exec, cold, enqueue_delay, fl.exec_base);
             self.collector
-                .complete(function, wait, fl.exec, cold, batch_setting);
+                .complete_with_parts(function, wait, fl.exec, cold, batch_setting, parts);
+            if decisions_on {
+                self.emit_breakdown(function, req.id.raw(), parts, wait + fl.exec);
+            }
             if telemetry_on {
                 self.emit(
                     SpanKind::Complete,
@@ -1005,6 +1202,7 @@ impl Engine {
     /// Records a dropped request.
     pub fn drop_request(&mut self, request: &Request) {
         self.token_table.remove(&request.id.raw());
+        self.enqueue_at.remove(&request.id.raw());
         self.collector.drop_request(request.function.raw());
         if self.telemetry.enabled() {
             self.emit(SpanKind::Dropped, self.now, request, -1, -1, 0);
@@ -1016,6 +1214,7 @@ impl Engine {
     /// purposes *and* in the failure section's shed tally.
     pub fn shed_request(&mut self, request: &Request) {
         self.token_table.remove(&request.id.raw());
+        self.enqueue_at.remove(&request.id.raw());
         self.collector.shed(request.function.raw());
         if self.telemetry.enabled() {
             self.emit(SpanKind::Shed, self.now, request, -1, -1, 0);
@@ -1293,11 +1492,15 @@ impl Engine {
     pub fn sample_telemetry(&mut self) {
         let (instances, starting, queue_depth, in_flight_batches) = self.gauge_counts();
         let per_function = self.per_function_live_counts();
+        let kv_resident_bytes = self.kv_resident_bytes();
+        let host_cache_mb_used = self.host_cache_mb;
         self.record_gauges(
             instances,
             starting,
             queue_depth,
             in_flight_batches,
+            kv_resident_bytes,
+            host_cache_mb_used,
             per_function,
         );
     }
@@ -1338,12 +1541,15 @@ impl Engine {
     /// this engine's collector and sink. Occupancies come from this
     /// engine's cluster view — in sharded runs every replica agrees at
     /// barrier time, when this is called.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_gauges(
         &mut self,
         instances: u64,
         starting: u64,
         queue_depth: u64,
         in_flight_batches: u64,
+        kv_resident_bytes: u64,
+        host_cache_mb_used: f64,
         per_function_instances: Vec<u64>,
     ) {
         let cpu_cap = self.cluster.cpu_capacity();
@@ -1365,6 +1571,58 @@ impl Engine {
             queue_depth,
             in_flight_batches,
         );
+        if let Some(handle) = &self.metrics {
+            let mut reg = handle.lock().expect("metrics registry poisoned");
+            let labels = [("platform", self.collector.platform())];
+            reg.gauge_set(
+                "infless_instances",
+                "Live instances.",
+                &labels,
+                instances as f64,
+            );
+            reg.gauge_set(
+                "infless_instances_starting",
+                "Instances still cold-starting.",
+                &labels,
+                starting as f64,
+            );
+            reg.gauge_set(
+                "infless_cpu_occupancy",
+                "Allocated CPU cores over capacity.",
+                &labels,
+                cpu_occupancy,
+            );
+            reg.gauge_set(
+                "infless_gpu_occupancy",
+                "Allocated GPU SM share over capacity.",
+                &labels,
+                gpu_occupancy,
+            );
+            reg.gauge_set(
+                "infless_queue_depth",
+                "Requests queued across instances.",
+                &labels,
+                queue_depth as f64,
+            );
+            reg.gauge_set(
+                "infless_in_flight_batches",
+                "Batches currently executing.",
+                &labels,
+                in_flight_batches as f64,
+            );
+            reg.gauge_set(
+                "infless_kv_resident_bytes",
+                "KV-cache bytes resident in live decode episodes.",
+                &labels,
+                kv_resident_bytes as f64,
+            );
+            reg.gauge_set(
+                "infless_host_cache_mb_used",
+                "Host-memory model cache occupancy, MB.",
+                &labels,
+                host_cache_mb_used,
+            );
+        }
         if self.telemetry.enabled() {
             self.telemetry.sample(&GaugeRow {
                 t_s: self.now.as_secs_f64(),
@@ -1374,6 +1632,8 @@ impl Engine {
                 gpu_occupancy,
                 queue_depth,
                 in_flight_batches,
+                kv_resident_bytes,
+                host_cache_mb_used,
                 per_function_instances,
             });
         }
@@ -1407,24 +1667,7 @@ impl Engine {
         if self.llm_episodes.is_empty() {
             return;
         }
-        let mut total = 0u64;
-        for (raw, ep) in &self.llm_episodes {
-            let function = self.slots[*raw as usize]
-                .as_ref()
-                .expect("episode on a live instance")
-                .inst
-                .function()
-                .raw();
-            let bpt = self.functions[function]
-                .llm()
-                .expect("episode on a non-LLM function")
-                .kv_bytes_per_token();
-            total += ep
-                .active
-                .iter()
-                .map(|s| (u64::from(s.prompt) + u64::from(s.produced)) * bpt)
-                .sum::<u64>();
-        }
+        let total = self.kv_resident_bytes();
         self.collector.kv_resident(total);
     }
 
@@ -1486,6 +1729,9 @@ impl Engine {
         let mut exec = self
             .hardware
             .model_latency_noisy(spec, len, config.resources(), rng);
+        // Pre-interference estimate: the decomposition's
+        // execution/interference boundary.
+        let exec_base = exec;
         // MPS interference: co-resident *active* SM share on the same
         // physical device slows this batch down (shared memory
         // bandwidth / L2 behind the SM partitioning). Snapshot mode
@@ -1532,6 +1778,7 @@ impl Engine {
         self.slot_mut(id).in_flight = Some(InFlight {
             started: now,
             exec,
+            exec_base,
             batch,
         });
         self.in_flight_count += 1;
@@ -1574,6 +1821,8 @@ impl Engine {
         let mut reserved = 0u64;
         let mut infos: Vec<TokenInfo> = Vec::new();
         let mut blocked = false;
+        let mut blocked_req = -1i64;
+        let mut blocked_need = 0u64;
         for req in inst.queued() {
             if infos.len() >= max_batch {
                 break;
@@ -1582,6 +1831,8 @@ impl Engine {
             let need = u64::from(info.prompt) + u64::from(info.output);
             if !infos.is_empty() && reserved + need > cap {
                 blocked = true;
+                blocked_req = req.id.raw() as i64;
+                blocked_need = need;
                 break;
             }
             reserved += need;
@@ -1589,6 +1840,19 @@ impl Engine {
         }
         if blocked {
             self.collector.llm_cache_full(function);
+            if self.telemetry.decisions_enabled() {
+                let mut ev = DecisionEvent::new(DecisionKind::CacheFull);
+                ev.request = if blocked_req >= 0 {
+                    self.decision_request_ordinal(blocked_req as u64)
+                } else {
+                    -1
+                };
+                ev.instance = self.decision_instance_ordinal(id);
+                ev.server = placement.server().raw() as i64;
+                ev.value = blocked_need as f64;
+                ev.aux = cap.saturating_sub(reserved) as f64;
+                self.record_decision(function, ev);
+            }
         }
         debug_assert!(!infos.is_empty());
         let prefill_tokens: u64 = infos.iter().map(|i| u64::from(i.prompt)).sum();
@@ -1599,6 +1863,7 @@ impl Engine {
             NoiseRng::PerFunction(streams) => &mut streams[function],
         };
         let mut slow = self.hardware.noise_factor(rng);
+        let mut interf = 1.0;
         if let Some(gpu) = placement.gpu_index() {
             let device = self.device_index(placement.server(), gpu);
             let others = match &self.interference_snapshot {
@@ -1606,20 +1871,21 @@ impl Engine {
                 None => self.gpu_busy_pct[device],
             };
             let k = self.hardware.calibration().mps_interference;
-            slow *= 1.0 + k * f64::from(others) / 100.0;
+            interf *= 1.0 + k * f64::from(others) / 100.0;
             self.gpu_busy_pct[device] += config.resources().gpu_pct();
         }
         if !self.straggle.is_empty() {
             let server = placement.server();
             if let Some(&(until_t, factor)) = self.straggle.get(&server) {
                 if now < until_t {
-                    slow *= factor;
+                    interf *= factor;
                     self.collector.straggled_batch();
                 } else {
                     self.straggle.remove(&server);
                 }
             }
         }
+        slow *= interf;
         let spec = self.functions[function].spec();
         let prefill = self
             .hardware
@@ -1631,6 +1897,7 @@ impl Engine {
         debug_assert_eq!(batch.len(), n);
         let bpt = llm.kv_bytes_per_token();
         let telemetry_on = self.telemetry.enabled();
+        let decisions_on = self.telemetry.decisions_enabled();
         let mut active = Vec::with_capacity(n);
         for (req, info) in batch.into_iter().zip(infos) {
             self.collector.kv_alloc(u64::from(info.prompt) * bpt);
@@ -1643,6 +1910,16 @@ impl Engine {
                     placement.server().raw() as i64,
                     n as u32,
                 );
+            }
+            if decisions_on {
+                let mut ev = DecisionEvent::new(DecisionKind::Admit);
+                ev.request = self.decision_request_ordinal(req.id.raw());
+                ev.instance = self.decision_instance_ordinal(id);
+                ev.server = placement.server().raw() as i64;
+                ev.batch = n as u32;
+                ev.value = (u64::from(info.prompt) + u64::from(info.output)) as f64;
+                ev.aux = cap.saturating_sub(reserved) as f64;
+                self.record_decision(function, ev);
             }
             active.push(LlmSeq {
                 req,
@@ -1664,6 +1941,7 @@ impl Engine {
                 pending_prefill_tokens: 0,
                 completed: 0,
                 slow,
+                interf,
             },
         );
         queue.schedule(until, EngineEvent::DecodeStep(id));
@@ -1704,6 +1982,7 @@ impl Engine {
         let bpt = llm.kv_bytes_per_token();
         let batch_setting = config.batch();
         let telemetry_on = self.telemetry.enabled();
+        let decisions_on = self.telemetry.decisions_enabled();
         let srv = placement.server().raw() as i64;
         let inst_raw = id.raw() as i64;
         let nseq = ep.active.len() as u32;
@@ -1749,8 +2028,24 @@ impl Engine {
             } else {
                 SimDuration::ZERO
             };
+            let enqueue_delay = self
+                .enqueue_at
+                .remove(&seq.req.id.raw())
+                .map(|t| t.saturating_since(seq.req.arrival))
+                .unwrap_or(SimDuration::ZERO);
+            // The episode's interference/straggler multiplier is known,
+            // so dividing it out recovers the pre-interference estimate.
+            let exec_base = if ep.interf > 1.0 {
+                SimDuration::from_secs_f64(exec.as_secs_f64() / ep.interf)
+            } else {
+                exec
+            };
+            let parts = LatencyParts::derive(wait, exec, cold, enqueue_delay, exec_base);
             self.collector
-                .complete(function, wait, exec, cold, batch_setting);
+                .complete_with_parts(function, wait, exec, cold, batch_setting, parts);
+            if decisions_on {
+                self.emit_breakdown(function, seq.req.id.raw(), parts, wait + exec);
+            }
             let tpot = if seq.output > 1 {
                 let first = seq
                     .first_token
@@ -1788,6 +2083,15 @@ impl Engine {
                 let need = u64::from(info.prompt) + u64::from(info.output);
                 if ep.reserved_tokens + need > cap {
                     self.collector.llm_cache_full(function);
+                    if decisions_on {
+                        let mut ev = DecisionEvent::new(DecisionKind::CacheFull);
+                        ev.request = self.decision_request_ordinal(head.id.raw());
+                        ev.instance = self.decision_instance_ordinal(id);
+                        ev.server = srv;
+                        ev.value = need as f64;
+                        ev.aux = cap.saturating_sub(ep.reserved_tokens) as f64;
+                        self.record_decision(function, ev);
+                    }
                     break;
                 }
                 let joined = self.slot_mut(id).inst.drain_queued(1, now);
@@ -1797,6 +2101,16 @@ impl Engine {
                 self.collector.kv_alloc(u64::from(info.prompt) * bpt);
                 if telemetry_on {
                     self.emit(SpanKind::PrefillStart, now, &head, inst_raw, srv, nseq);
+                }
+                if decisions_on {
+                    let mut ev = DecisionEvent::new(DecisionKind::Admit);
+                    ev.request = self.decision_request_ordinal(head.id.raw());
+                    ev.instance = self.decision_instance_ordinal(id);
+                    ev.server = srv;
+                    ev.batch = (ep.active.len() + 1) as u32;
+                    ev.value = need as f64;
+                    ev.aux = cap.saturating_sub(ep.reserved_tokens) as f64;
+                    self.record_decision(function, ev);
                 }
                 ep.active.push(LlmSeq {
                     req: head,

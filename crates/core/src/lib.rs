@@ -77,7 +77,9 @@ pub use batching::RpsWindow;
 pub use chains::{ChainReport, ChainSpec, ChainSplit};
 pub use coldstart::{ColdStartPolicy, FixedKeepAlive, HybridHistogram, Lsth, Windows};
 pub use engine::{Engine, EngineEvent, FunctionInfo};
-pub use metrics::{FunctionReport, LlmFunctionStats, RunReport, StartupKind};
+pub use metrics::{
+    BreakdownHists, FunctionReport, LatencyParts, LlmFunctionStats, RunReport, StartupKind,
+};
 pub use platform::{InflessConfig, InflessPlatform};
 pub use predictor::CopPredictor;
 pub use residency::ResidencyConfig;

@@ -49,6 +49,88 @@ pub struct LlmFunctionStats {
     pub decoded_tokens: u64,
 }
 
+/// The five-way SLO latency decomposition of one completed request.
+/// The components partition the end-to-end latency exactly:
+/// `queueing + batch_wait + startup + execution + interference` equals
+/// the latency the report records for the request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyParts {
+    /// Arrival → final instance enqueue (gateway dispatch delay,
+    /// pending backlog, fault-retry delay).
+    pub queueing: SimDuration,
+    /// Enqueue → batch start, net of the startup overlap: waiting for
+    /// the batch to fill or time out.
+    pub batch_wait: SimDuration,
+    /// Cold-start / swap-in time the request observed.
+    pub startup: SimDuration,
+    /// Execution at the profiled (noise-adjusted) speed.
+    pub execution: SimDuration,
+    /// Execution stretch from MPS co-residence and stragglers.
+    pub interference: SimDuration,
+}
+
+impl LatencyParts {
+    /// Partitions a request's `wait`/`exec` phases by clamped cascade:
+    /// `enqueue_delay` (final enqueue − arrival) is credited to
+    /// queueing, the startup overlap to startup, and the remainder of
+    /// the wait to batch-wait; `exec_base` (the pre-interference
+    /// execution estimate) splits the exec phase into execution and
+    /// interference. Each component is clamped so the five always sum
+    /// to exactly `wait + exec` whatever the inputs.
+    pub fn derive(
+        wait: SimDuration,
+        exec: SimDuration,
+        cold: SimDuration,
+        enqueue_delay: SimDuration,
+        exec_base: SimDuration,
+    ) -> LatencyParts {
+        let queueing = enqueue_delay.min(wait);
+        let startup = cold.min(wait - queueing);
+        let batch_wait = wait - queueing - startup;
+        let execution = exec_base.min(exec);
+        let interference = exec - execution;
+        LatencyParts {
+            queueing,
+            batch_wait,
+            startup,
+            execution,
+            interference,
+        }
+    }
+
+    /// A decomposition with everything attributed the way the
+    /// pre-decomposition report did: `queue − cold` to batch-wait,
+    /// `cold` to startup, all of exec to execution.
+    pub fn legacy(queue: SimDuration, exec: SimDuration, cold: SimDuration) -> LatencyParts {
+        LatencyParts::derive(queue, exec, cold, SimDuration::ZERO, exec)
+    }
+}
+
+/// Per-function [`Log2Histogram`]s of the decomposition components.
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownHists {
+    /// Queueing component, ms.
+    pub queueing_ms: Log2Histogram,
+    /// Batch-wait component, ms.
+    pub batch_wait_ms: Log2Histogram,
+    /// Startup component, ms.
+    pub startup_ms: Log2Histogram,
+    /// Execution component, ms.
+    pub execution_ms: Log2Histogram,
+    /// Interference component, ms.
+    pub interference_ms: Log2Histogram,
+}
+
+impl BreakdownHists {
+    fn add(&mut self, parts: LatencyParts) {
+        self.queueing_ms.add(parts.queueing.as_millis_f64());
+        self.batch_wait_ms.add(parts.batch_wait.as_millis_f64());
+        self.startup_ms.add(parts.startup.as_millis_f64());
+        self.execution_ms.add(parts.execution.as_millis_f64());
+        self.interference_ms.add(parts.interference.as_millis_f64());
+    }
+}
+
 /// Per-function results.
 #[derive(Debug, Clone)]
 pub struct FunctionReport {
@@ -86,6 +168,9 @@ pub struct FunctionReport {
     pub cold_ms: Welford,
     /// Completed requests per serving-instance batchsize (Fig. 13a/b).
     pub per_batch_completed: HashMap<u32, u64>,
+    /// SLO latency decomposition histograms (always maintained, so
+    /// the report carries them with or without a telemetry sink).
+    pub breakdown: BreakdownHists,
     /// Token-level stats when this function is autoregressive.
     pub llm: Option<LlmFunctionStats>,
 }
@@ -108,6 +193,7 @@ impl FunctionReport {
             exec_ms: Welford::new(),
             cold_ms: Welford::new(),
             per_batch_completed: HashMap::new(),
+            breakdown: BreakdownHists::default(),
             llm: None,
         }
     }
@@ -406,6 +492,24 @@ impl RunReport {
                         );
                     }
                 }
+                // The five-way SLO decomposition is always maintained
+                // (and derived from shard-invariant quantities), so it
+                // is unconditionally part of the determinism-gated
+                // surface.
+                if let serde_json::Value::Object(m) = &mut v {
+                    let b = &f.breakdown;
+                    m.insert(
+                        "breakdown".to_string(),
+                        serde_json::json!({
+                            "count": b.queueing_ms.count(),
+                            "queueing_ms_mean": b.queueing_ms.mean(),
+                            "batch_wait_ms_mean": b.batch_wait_ms.mean(),
+                            "startup_ms_mean": b.startup_ms.mean(),
+                            "execution_ms_mean": b.execution_ms.mean(),
+                            "interference_ms_mean": b.interference_ms.mean(),
+                        }),
+                    );
+                }
                 v
             })
             .collect();
@@ -570,8 +674,10 @@ impl Collector {
         self.started = at;
     }
 
-    /// Records a completed request.
-    #[allow(clippy::too_many_arguments)]
+    /// Records a completed request, attributing its whole wait phase
+    /// the way the pre-decomposition report did (see
+    /// [`LatencyParts::legacy`]). The engine calls
+    /// [`complete_with_parts`](Self::complete_with_parts) instead.
     pub fn complete(
         &mut self,
         function: usize,
@@ -580,6 +686,22 @@ impl Collector {
         cold: SimDuration,
         batch_setting: u32,
     ) {
+        let parts = LatencyParts::legacy(queue, exec, cold);
+        self.complete_with_parts(function, queue, exec, cold, batch_setting, parts);
+    }
+
+    /// Records a completed request with its five-way latency
+    /// decomposition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_with_parts(
+        &mut self,
+        function: usize,
+        queue: SimDuration,
+        exec: SimDuration,
+        cold: SimDuration,
+        batch_setting: u32,
+        parts: LatencyParts,
+    ) {
         let f = &mut self.functions[function];
         let latency = queue + exec;
         f.completed += 1;
@@ -587,6 +709,7 @@ impl Collector {
         f.queue_ms.add((queue - cold).as_millis_f64());
         f.exec_ms.add(exec.as_millis_f64());
         f.cold_ms.add(cold.as_millis_f64());
+        f.breakdown.add(parts);
         if latency > f.slo {
             f.violations += 1;
         }

@@ -20,7 +20,7 @@ use infless_models::{
     profile::ConfigGrid, HardwareCalibration, HardwareModel, ModelSpec, ProfileDatabase,
 };
 use infless_sim::{EventQueue, SimDuration, SimTime, StagedStream};
-use infless_telemetry::FaultTag;
+use infless_telemetry::{DecisionEvent, DecisionKind, DecisionReason, FaultTag};
 use infless_workload::Workload;
 use std::collections::HashMap;
 
@@ -239,6 +239,9 @@ struct FnState {
     /// the host copy survives past instance retirement for the host
     /// keep-alive window, turning relaunches into swap-ins.
     host_copy_since: Option<SimTime>,
+    /// Whether the one-time Algorithm 1 candidate-grid walk has been
+    /// emitted on the decisions channel for this function.
+    candidates_traced: bool,
 }
 
 /// The INFless platform. Create with [`InflessPlatform::new`], then
@@ -358,6 +361,7 @@ impl InflessPlatform {
                 pending_lost_rate: 0.0,
                 pending_startup: None,
                 host_copy_since: None,
+                candidates_traced: false,
             })
             .collect();
         InflessPlatform {
@@ -388,6 +392,14 @@ impl InflessPlatform {
     /// [`NullSink`]: infless_telemetry::NullSink
     pub fn with_telemetry(mut self, sink: Box<dyn infless_telemetry::TelemetrySink>) -> Self {
         self.engine.set_telemetry(sink);
+        self
+    }
+
+    /// Attaches a shared metrics registry, fed at every scaler tick
+    /// with the gauge readings the collector records anyway. The
+    /// registry never feeds back into the simulation.
+    pub fn with_metrics(mut self, handle: infless_telemetry::MetricsHandle) -> Self {
+        self.engine.set_metrics(handle);
         self
     }
 
@@ -824,7 +836,29 @@ impl InflessPlatform {
         self.engine.collector.fragment_sample(frag);
         let used = self.engine.cluster().weighted_in_use(beta);
         self.engine.collector.provision_point(now, used);
+        let host_mb = self.host_cache_mb_now();
+        self.engine.set_host_cache_mb(host_mb);
         self.engine.sample_telemetry();
+    }
+
+    /// Host-RAM model-cache occupancy right now: the summed weight
+    /// footprint of functions whose host copy is still inside its
+    /// retention window. Behaviour-neutral to sample unconditionally:
+    /// the LSTH histogram reads only prune samples that every later
+    /// query would prune anyway.
+    pub fn host_cache_mb_now(&mut self) -> f64 {
+        if !self.config.residency.enabled {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for f in 0..self.engine.functions().len() {
+            let last = self.fns[f].last_activity;
+            let had = self.fns[f].had_activity;
+            if self.host_resident_since(f, last, had) {
+                total += self.engine.functions()[f].spec().size_mb();
+            }
+        }
+        total
     }
 
     /// Runs Algorithm 1 for `residual` RPS and launches the resulting
@@ -839,18 +873,40 @@ impl InflessPlatform {
         let function = self.engine.functions()[f].clone();
         let slo = function.slo();
         let (startup_cost, device_mb) = self.schedule_cost(f, startup);
+        let decisions_on = self.engine.decisions_enabled();
+        let mut trace = if decisions_on {
+            let mut buf = Vec::new();
+            if !self.fns[f].candidates_traced {
+                self.fns[f].candidates_traced = true;
+                self.scheduler
+                    .trace_candidates(&self.predictor, &function, &mut buf);
+            }
+            Some(buf)
+        } else {
+            None
+        };
         let wall = Instant::now();
-        let outcome = self.scheduler.schedule_with_cost(
+        let outcome = self.scheduler.schedule_with_cost_traced(
             &self.predictor,
             &function,
             residual,
             self.engine.cluster_mut(),
             startup_cost,
             device_mb,
+            trace.as_mut(),
         );
         let elapsed_us = wall.elapsed().as_secs_f64() * 1e6;
         self.engine.collector.sched_overhead(elapsed_us);
         let launched = outcome.instances.len();
+        if let Some(mut buf) = trace {
+            let mut summary = DecisionEvent::new(DecisionKind::ScaleOut);
+            summary.value = launched as f64;
+            summary.aux = residual;
+            buf.push(summary);
+            for ev in buf {
+                self.engine.record_decision(f, ev);
+            }
+        }
         for si in outcome.instances {
             let budget = (slo - si.predicted_exec).max(SimDuration::from_millis(1));
             let id =
@@ -1135,6 +1191,13 @@ impl InflessPlatform {
             return;
         }
         let current_density = current_capacity / current_weight;
+        let decisions_on = self.engine.decisions_enabled();
+        if decisions_on {
+            let mut ev = DecisionEvent::new(DecisionKind::Consolidate);
+            ev.value = current_density;
+            ev.aux = current_weight;
+            self.engine.record_decision(f, ev);
+        }
 
         // Dry-run Algorithm 1 inside a cluster transaction: the trial
         // allocations land on the *real* cluster and are either kept
@@ -1167,6 +1230,13 @@ impl InflessPlatform {
         self.engine.collector.sched_overhead(elapsed_us);
         if trial.unplaced_rps > rps * 0.05 || trial.instances.is_empty() {
             self.engine.cluster_mut().rollback_txn();
+            if decisions_on {
+                let mut ev = DecisionEvent::new(DecisionKind::ConsolidateRollback);
+                ev.reason = DecisionReason::Unplaced;
+                ev.value = trial.unplaced_rps;
+                ev.aux = rps;
+                self.engine.record_decision(f, ev);
+            }
             return;
         }
         let fresh_weight: f64 = trial
@@ -1177,6 +1247,17 @@ impl InflessPlatform {
         let fresh_capacity: f64 = trial.instances.iter().map(|i| i.window.r_up()).sum();
         if fresh_weight <= 0.0 || fresh_capacity / fresh_weight < MIN_GAIN * current_density {
             self.engine.cluster_mut().rollback_txn();
+            if decisions_on {
+                let mut ev = DecisionEvent::new(DecisionKind::ConsolidateRollback);
+                ev.reason = DecisionReason::InsufficientGain;
+                ev.value = if fresh_weight > 0.0 {
+                    fresh_capacity / fresh_weight
+                } else {
+                    0.0
+                };
+                ev.aux = MIN_GAIN * current_density;
+                self.engine.record_decision(f, ev);
+            }
             return;
         }
 
@@ -1186,6 +1267,12 @@ impl InflessPlatform {
         // The startup kind comes from the same residency check as the
         // fault-recovery path — not an unconditional PreWarmed.
         self.engine.cluster_mut().commit_txn();
+        if decisions_on {
+            let mut ev = DecisionEvent::new(DecisionKind::ConsolidateCommit);
+            ev.value = fresh_capacity / fresh_weight;
+            ev.aux = fresh_weight - current_weight;
+            self.engine.record_decision(f, ev);
+        }
         self.fns[f].last_consolidation = now;
         let startup = self.startup_kind(f);
         let slo = function.slo();
@@ -1301,7 +1388,17 @@ impl InflessPlatform {
             .map(|e| e.id)
             .filter(|id| expired(&self.engine, *id))
             .collect();
+        let decisions_on = self.engine.decisions_enabled();
         for id in dead_parked.iter().chain(&dead_dispatch) {
+            if decisions_on {
+                let inst = self.engine.instance(*id);
+                let mut ev = DecisionEvent::new(DecisionKind::Evict);
+                ev.instance = self.engine.decision_instance_ordinal(*id);
+                ev.server = inst.placement().server().raw() as i64;
+                ev.value = keep_alive.as_secs_f64();
+                ev.aux = inst.idle_for(now).as_secs_f64();
+                self.engine.record_decision(f, ev);
+            }
             self.engine.retire(*id);
         }
         self.fns[f].parked.retain(|p| !dead_parked.contains(&p.id));

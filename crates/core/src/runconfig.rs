@@ -17,6 +17,7 @@
 //! bit-identical to the pre-`RunConfig` `run()` path.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use infless_faults::FaultSchedule;
 use infless_llm::LlmConfig;
@@ -47,6 +48,18 @@ pub struct RunConfig {
     /// Autoregressive (LLM) serving knobs. `None` — or a config with
     /// `enabled: false` — is bit-identical to the pre-LLM engine.
     pub llm: Option<LlmConfig>,
+    /// Where to write the decision trace (JSONL). Unlike `telemetry`
+    /// this works with sharding: the driver buffers decisions per
+    /// shard and merges them deterministically at epoch barriers.
+    pub decisions_out: Option<PathBuf>,
+    /// Where to write the Prometheus text-format metrics snapshot at
+    /// the end of the run. Works at every shard count.
+    pub metrics_out: Option<PathBuf>,
+    /// Where the flight recorder appends its postmortem dumps: a
+    /// bounded ring of recent spans, flushed when a fault burst hits.
+    /// Rides the span channel, so — like `telemetry` — single-core
+    /// runs only.
+    pub flight_out: Option<PathBuf>,
 }
 
 impl fmt::Debug for RunConfig {
@@ -57,6 +70,9 @@ impl fmt::Debug for RunConfig {
             .field("telemetry", &self.telemetry.is_some())
             .field("residency", &self.residency)
             .field("llm", &self.llm)
+            .field("decisions_out", &self.decisions_out)
+            .field("metrics_out", &self.metrics_out)
+            .field("flight_out", &self.flight_out)
             .finish()
     }
 }
@@ -130,6 +146,29 @@ impl RunConfig {
         self
     }
 
+    /// Writes a decision trace (JSONL) to `path`. Valid at every shard
+    /// count — sharded runs merge per-shard buffers at epoch barriers
+    /// into a byte-identical trace.
+    pub fn decisions_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.decisions_out = Some(path.into());
+        self
+    }
+
+    /// Writes an end-of-run Prometheus text-format metrics snapshot to
+    /// `path`. Valid at every shard count.
+    pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_out = Some(path.into());
+        self
+    }
+
+    /// Appends flight-recorder dumps (a bounded span ring flushed on
+    /// fault bursts) to `path`. Single-core runs only, like
+    /// [`telemetry`](Self::telemetry).
+    pub fn flight_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.flight_out = Some(path.into());
+        self
+    }
+
     /// The shard count to run with: an unset (`Default`) zero means 1.
     pub fn effective_shards(&self) -> usize {
         if self.shards == 0 {
@@ -150,7 +189,7 @@ impl RunConfig {
     /// callers that want a friendly error before spending simulation
     /// time can call it themselves.
     pub fn validate(&self) -> Result<(), RunConfigError> {
-        if self.is_sharded() && self.telemetry.is_some() {
+        if self.is_sharded() && (self.telemetry.is_some() || self.flight_out.is_some()) {
             return Err(RunConfigError::ShardedTelemetry);
         }
         Ok(())
@@ -196,6 +235,21 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert!(!RunConfig::new().is_sharded());
         assert!(RunConfig::new().shards(1).is_sharded());
+        // The decisions/metrics channels, by contrast, are merged at
+        // epoch barriers and therefore valid at every shard count.
+        let cfg = RunConfig::new()
+            .shards(4)
+            .decisions_out("decisions.jsonl")
+            .metrics_out("metrics.prom");
+        assert!(cfg.validate().is_ok());
+        // The flight recorder rides the span channel, so it shares the
+        // single-core-only restriction.
+        let cfg = RunConfig::new().shards(4).flight_out("flight.jsonl");
+        assert_eq!(cfg.validate(), Err(RunConfigError::ShardedTelemetry));
+        assert!(RunConfig::new()
+            .flight_out("flight.jsonl")
+            .validate()
+            .is_ok());
     }
 
     #[test]

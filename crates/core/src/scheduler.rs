@@ -23,6 +23,7 @@ use infless_cluster::{ClusterState, InstanceConfig, Placement, ServerId};
 use infless_llm::LlmClass;
 use infless_models::{ModelSpec, ResourceConfig};
 use infless_sim::SimDuration;
+use infless_telemetry::{DecisionEvent, DecisionKind, DecisionReason};
 use serde::{Deserialize, Serialize};
 
 use crate::batching::RpsWindow;
@@ -197,6 +198,138 @@ impl Scheduler {
         startup_cost: SimDuration,
         device_mb: f64,
     ) -> ScheduleOutcome {
+        self.schedule_with_cost_traced(
+            predictor,
+            function,
+            residual_rps,
+            cluster,
+            startup_cost,
+            device_mb,
+            None,
+        )
+    }
+
+    /// Re-walks the full ⟨b, c, g⟩ grid for `function` and appends one
+    /// decision record per candidate: [`DecisionKind::Candidate`] for
+    /// survivors of the residual-independent feasibility checks (with
+    /// the efficiency density `r_up / (β·c + g)` as `value` and the
+    /// predicted execution latency in ms as `aux`), or a
+    /// [`DecisionKind::Reject`] carrying the reason the check failed.
+    /// Deliberately independent of the candidate memo (which is shared
+    /// across functions with equal `(model, SLO)` keys), so the events
+    /// a function emits do not depend on which function warmed the
+    /// cache — the property that keeps decision traces byte-identical
+    /// across shard layouts. The caller stamps `t_s`/`function`/`seq`.
+    pub fn trace_candidates(
+        &self,
+        predictor: &CopPredictor,
+        function: &FunctionInfo,
+        out: &mut Vec<DecisionEvent>,
+    ) {
+        let spec = function.spec();
+        let slo = function.slo();
+        let cap = self.config.max_batch.min(function.max_batch());
+        let beta = predictor.beta();
+        let mut batches: Vec<u32> = predictor
+            .grid()
+            .batches()
+            .iter()
+            .copied()
+            .filter(|b| *b <= cap)
+            .collect();
+        batches.sort_unstable();
+        if self.config.largest_batch_first {
+            batches.reverse();
+        }
+        for b in batches {
+            for &cfg in predictor.grid().configs() {
+                let mut ev = DecisionEvent::new(DecisionKind::Candidate);
+                ev.batch = b;
+                ev.cpu = cfg.cpu_cores();
+                ev.gpu = cfg.gpu_pct();
+                if let Some(llm) = function.llm() {
+                    // Two-phase feasibility, mirroring
+                    // `llm_master_candidates` check for check.
+                    if cfg.gpu_pct() == 0 {
+                        ev.kind = DecisionKind::Reject;
+                        ev.reason = DecisionReason::Memory;
+                        out.push(ev);
+                        continue;
+                    }
+                    let prompt = u64::from(llm.prompt_tokens_mean);
+                    let n_cap = b.min(llm.max_concurrent_seqs());
+                    let kv_mb = (f64::from(n_cap)
+                        * f64::from(llm.prompt_tokens_mean + llm.output_tokens_mean)
+                        * llm.kv_mb_per_token)
+                        .min(llm.kv_arena_mb);
+                    let prefill =
+                        predictor.prefill_latency(spec, prompt.saturating_mul(u64::from(b)), cfg);
+                    if prefill > llm.ttft_slo {
+                        ev.kind = DecisionKind::Reject;
+                        ev.reason = DecisionReason::Ttft;
+                        ev.value = prefill.as_millis_f64();
+                        out.push(ev);
+                        continue;
+                    }
+                    let step = predictor.decode_step_latency(spec, n_cap, kv_mb, cfg);
+                    if step > llm.tpot_slo {
+                        ev.kind = DecisionKind::Reject;
+                        ev.reason = DecisionReason::Tpot;
+                        ev.value = step.as_millis_f64();
+                        out.push(ev);
+                        continue;
+                    }
+                    let t_exec = prefill + step.mul_f64(f64::from(llm.output_tokens_mean));
+                    let Some(window) = RpsWindow::for_instance(t_exec, slo, b) else {
+                        ev.kind = DecisionKind::Reject;
+                        ev.reason = DecisionReason::Window;
+                        ev.value = t_exec.as_millis_f64();
+                        out.push(ev);
+                        continue;
+                    };
+                    ev.value = window.r_up() / weighted(cfg, beta);
+                    ev.aux = t_exec.as_millis_f64();
+                    out.push(ev);
+                } else {
+                    let Some(t_exec) = predictor.predict(spec, b, cfg) else {
+                        ev.kind = DecisionKind::Reject;
+                        ev.reason = DecisionReason::NoProfile;
+                        out.push(ev);
+                        continue;
+                    };
+                    let Some(window) = RpsWindow::for_instance(t_exec, slo, b) else {
+                        ev.kind = DecisionKind::Reject;
+                        ev.reason = DecisionReason::Window;
+                        ev.value = t_exec.as_millis_f64();
+                        out.push(ev);
+                        continue;
+                    };
+                    ev.value = window.r_up() / weighted(cfg, beta);
+                    ev.aux = t_exec.as_millis_f64();
+                    out.push(ev);
+                }
+            }
+        }
+    }
+
+    /// [`schedule_with_cost`](Self::schedule_with_cost) with an
+    /// optional decision trace: per round, the chosen configuration
+    /// (effective density and startup discount), batchsizes whose
+    /// candidate set the residual-rate saturation bound emptied, sets
+    /// that were feasible but placeable nowhere, and the residual that
+    /// stayed unplaced at the end. `None` is the exact untraced path.
+    /// The caller stamps `t_s`/`function`/`seq` on the appended events.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_with_cost_traced(
+        &mut self,
+        predictor: &CopPredictor,
+        function: &FunctionInfo,
+        residual_rps: f64,
+        cluster: &mut ClusterState,
+        startup_cost: SimDuration,
+        device_mb: f64,
+        mut trace: Option<&mut Vec<DecisionEvent>>,
+    ) -> ScheduleOutcome {
         let discount = 1.0 / (1.0 + STARTUP_KAPPA * startup_cost.as_secs_f64());
         let spec = function.spec();
         let slo = function.slo();
@@ -264,6 +397,19 @@ impl Scheduler {
                         .filter(|c| !(b > 1 && rk < c.window.r_low()))
                         .copied(),
                 );
+                if set.is_empty() && !master.is_empty() {
+                    if let Some(tr) = trace.as_deref_mut() {
+                        let mut ev = DecisionEvent::new(DecisionKind::Reject);
+                        ev.reason = DecisionReason::ResidualCap;
+                        ev.batch = b;
+                        ev.value = rk;
+                        ev.aux = master
+                            .iter()
+                            .map(|c| c.window.r_low())
+                            .fold(f64::INFINITY, f64::min);
+                        tr.push(ev);
+                    }
+                }
             }
             let live = &sets[..plan.batches.len()];
             let density_of = |set: &[Candidate]| {
@@ -287,17 +433,43 @@ impl Scheduler {
                     if let Some(placed) =
                         place(config, set, cluster, beta, mem_mb, device_mb, rk, discount)
                     {
+                        if let Some(tr) = trace.as_deref_mut() {
+                            let mut ev = DecisionEvent::new(DecisionKind::Chosen);
+                            ev.server = placed.server.raw() as i64;
+                            ev.batch = placed.config.batch();
+                            ev.cpu = placed.config.resources().cpu_cores();
+                            ev.gpu = placed.config.resources().gpu_pct();
+                            ev.value = (placed.window.r_up() * discount).min(rk)
+                                / weighted(placed.config.resources(), beta);
+                            ev.aux = discount;
+                            tr.push(ev);
+                        }
                         rk -= placed.window.r_up();
                         out.instances.push(placed);
                         continue 'outer;
                     }
                     // Feasible configs exist but nowhere fits: a smaller
                     // batchsize may still fit (it admits smaller configs).
+                    if let Some(tr) = trace.as_deref_mut() {
+                        let mut ev = DecisionEvent::new(DecisionKind::Reject);
+                        ev.reason = DecisionReason::Memory;
+                        ev.batch = set[0].batch;
+                        ev.value = rk;
+                        tr.push(ev);
+                    }
                 }
             }
             break; // nothing feasible/placeable remains
         }
         out.unplaced_rps = rk.max(0.0);
+        if out.unplaced_rps > 1e-9 {
+            if let Some(tr) = trace {
+                let mut ev = DecisionEvent::new(DecisionKind::Reject);
+                ev.reason = DecisionReason::Unplaced;
+                ev.value = out.unplaced_rps;
+                tr.push(ev);
+            }
+        }
         out
     }
 }

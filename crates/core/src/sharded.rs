@@ -47,7 +47,7 @@ use std::collections::{HashSet, VecDeque};
 use infless_cluster::{ClusterOp, ClusterSpec, InstanceId, ServerHealth, ServerId};
 use infless_faults::{FaultEvent, FaultSchedule};
 use infless_sim::{EventQueue, SimDuration, SimTime, StagedStream};
-use infless_telemetry::FaultTag;
+use infless_telemetry::{DecisionBufferSink, DecisionRecord, FaultTag, MetricsHandle};
 use infless_workload::Workload;
 
 use crate::chains::{ChainReport, ChainSpec};
@@ -67,6 +67,7 @@ pub struct ShardedInfless {
     config: InflessConfig,
     seed: u64,
     faults: FaultSchedule,
+    metrics: Option<MetricsHandle>,
 }
 
 /// One shard: a full platform over a cluster replica, plus its private
@@ -108,6 +109,7 @@ impl ShardedInfless {
             config,
             seed,
             faults: FaultSchedule::empty(),
+            metrics: None,
         }
     }
 
@@ -118,11 +120,49 @@ impl ShardedInfless {
         self
     }
 
+    /// Attaches a shared metrics registry; barrier-time gauge sums are
+    /// fed into it from shard 0 (the cross-shard totals, so readings
+    /// are shard-count-invariant).
+    pub fn with_metrics(mut self, handle: MetricsHandle) -> Self {
+        self.metrics = Some(handle);
+        self
+    }
+
     /// Runs the workload on `shards` shards and returns the merged
     /// report. The report is bit-identical for every `shards >= 1`
     /// (wall-clock fields excepted; see
     /// [`RunReport::canonical_json`]).
     pub fn run(&self, workload: &Workload, shards: usize) -> RunReport {
+        self.run_inner(workload, shards, None)
+    }
+
+    /// Like [`run`](Self::run), but taps every shard's decision stream
+    /// through a [`DecisionBufferSink`] and returns the merged records,
+    /// sorted by [`DecisionRecord::sort_key`]. Because decision values
+    /// derive only from shard-invariant quantities and `(t_s, function,
+    /// seq)` is a total order, the returned trace is byte-identical for
+    /// every shard count.
+    pub fn run_with_decisions(
+        &self,
+        workload: &Workload,
+        shards: usize,
+    ) -> (RunReport, Vec<DecisionRecord>) {
+        let mut records = Vec::new();
+        let report = self.run_inner(workload, shards, Some(&mut records));
+        records.sort_by(|a, b| {
+            let (ta, fa, sa) = a.sort_key();
+            let (tb, fb, sb) = b.sort_key();
+            ta.total_cmp(&tb).then(fa.cmp(&fb)).then(sa.cmp(&sb))
+        });
+        (report, records)
+    }
+
+    fn run_inner(
+        &self,
+        workload: &Workload,
+        shards: usize,
+        mut decisions: Option<&mut Vec<DecisionRecord>>,
+    ) -> RunReport {
         let s_count = shards.max(1);
         let (owner_of_fn, owned_by_shard) = self.partition(s_count);
 
@@ -161,6 +201,25 @@ impl ShardedInfless {
                 }
             })
             .collect();
+
+        // Decision tap: one buffer sink per shard. The sink reports
+        // `enabled() == false`, so span/gauge construction stays off
+        // and the run is bit-identical to an untapped one.
+        let taps: Vec<DecisionBufferSink> = if decisions.is_some() {
+            shards_v
+                .iter_mut()
+                .map(|sh| {
+                    let tap = DecisionBufferSink::new();
+                    sh.platform.engine.set_telemetry(Box::new(tap.clone()));
+                    tap
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if let Some(handle) = &self.metrics {
+            shards_v[0].platform.engine.set_metrics(handle.clone());
+        }
 
         let epoch = self.config.scaler_period / 5;
         assert!(
@@ -228,7 +287,17 @@ impl ShardedInfless {
                 }
 
                 self.barrier_sweep(&mut shards_v, &owner_of_fn, k, t_b, &mut probes);
+                if let Some(acc) = decisions.as_deref_mut() {
+                    for tap in &taps {
+                        acc.extend(tap.drain());
+                    }
+                }
                 t_prev = t_b;
+            }
+        }
+        if let Some(acc) = decisions {
+            for tap in &taps {
+                acc.extend(tap.drain());
             }
         }
 
@@ -346,13 +415,17 @@ impl ShardedInfless {
             let mut starting = 0u64;
             let mut queue_depth = 0u64;
             let mut in_flight = 0u64;
+            let mut kv_resident = 0u64;
+            let mut host_cache_mb = 0.0;
             let mut per_fn = vec![0u64; n];
-            for sh in shards.iter() {
+            for sh in shards.iter_mut() {
                 let (i, st, q, b) = sh.platform.engine.gauge_counts();
                 instances += i;
                 starting += st;
                 queue_depth += q;
                 in_flight += b;
+                kv_resident += sh.platform.engine.kv_resident_bytes();
+                host_cache_mb += sh.platform.host_cache_mb_now();
                 for (acc, v) in per_fn
                     .iter_mut()
                     .zip(sh.platform.engine.per_function_live_counts())
@@ -366,7 +439,15 @@ impl ShardedInfless {
             e0.collector.fragment_sample(frag);
             let used = e0.cluster().weighted_in_use(beta);
             e0.collector.provision_point(t_b, used);
-            e0.record_gauges(instances, starting, queue_depth, in_flight, per_fn);
+            e0.record_gauges(
+                instances,
+                starting,
+                queue_depth,
+                in_flight,
+                kv_resident,
+                host_cache_mb,
+                per_fn,
+            );
         }
 
         // Refresh the interference snapshot: cluster-wide GPU occupancy

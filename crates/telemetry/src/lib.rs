@@ -31,18 +31,42 @@
 //! the schema, and recomputes the fault-conservation invariants
 //! (`displaced == retried + shed`) from spans alone.
 
+//!
+//! The decision layer ([`DecisionEvent`] / [`BreakdownEvent`]) extends
+//! the same machinery below the request lifecycle: *why* the scheduler,
+//! consolidator, keep-alive reaper, and KV admission gate acted, plus a
+//! per-request SLO latency decomposition, all on a dedicated
+//! `--decisions-out` channel gated by
+//! [`TelemetrySink::decisions_enabled`]. [`MetricsRegistry`] renders an
+//! exportable Prometheus text surface, and [`FlightRecorder`] keeps a
+//! bounded ring of recent spans that dumps to JSONL on fault bursts.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
+mod decision;
+mod flight;
 mod hist;
+mod registry;
 mod sink;
 mod summary;
 mod timeseries;
 
+pub use analyze::{analyze, analyze_file, DecisionAnalysis, FunctionAttribution, STAGES};
+pub use decision::{
+    write_decision_trace, BreakdownEvent, DecisionEvent, DecisionKind, DecisionReason,
+    DecisionRecord,
+};
+pub use flight::{
+    FlightRecorder, FLIGHT_BURST_THRESHOLD, FLIGHT_BURST_WINDOW_S, FLIGHT_MAX_DUMPS,
+    FLIGHT_RING_CAPACITY,
+};
 pub use hist::Log2Histogram;
+pub use registry::{validate_prometheus_text, MetricsHandle, MetricsRegistry};
 pub use sink::{
-    FaultTag, FileSink, MemorySink, MemoryStore, NullSink, SpanEvent, SpanKind, TelemetrySink,
-    TraceMeta, SPAN_RING_CAPACITY,
+    DecisionBufferSink, FaultTag, FileSink, MemorySink, MemoryStore, NullSink, SpanEvent, SpanKind,
+    TelemetrySink, TraceMeta, SPAN_RING_CAPACITY,
 };
 pub use summary::{summarize, summarize_file, TraceSummary};
 pub use timeseries::{GaugeRow, TimeseriesSummary};

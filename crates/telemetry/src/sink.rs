@@ -6,6 +6,7 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::decision::DecisionRecord;
 use crate::timeseries::GaugeRow;
 
 /// Spans buffered between file flushes. Sized so a flush amortises the
@@ -184,6 +185,16 @@ pub trait TelemetrySink: std::fmt::Debug + Send {
     /// Records one time-series gauge row.
     fn sample(&mut self, row: &GaugeRow);
 
+    /// `false` skips decision-event construction entirely. Gated
+    /// separately from [`enabled`](Self::enabled) so a decisions-only
+    /// sink does not pay for span construction (and vice versa).
+    fn decisions_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one decision or per-request latency breakdown.
+    fn record_decision(&mut self, _rec: &DecisionRecord) {}
+
     /// Flushes buffered output at the end of the run.
     fn finish(&mut self) {}
 }
@@ -211,6 +222,8 @@ pub struct MemoryStore {
     pub spans: Vec<SpanEvent>,
     /// Every sampled gauge row, in emission order.
     pub rows: Vec<GaugeRow>,
+    /// Every recorded decision/breakdown, in emission order.
+    pub decisions: Vec<DecisionRecord>,
 }
 
 /// An in-memory sink for tests: clone the handle, give one clone to the
@@ -254,6 +267,61 @@ impl TelemetrySink for MemorySink {
     fn sample(&mut self, row: &GaugeRow) {
         self.store().rows.push(row.clone());
     }
+
+    fn decisions_enabled(&self) -> bool {
+        true
+    }
+
+    fn record_decision(&mut self, rec: &DecisionRecord) {
+        self.store().decisions.push(*rec);
+    }
+}
+
+/// A decisions-only sink buffering into a shared store — how the
+/// sharded runner taps each shard's decision stream without enabling
+/// span telemetry (which the epoch-barrier path rejects). The
+/// coordinator drains the buffers at every barrier and merges them in
+/// [`DecisionRecord::sort_key`] order.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionBufferSink {
+    buf: Arc<Mutex<Vec<DecisionRecord>>>,
+}
+
+impl DecisionBufferSink {
+    /// An empty buffer sink; clone the handle before installing it.
+    pub fn new() -> Self {
+        DecisionBufferSink::default()
+    }
+
+    /// Drains everything buffered so far, in emission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clone poisoned the buffer by panicking mid-record.
+    pub fn drain(&self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut *self.buf.lock().expect("decision buffer poisoned"))
+    }
+}
+
+impl TelemetrySink for DecisionBufferSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _span: SpanEvent) {}
+
+    fn sample(&mut self, _row: &GaugeRow) {}
+
+    fn decisions_enabled(&self) -> bool {
+        true
+    }
+
+    fn record_decision(&mut self, rec: &DecisionRecord) {
+        self.buf
+            .lock()
+            .expect("decision buffer poisoned")
+            .push(*rec);
+    }
 }
 
 /// A sink writing a JSONL span trace and/or a CSV time-series.
@@ -282,6 +350,7 @@ impl TelemetrySink for MemorySink {
 pub struct FileSink {
     trace: Option<TraceWriter>,
     timeseries: Option<TimeseriesWriter>,
+    decisions: Option<DecisionsWriter>,
     functions: Vec<String>,
 }
 
@@ -297,6 +366,13 @@ struct TimeseriesWriter {
     out: BufWriter<File>,
     line: String,
     wrote_header: bool,
+}
+
+#[derive(Debug)]
+struct DecisionsWriter {
+    out: BufWriter<File>,
+    ring: Vec<DecisionRecord>,
+    line: String,
 }
 
 impl FileSink {
@@ -328,8 +404,35 @@ impl FileSink {
         Ok(FileSink {
             trace,
             timeseries,
+            decisions: None,
             functions: Vec::new(),
         })
+    }
+
+    /// Adds a decisions JSONL output (`--decisions-out`): one
+    /// [`DecisionRecord`] per line after the metadata record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the file cannot be created.
+    pub fn with_decisions(mut self, path: &Path) -> std::io::Result<FileSink> {
+        self.decisions = Some(DecisionsWriter {
+            out: BufWriter::new(File::create(path)?),
+            ring: Vec::with_capacity(SPAN_RING_CAPACITY),
+            line: String::with_capacity(256),
+        });
+        Ok(self)
+    }
+
+    fn flush_decisions(dec: &mut DecisionsWriter) {
+        for rec in &dec.ring {
+            rec.render(&mut dec.line);
+            dec.line.push('\n');
+            dec.out
+                .write_all(dec.line.as_bytes())
+                .expect("write decision trace");
+        }
+        dec.ring.clear();
     }
 
     fn flush_ring(trace: &mut TraceWriter) {
@@ -358,6 +461,29 @@ impl FileSink {
     }
 }
 
+/// Renders the `{"meta":…}` record (with trailing newline) into `out`,
+/// which is cleared first. Shared by the trace and decisions writers so
+/// both artifacts open with an identical metadata line.
+pub(crate) fn render_meta(meta: &TraceMeta, out: &mut String) {
+    out.clear();
+    out.push_str("{\"meta\":{\"platform\":\"");
+    let mut escaped = String::new();
+    escape_json(&meta.platform, &mut escaped);
+    out.push_str(&escaped);
+    out.push_str("\",\"functions\":[");
+    for (i, name) in meta.functions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escaped.clear();
+        escape_json(name, &mut escaped);
+        out.push_str(&escaped);
+        out.push('"');
+    }
+    out.push_str("]}}\n");
+}
+
 /// Minimal JSON string escaping for the metadata record (span lines
 /// carry only fixed wire names and numbers, which need none).
 fn escape_json(s: &str, out: &mut String) {
@@ -373,6 +499,10 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
+/// The fixed CSV columns before the per-function instance counts.
+const TIMESERIES_HEADER: &str = "t_s,instances,starting,cpu_occupancy,gpu_occupancy,queue_depth,\
+                                 in_flight_batches,kv_resident_bytes,host_cache_mb_used";
+
 impl TelemetrySink for FileSink {
     fn enabled(&self) -> bool {
         self.trace.is_some() || self.timeseries.is_some()
@@ -381,33 +511,21 @@ impl TelemetrySink for FileSink {
     fn begin(&mut self, meta: &TraceMeta) {
         self.functions = meta.functions.clone();
         if let Some(trace) = &mut self.trace {
-            trace.line.clear();
-            trace.line.push_str("{\"meta\":{\"platform\":\"");
-            let mut escaped = String::new();
-            escape_json(&meta.platform, &mut escaped);
-            trace.line.push_str(&escaped);
-            trace.line.push_str("\",\"functions\":[");
-            for (i, name) in meta.functions.iter().enumerate() {
-                if i > 0 {
-                    trace.line.push(',');
-                }
-                trace.line.push('"');
-                escaped.clear();
-                escape_json(name, &mut escaped);
-                trace.line.push_str(&escaped);
-                trace.line.push('"');
-            }
-            trace.line.push_str("]}}\n");
+            render_meta(meta, &mut trace.line);
             trace
                 .out
                 .write_all(trace.line.as_bytes())
                 .expect("write telemetry trace meta");
         }
+        if let Some(dec) = &mut self.decisions {
+            render_meta(meta, &mut dec.line);
+            dec.out
+                .write_all(dec.line.as_bytes())
+                .expect("write decision trace meta");
+        }
         if let Some(ts) = &mut self.timeseries {
             ts.line.clear();
-            ts.line.push_str(
-                "t_s,instances,starting,cpu_occupancy,gpu_occupancy,queue_depth,in_flight_batches",
-            );
+            ts.line.push_str(TIMESERIES_HEADER);
             for i in 0..self.functions.len() {
                 write!(ts.line, ",fn{i}_instances").expect("write to String cannot fail");
             }
@@ -434,10 +552,7 @@ impl TelemetrySink for FileSink {
                 // `begin` was never called (engine without metadata):
                 // emit a header sized to the first row.
                 ts.line.clear();
-                ts.line.push_str(
-                    "t_s,instances,starting,cpu_occupancy,gpu_occupancy,queue_depth,\
-                     in_flight_batches",
-                );
+                ts.line.push_str(TIMESERIES_HEADER);
                 for i in 0..row.per_function_instances.len() {
                     write!(ts.line, ",fn{i}_instances").expect("write to String cannot fail");
                 }
@@ -450,7 +565,7 @@ impl TelemetrySink for FileSink {
             ts.line.clear();
             write!(
                 ts.line,
-                "{},{},{},{:.6},{:.6},{},{}",
+                "{},{},{},{:.6},{:.6},{},{},{},{:.3}",
                 row.t_s,
                 row.instances,
                 row.starting,
@@ -458,6 +573,8 @@ impl TelemetrySink for FileSink {
                 row.gpu_occupancy,
                 row.queue_depth,
                 row.in_flight_batches,
+                row.kv_resident_bytes,
+                row.host_cache_mb_used,
             )
             .expect("write to String cannot fail");
             for n in &row.per_function_instances {
@@ -470,10 +587,27 @@ impl TelemetrySink for FileSink {
         }
     }
 
+    fn decisions_enabled(&self) -> bool {
+        self.decisions.is_some()
+    }
+
+    fn record_decision(&mut self, rec: &DecisionRecord) {
+        if let Some(dec) = &mut self.decisions {
+            dec.ring.push(*rec);
+            if dec.ring.len() >= SPAN_RING_CAPACITY {
+                Self::flush_decisions(dec);
+            }
+        }
+    }
+
     fn finish(&mut self) {
         if let Some(trace) = &mut self.trace {
             Self::flush_ring(trace);
             trace.out.flush().expect("flush telemetry trace");
+        }
+        if let Some(dec) = &mut self.decisions {
+            Self::flush_decisions(dec);
+            dec.out.flush().expect("flush decision trace");
         }
         if let Some(ts) = &mut self.timeseries {
             ts.out.flush().expect("flush telemetry timeseries");

@@ -195,6 +195,7 @@ pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
     let mut arrival_at: HashMap<u64, f64> = HashMap::new();
     let mut terminated: HashMap<u64, SpanKind> = HashMap::new();
     let mut last_t: HashMap<u64, f64> = HashMap::new();
+    let mut saw_meta = false;
     for (i, line) in reader.lines().enumerate() {
         let line_no = i + 1;
         let line = line.map_err(|e| format!("line {line_no}: read error: {e}"))?;
@@ -220,6 +221,7 @@ pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
                 );
             }
             summary.per_function = vec![FunctionCounts::default(); summary.functions.len()];
+            saw_meta = true;
             continue;
         }
         let t_s = field_f64(&value, "t_s", line_no)?;
@@ -299,6 +301,15 @@ pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
             SpanKind::FirstToken => summary.first_tokens += 1,
             SpanKind::DecodeComplete => summary.decode_completes += 1,
         }
+    }
+    // An empty or span-less file is a broken artifact, not a quiet
+    // success: every real run writes its metadata record and at least
+    // one span, so "nothing to summarize" means the producer failed.
+    if !saw_meta {
+        return Err("empty trace: missing the {\"meta\":…} record".to_string());
+    }
+    if summary.events == 0 {
+        return Err("trace contains no spans after the metadata record".to_string());
     }
     Ok(summary)
 }
@@ -396,6 +407,22 @@ mod tests {
         assert_eq!(s.completed, 1);
         assert!(s.conserved());
         assert!(s.to_string().contains("1 prefills"));
+    }
+
+    /// Regression: an empty or span-less trace used to summarize as a
+    /// quiet success; it is a broken artifact and must hard-error.
+    #[test]
+    fn empty_and_spanless_traces_are_rejected() {
+        assert!(summarize("".as_bytes())
+            .unwrap_err()
+            .contains("empty trace"));
+        assert!(summarize("\n\n".as_bytes())
+            .unwrap_err()
+            .contains("empty trace"));
+        let meta_only = "{\"meta\":{\"platform\":\"x\",\"functions\":[]}}\n";
+        assert!(summarize(meta_only.as_bytes())
+            .unwrap_err()
+            .contains("no spans"));
     }
 
     #[test]

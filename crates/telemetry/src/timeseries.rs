@@ -19,6 +19,12 @@ pub struct GaugeRow {
     pub queue_depth: u64,
     /// Batches currently executing.
     pub in_flight_batches: u64,
+    /// KV-cache arena tokens currently reserved across live
+    /// autoregressive episodes, in bytes (0 for non-LLM runs).
+    pub kv_resident_bytes: u64,
+    /// Host-cache (swap-tier) occupancy: model weights resident in
+    /// host RAM, MB (0 when no residency tier is active).
+    pub host_cache_mb_used: f64,
     /// Live instance count per function index.
     pub per_function_instances: Vec<u64>,
 }

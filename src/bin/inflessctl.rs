@@ -13,13 +13,16 @@ use std::process::ExitCode;
 
 use infless::core::RunReport;
 use infless::descriptor::Scenario;
-use infless::telemetry::{summarize_file, FileSink};
+use infless::telemetry::{analyze_file, summarize_file, FileSink};
 use infless::RunConfig;
 
 const USAGE: &str = "usage: inflessctl <scenario.json> [--seed N] [--json]
                   [--shards N] [--canonical-json]
                   [--trace-out <path.jsonl>] [--timeseries-out <path.csv>]
+                  [--decisions-out <path.jsonl>] [--metrics-out <path.prom>]
+                  [--flight-out <path.jsonl>]
        inflessctl trace summary <trace.jsonl>
+       inflessctl trace analyze <decisions.jsonl>
 
 Runs a deployment scenario (see scenarios/ for examples) and prints the
 run report. --seed overrides the scenario's seed; --json emits the
@@ -34,11 +37,25 @@ exact string the CI determinism gate byte-diffs between shard counts.
 --trace-out streams per-request lifecycle spans (arrival, enqueued,
 batch_formed, exec_start, complete, dropped, shed, displaced, retried)
 to a JSONL file; --timeseries-out streams per-tick gauges (instances,
-occupancy, queue depth, in-flight batches) to a CSV.
+occupancy, queue depth, in-flight batches, KV residency, host cache)
+to a CSV.
+
+--decisions-out writes the decision trace: every Algorithm 1 candidate
+evaluation and rejection reason, chosen configs, scale-out rounds,
+consolidation commits/rollbacks, keep-alive evictions, launch startup
+paths, continuous-batching admissions, and per-request SLO latency
+decompositions. Works at every shard count — sharded runs merge
+per-shard buffers into a byte-identical trace. --metrics-out writes an
+end-of-run Prometheus text-format snapshot (gauges sampled at scaler
+ticks plus final counters from the report). --flight-out arms the
+flight recorder: a bounded ring of recent spans appended to the file
+whenever a fault burst hits (single-core runs only, like --trace-out).
 
 `trace summary` validates a span trace and prints conservation and
-fault-displacement accounting recomputed from the spans alone; it exits
-nonzero on a malformed or inconsistent trace.";
+fault-displacement accounting recomputed from the spans alone; `trace
+analyze` validates a decision trace and attributes every SLO violation
+to the latency stage that consumed the budget. Both exit nonzero on a
+malformed trace.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +71,9 @@ fn main() -> ExitCode {
     let mut shards: Option<usize> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut timeseries_out: Option<PathBuf> = None;
+    let mut decisions_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut flight_out: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => match args.next().map(|v| v.parse::<u64>()) {
@@ -76,6 +96,18 @@ fn main() -> ExitCode {
             "--timeseries-out" => match args.next() {
                 Some(p) => timeseries_out = Some(PathBuf::from(p)),
                 None => return usage("--timeseries-out needs a path"),
+            },
+            "--decisions-out" => match args.next() {
+                Some(p) => decisions_out = Some(PathBuf::from(p)),
+                None => return usage("--decisions-out needs a path"),
+            },
+            "--metrics-out" => match args.next() {
+                Some(p) => metrics_out = Some(PathBuf::from(p)),
+                None => return usage("--metrics-out needs a path"),
+            },
+            "--flight-out" => match args.next() {
+                Some(p) => flight_out = Some(PathBuf::from(p)),
+                None => return usage("--flight-out needs a path"),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -111,6 +143,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(path) = decisions_out {
+        config = config.decisions_out(path);
+    }
+    if let Some(path) = metrics_out {
+        config = config.metrics_out(path);
+    }
+    if let Some(path) = flight_out {
+        config = config.flight_out(path);
     }
     // An invalid combination (e.g. --shards with telemetry streaming)
     // surfaces through RunConfig::validate inside execute.
@@ -165,7 +206,20 @@ fn trace_command(args: &[String]) -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        _ => usage("trace subcommand is: trace summary <trace.jsonl>"),
+        [sub, path] if sub == "analyze" => match analyze_file(std::path::Path::new(path)) {
+            Ok(analysis) => {
+                print!("{analysis}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(
+            "trace subcommands are: trace summary <trace.jsonl>, \
+             trace analyze <decisions.jsonl>",
+        ),
     }
 }
 

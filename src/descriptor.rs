@@ -38,6 +38,7 @@
 use std::fmt;
 use std::fs;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 use serde::Deserialize;
 
@@ -54,6 +55,10 @@ use infless_faults::{FaultPlan, FaultSchedule};
 use infless_llm::{LlmClass, LlmConfig};
 use infless_models::ModelId;
 use infless_sim::SimDuration;
+use infless_telemetry::{
+    write_decision_trace, DecisionBufferSink, DecisionRecord, FlightRecorder, GaugeRow,
+    MetricsHandle, MetricsRegistry, SpanEvent, TelemetrySink, TraceMeta,
+};
 use infless_workload::{FunctionLoad, TracePattern, Workload};
 
 /// Which platform serves the scenario.
@@ -240,6 +245,111 @@ struct ScenarioParts {
     schedule: FaultSchedule,
 }
 
+/// Wraps a run's telemetry sink with a decisions tap: every decision
+/// record is buffered (for the `--decisions-out` artifact) *and*
+/// forwarded to the inner sink. The tap reports `decisions_enabled`
+/// itself but delegates `enabled` — wrapping a [`infless_telemetry::NullSink`]
+/// turns on decision emission without paying for span construction.
+#[derive(Debug)]
+struct DecisionTap {
+    inner: Box<dyn TelemetrySink>,
+    buf: DecisionBufferSink,
+    meta: Arc<Mutex<Option<TraceMeta>>>,
+}
+
+impl TelemetrySink for DecisionTap {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn begin(&mut self, meta: &TraceMeta) {
+        *self.meta.lock().expect("trace meta poisoned") = Some(meta.clone());
+        self.inner.begin(meta);
+    }
+
+    fn record(&mut self, span: SpanEvent) {
+        self.inner.record(span);
+    }
+
+    fn sample(&mut self, row: &GaugeRow) {
+        self.inner.sample(row);
+    }
+
+    fn decisions_enabled(&self) -> bool {
+        true
+    }
+
+    fn record_decision(&mut self, rec: &DecisionRecord) {
+        self.buf.record_decision(rec);
+        self.inner.record_decision(rec);
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
+}
+
+/// Sorts decision records into their canonical `(t_s, function, seq)`
+/// total order — the order the sharded merge uses, so single-core and
+/// sharded artifacts are directly comparable.
+fn sort_decisions(records: &mut [DecisionRecord]) {
+    records.sort_by(|a, b| {
+        let (ta, fa, sa) = a.sort_key();
+        let (tb, fb, sb) = b.sort_key();
+        ta.total_cmp(&tb).then(fa.cmp(&fb)).then(sa.cmp(&sb))
+    });
+}
+
+/// Folds the finished report's totals into the metrics registry as
+/// counter families and writes the Prometheus text snapshot.
+fn export_metrics(
+    report: &RunReport,
+    handle: &MetricsHandle,
+    path: &Path,
+) -> Result<(), ScenarioError> {
+    let mut reg = handle.lock().expect("metrics registry poisoned");
+    for f in &report.functions {
+        let labels = [("function", f.name.as_str())];
+        reg.counter_add(
+            "infless_requests_completed_total",
+            "Requests completed.",
+            &labels,
+            f.completed as f64,
+        );
+        reg.counter_add(
+            "infless_requests_dropped_total",
+            "Requests dropped at the gateway.",
+            &labels,
+            f.dropped as f64,
+        );
+        reg.counter_add(
+            "infless_slo_violations_total",
+            "Completed requests that exceeded their latency SLO.",
+            &labels,
+            f.violations as f64,
+        );
+        reg.counter_add(
+            "infless_cold_requests_total",
+            "Completed requests that observed a cold start.",
+            &labels,
+            f.cold_requests as f64,
+        );
+    }
+    for (path_label, count) in [
+        ("cold", report.cold_launches),
+        ("pre_warmed", report.prewarmed_launches),
+        ("swap_in", report.swap_launches),
+    ] {
+        reg.counter_add(
+            "infless_launches_total",
+            "Instance launches by startup path.",
+            &[("path", path_label)],
+            count as f64,
+        );
+    }
+    reg.write_to(path).map_err(ScenarioError::Io)
+}
+
 /// Errors building or running a scenario.
 #[derive(Debug)]
 pub enum ScenarioError {
@@ -379,9 +489,10 @@ impl Scenario {
         if let Some(schedule) = config.fault_schedule {
             parts.schedule = schedule;
         }
-        let sink = config
-            .telemetry
-            .unwrap_or_else(|| Box::new(infless_telemetry::NullSink));
+        let decisions_out = config.decisions_out;
+        let metrics_out = config.metrics_out;
+        let flight_out = config.flight_out;
+        let metrics = metrics_out.as_ref().map(|_| MetricsRegistry::handle());
         let infless_config = self.infless_config(config.residency, llm);
 
         if let Some(shards) = sharded {
@@ -390,39 +501,116 @@ impl Scenario {
                     "sharded execution requires the INFless platform".into(),
                 ));
             }
-            return Ok(ShardedInfless::with_chains(
+            let meta = TraceMeta {
+                platform: "INFless".to_string(),
+                functions: parts
+                    .functions
+                    .iter()
+                    .map(|f| f.spec().name().to_string())
+                    .collect(),
+            };
+            let mut runner = ShardedInfless::with_chains(
                 parts.cluster,
                 parts.functions,
                 parts.chains,
                 infless_config,
                 self.seed,
             )
-            .with_fault_schedule(parts.schedule)
-            .run(&parts.workload, shards));
+            .with_fault_schedule(parts.schedule);
+            if let Some(handle) = &metrics {
+                runner = runner.with_metrics(handle.clone());
+            }
+            let report = match &decisions_out {
+                Some(path) => {
+                    let (report, records) = runner.run_with_decisions(&parts.workload, shards);
+                    write_decision_trace(path, &meta, &records)?;
+                    report
+                }
+                None => runner.run(&parts.workload, shards),
+            };
+            if let (Some(handle), Some(path)) = (&metrics, &metrics_out) {
+                export_metrics(&report, handle, path)?;
+            }
+            return Ok(report);
         }
 
-        let report = match self.platform {
-            PlatformKind::Infless => InflessPlatform::with_chains(
-                parts.cluster,
-                parts.functions,
-                parts.chains,
-                infless_config,
-                self.seed,
+        let inner = config
+            .telemetry
+            .unwrap_or_else(|| Box::new(infless_telemetry::NullSink));
+        // The decisions tap buffers every record alongside whatever the
+        // user's sink does with them, so the JSONL artifact can be
+        // written in canonical sort order at the end of the run.
+        let tap = decisions_out.as_ref().map(|_| {
+            (
+                DecisionBufferSink::new(),
+                Arc::new(Mutex::new(None::<TraceMeta>)),
             )
-            .with_fault_schedule(parts.schedule)
-            .with_telemetry(sink)
-            .run(&parts.workload),
-            PlatformKind::Openfaas => OpenFaasPlus::new(parts.cluster, parts.functions, self.seed)
-                .with_fault_schedule(parts.schedule)
-                .with_telemetry(sink)
-                .with_llm(llm)
-                .run(&parts.workload),
-            PlatformKind::Batch => BatchPlatform::new(parts.cluster, parts.functions, self.seed)
-                .with_fault_schedule(parts.schedule)
-                .with_telemetry(sink)
-                .with_llm(llm)
-                .run(&parts.workload),
+        });
+        let sink: Box<dyn TelemetrySink> = match &tap {
+            Some((buf, meta)) => Box::new(DecisionTap {
+                inner,
+                buf: buf.clone(),
+                meta: meta.clone(),
+            }),
+            None => inner,
         };
+        // The flight recorder wraps outermost so its ring sees every
+        // span, whatever the user sink keeps.
+        let sink: Box<dyn TelemetrySink> = match &flight_out {
+            Some(path) => Box::new(FlightRecorder::new(sink, path.clone())),
+            None => sink,
+        };
+
+        let report = match self.platform {
+            PlatformKind::Infless => {
+                let mut platform = InflessPlatform::with_chains(
+                    parts.cluster,
+                    parts.functions,
+                    parts.chains,
+                    infless_config,
+                    self.seed,
+                )
+                .with_fault_schedule(parts.schedule)
+                .with_telemetry(sink);
+                if let Some(handle) = &metrics {
+                    platform = platform.with_metrics(handle.clone());
+                }
+                platform.run(&parts.workload)
+            }
+            PlatformKind::Openfaas => {
+                let mut platform = OpenFaasPlus::new(parts.cluster, parts.functions, self.seed)
+                    .with_fault_schedule(parts.schedule)
+                    .with_telemetry(sink)
+                    .with_llm(llm);
+                if let Some(handle) = &metrics {
+                    platform = platform.with_metrics(handle.clone());
+                }
+                platform.run(&parts.workload)
+            }
+            PlatformKind::Batch => {
+                let mut platform = BatchPlatform::new(parts.cluster, parts.functions, self.seed)
+                    .with_fault_schedule(parts.schedule)
+                    .with_telemetry(sink)
+                    .with_llm(llm);
+                if let Some(handle) = &metrics {
+                    platform = platform.with_metrics(handle.clone());
+                }
+                platform.run(&parts.workload)
+            }
+        };
+        if let (Some((buf, meta)), Some(path)) = (&tap, &decisions_out) {
+            let mut records = buf.drain();
+            sort_decisions(&mut records);
+            let meta = meta
+                .lock()
+                .expect("trace meta poisoned")
+                .take()
+                .expect("set_telemetry announces the run before it starts");
+            write_decision_trace(path, &meta, &records)?;
+        }
+        if let (Some(handle), Some(path)) = (&metrics, &metrics_out) {
+            export_metrics(&report, handle, path)?;
+        }
         Ok(report)
     }
 
